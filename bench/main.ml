@@ -1,0 +1,292 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per evaluation
+      artifact: the simulation kernel behind each figure (FIG8..FIG14),
+      the scheduler-decision cost underlying Figure 9 and §3.6's
+      complexity claims, and the native lock-free vs lock-based
+      structures (the real-hardware analogue of Figure 8's r vs s),
+      plus a multi-domain contention sweep.
+
+   2. The full experiment suite (Figures 8-14, Theorem 2/3, Lemmas
+      4/5) printed as the paper's rows/series. *)
+
+open Bechamel
+
+module Job = Rtlf_model.Job
+module Resource = Rtlf_model.Resource
+module Lock_manager = Rtlf_model.Lock_manager
+module Scheduler = Rtlf_core.Scheduler
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+module E = Rtlf_experiments
+
+let fmt = Format.std_formatter
+
+(* --- native structure kernels (Figure 8, real hardware) -------------- *)
+
+let bench_ms_queue () =
+  let q = Rtlf_lockfree.Ms_queue.create () in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Ms_queue.enqueue q 1;
+      ignore (Rtlf_lockfree.Ms_queue.dequeue q))
+
+let bench_lock_queue () =
+  let q = Rtlf_lockfree.Lock_queue.create () in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Lock_queue.enqueue q 1;
+      ignore (Rtlf_lockfree.Lock_queue.dequeue q))
+
+let bench_treiber () =
+  let st = Rtlf_lockfree.Treiber_stack.create () in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Treiber_stack.push st 1;
+      ignore (Rtlf_lockfree.Treiber_stack.pop st))
+
+let bench_lock_stack () =
+  let st = Rtlf_lockfree.Lock_stack.create () in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Lock_stack.push st 1;
+      ignore (Rtlf_lockfree.Lock_stack.pop st))
+
+(* --- scheduler decision kernels (§3.6, Figure 9) ---------------------- *)
+
+(* A frozen scheduling scene: n live jobs; the lock-based variant also
+   sees a 5-deep dependency chain through the lock table. *)
+let scene ~n ~with_locks =
+  let tasks = Workload.make { Workload.default with Workload.n_tasks = n } in
+  let jobs =
+    List.mapi (fun i t -> Job.create ~task:t ~jid:i ~arrival:0) tasks
+  in
+  let objects = Resource.create ~n:10 in
+  let locks = Lock_manager.create ~objects in
+  if with_locks then
+    List.iteri
+      (fun i job ->
+        if i < 5 then
+          ignore (Lock_manager.request locks ~jid:job.Job.jid ~obj:i);
+        if i >= 1 && i <= 5 then begin
+          match Lock_manager.request locks ~jid:job.Job.jid ~obj:(i - 1) with
+          | Lock_manager.Granted -> ()
+          | Lock_manager.Blocked_on _ -> job.Job.state <- Job.Blocked (i - 1)
+        end)
+      jobs;
+  (jobs, locks)
+
+let remaining job = Job.remaining_nominal job
+
+let bench_decide ~sched ~n =
+  let with_locks = sched = `Lock_based in
+  let jobs, locks = scene ~n ~with_locks in
+  let scheduler =
+    match sched with
+    | `Lock_based -> Rtlf_core.Rua_lock_based.make ~locks
+    | `Lock_free -> Rtlf_core.Rua_lock_free.make ()
+    | `Edf -> Rtlf_core.Edf.make ()
+  in
+  Staged.stage (fun () ->
+      ignore (scheduler.Scheduler.decide ~now:0 ~jobs ~remaining))
+
+(* --- per-figure simulation kernels ------------------------------------ *)
+
+(* One short simulation representative of each figure's configuration;
+   benchmarked to track the cost of regenerating each artifact. *)
+let fig_sim ~sync ~al ~tuf_class ~n_objects ~mean_exec =
+  let spec =
+    {
+      Workload.default with
+      Workload.n_objects;
+      accesses_per_job = n_objects;
+      target_al = al;
+      tuf_class;
+      mean_exec;
+      seed = 11;
+    }
+  in
+  let tasks = Workload.make spec in
+  let horizon = 20 * mean_exec * spec.Workload.n_tasks in
+  Staged.stage (fun () ->
+      ignore
+        (Simulator.run
+           (Simulator.config ~tasks ~sync ~horizon ~seed:3
+              ~sched_base:E.Common.sched_base
+              ~sched_per_op:E.Common.sched_per_op ())))
+
+let sim_tests =
+  [
+    Test.make ~name:"FIG8-kernel (lock-based access times)"
+      (fig_sim ~sync:E.Common.lock_based ~al:0.5
+         ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:200_000);
+    Test.make ~name:"FIG9-kernel (CML probe, lock-free)"
+      (fig_sim ~sync:E.Common.lock_free ~al:0.8 ~tuf_class:Workload.Step_only
+         ~n_objects:10 ~mean_exec:30_000);
+    Test.make ~name:"FIG10-kernel (underload, step)"
+      (fig_sim ~sync:E.Common.lock_free ~al:0.4 ~tuf_class:Workload.Step_only
+         ~n_objects:10 ~mean_exec:100_000);
+    Test.make ~name:"FIG11-kernel (underload, heterogeneous)"
+      (fig_sim ~sync:E.Common.lock_free ~al:0.4
+         ~tuf_class:Workload.Heterogeneous ~n_objects:10 ~mean_exec:100_000);
+    Test.make ~name:"FIG12-kernel (overload, step)"
+      (fig_sim ~sync:E.Common.lock_based ~al:1.1
+         ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:100_000);
+    Test.make ~name:"FIG13-kernel (overload, heterogeneous)"
+      (fig_sim ~sync:E.Common.lock_based ~al:1.1
+         ~tuf_class:Workload.Heterogeneous ~n_objects:10 ~mean_exec:100_000);
+    Test.make ~name:"FIG14-kernel (readers, heterogeneous)"
+      (fig_sim ~sync:E.Common.lock_based ~al:0.6
+         ~tuf_class:Workload.Heterogeneous ~n_objects:6 ~mean_exec:100_000);
+  ]
+
+let bench_ring () =
+  let q = Rtlf_lockfree.Ring_buffer.create ~capacity:64 in
+  Staged.stage (fun () ->
+      ignore (Rtlf_lockfree.Ring_buffer.try_push q 1);
+      ignore (Rtlf_lockfree.Ring_buffer.try_pop q))
+
+let bench_lf_set () =
+  let s = Rtlf_lockfree.Lf_set.create () in
+  let k = ref 0 in
+  Staged.stage (fun () ->
+      k := (!k + 1) land 1023;
+      ignore (Rtlf_lockfree.Lf_set.add s !k);
+      ignore (Rtlf_lockfree.Lf_set.remove s !k))
+
+let bench_snapshot () =
+  let snap = Rtlf_lockfree.Snapshot.create ~n:8 ~init:0 in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Snapshot.update snap ~i:3 1;
+      ignore (Rtlf_lockfree.Snapshot.scan snap))
+
+let bench_nbw () =
+  let reg = Rtlf_lockfree.Nbw_register.create 0 in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Nbw_register.write reg 1;
+      ignore (Rtlf_lockfree.Nbw_register.read reg))
+
+let bench_four_slot () =
+  let reg = Rtlf_lockfree.Four_slot.create 0 in
+  Staged.stage (fun () ->
+      Rtlf_lockfree.Four_slot.write reg 1;
+      ignore (Rtlf_lockfree.Four_slot.read reg))
+
+let native_tests =
+  [
+    Test.make ~name:"ms-queue enq+deq (lock-free s)" (bench_ms_queue ());
+    Test.make ~name:"mutex-queue enq+deq (lock-based r)" (bench_lock_queue ());
+    Test.make ~name:"treiber push+pop (lock-free s)" (bench_treiber ());
+    Test.make ~name:"mutex-stack push+pop (lock-based r)" (bench_lock_stack ());
+    Test.make ~name:"nbw-register write+read (wait-free writer)"
+      (bench_nbw ());
+    Test.make ~name:"four-slot write+read (fully wait-free)"
+      (bench_four_slot ());
+    Test.make ~name:"mpmc-ring push+pop (lock-free bounded)" (bench_ring ());
+    Test.make ~name:"harris-set add+remove (lock-free ordered)"
+      (bench_lf_set ());
+    Test.make ~name:"snapshot update+scan n=8 (lock-free cut)"
+      (bench_snapshot ());
+  ]
+
+let scheduler_tests =
+  let variants n =
+    [
+      Test.make
+        ~name:(Printf.sprintf "rua-lock-based decide n=%d" n)
+        (bench_decide ~sched:`Lock_based ~n);
+      Test.make
+        ~name:(Printf.sprintf "rua-lock-free decide n=%d" n)
+        (bench_decide ~sched:`Lock_free ~n);
+      Test.make
+        ~name:(Printf.sprintf "edf decide n=%d" n)
+        (bench_decide ~sched:`Edf ~n);
+    ]
+  in
+  List.concat_map variants [ 8; 32 ]
+
+(* --- bechamel driver --------------------------------------------------- *)
+
+let run_group ~name tests =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun test_name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> x
+        | Some _ | None -> nan
+      in
+      rows := (test_name, estimate) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  E.Report.section fmt name;
+  E.Report.table fmt
+    ~header:[ "benchmark"; "ns/op" ]
+    ~rows:
+      (List.map
+         (fun (test_name, ns) -> [ test_name; Printf.sprintf "%.1f" ns ])
+         rows)
+
+(* --- native multi-domain contention (Figure 8 on real silicon) -------- *)
+
+let contention_sweep () =
+  E.Report.section fmt
+    "Native contention: mutex queue vs Michael-Scott queue (real domains)";
+  let point domains =
+    let ops = 50_000 in
+    let lf = Rtlf_lockfree.Ms_queue.create () in
+    let lf_report =
+      Rtlf_lockfree.Stress.run ~domains ~ops
+        ~push:(fun v -> Rtlf_lockfree.Ms_queue.enqueue lf v)
+        ~pop:(fun () -> Rtlf_lockfree.Ms_queue.dequeue lf)
+        ~drain:(fun () -> Rtlf_lockfree.Ms_queue.to_list lf)
+    in
+    let lb = Rtlf_lockfree.Lock_queue.create () in
+    let lb_report =
+      Rtlf_lockfree.Stress.run ~domains ~ops
+        ~push:(fun v -> Rtlf_lockfree.Lock_queue.enqueue lb v)
+        ~pop:(fun () -> Rtlf_lockfree.Lock_queue.dequeue lb)
+        ~drain:(fun () -> Rtlf_lockfree.Lock_queue.to_list lb)
+    in
+    [
+      [
+        string_of_int domains;
+        "ms-queue";
+        Printf.sprintf "%.2f" (Rtlf_lockfree.Stress.throughput_mops lf_report);
+        string_of_int (Rtlf_lockfree.Ms_queue.retries lf);
+        string_of_bool (Rtlf_lockfree.Stress.conserved lf_report);
+      ];
+      [
+        string_of_int domains;
+        "mutex-queue";
+        Printf.sprintf "%.2f" (Rtlf_lockfree.Stress.throughput_mops lb_report);
+        "-";
+        string_of_bool (Rtlf_lockfree.Stress.conserved lb_report);
+      ];
+    ]
+  in
+  E.Report.table fmt
+    ~header:[ "domains"; "structure"; "Mops/s"; "CAS retries"; "conserved" ]
+    ~rows:(List.concat_map point [ 1; 2; 4 ])
+
+let () =
+  let fast = Array.exists (( = ) "--fast") Sys.argv in
+  let mode = if fast then E.Common.Fast else E.Common.Full in
+  Format.fprintf fmt
+    "rtlf bench harness: micro-benchmarks + full figure regeneration@.";
+  run_group ~name:"Native shared objects (Figure 8, real hardware)"
+    native_tests;
+  run_group ~name:"Scheduler decision cost (3.6: O(n^2 log n) vs O(n^2))"
+    scheduler_tests;
+  run_group ~name:"Per-figure simulation kernels" sim_tests;
+  contention_sweep ();
+  E.All.run ~mode fmt;
+  Format.fprintf fmt "@.done.@."

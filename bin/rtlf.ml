@@ -1,0 +1,217 @@
+(* rtlf — command-line driver for the lock-free RUA reproduction.
+
+   Subcommands:
+     rtlf list                   enumerate experiments
+     rtlf run <name> [--fast]    run one experiment (fig8..fig14, thm2,
+                                 thm3, lem45, all)
+     rtlf sim [options]          run a single ad-hoc simulation
+     rtlf bound [options]        print Theorem 2 bounds for a workload *)
+
+open Cmdliner
+
+module Workload = Rtlf_workload.Workload
+module Simulator = Rtlf_sim.Simulator
+module Sync = Rtlf_sim.Sync
+module Experiments = Rtlf_experiments
+
+let fmt = Format.std_formatter
+
+(* --- shared argument definitions ------------------------------------- *)
+
+let fast_flag =
+  let doc = "Run a reduced sweep (fewer points, shorter horizons)." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let mode_of_fast fast =
+  if fast then Experiments.Common.Fast else Experiments.Common.Full
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let tasks_arg =
+  let doc = "Number of tasks." in
+  Arg.(value & opt int 10 & info [ "tasks" ] ~doc)
+
+let objects_arg =
+  let doc = "Number of shared objects (and accesses per job)." in
+  Arg.(value & opt int 10 & info [ "objects" ] ~doc)
+
+let load_arg =
+  let doc = "Target approximate load AL = sum u_i/C_i." in
+  Arg.(value & opt float 0.5 & info [ "load" ] ~doc)
+
+let exec_arg =
+  let doc = "Mean job execution time in microseconds." in
+  Arg.(value & opt int 200 & info [ "exec-us" ] ~doc)
+
+let sync_arg =
+  let doc = "Sharing discipline: lock-based, lock-free or ideal." in
+  let syncs =
+    [ ("lock-based", `Lock_based); ("lock-free", `Lock_free);
+      ("ideal", `Ideal) ]
+  in
+  Arg.(value & opt (enum syncs) `Lock_free & info [ "sync" ] ~doc)
+
+let sched_arg =
+  let doc = "Scheduler: rua, edf or edf-pip." in
+  let scheds =
+    [ ("rua", Simulator.Rua); ("edf", Simulator.Edf);
+      ("edf-pip", Simulator.Edf_pip) ]
+  in
+  Arg.(value & opt (enum scheds) Simulator.Rua & info [ "sched" ] ~doc)
+
+let hetero_arg =
+  let doc = "Use the heterogeneous TUF class (step+linear+parabolic)." in
+  Arg.(value & flag & info [ "heterogeneous" ] ~doc)
+
+let make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed =
+  {
+    Workload.default with
+    Workload.n_tasks = tasks;
+    n_objects = objects;
+    accesses_per_job = objects;
+    target_al = load;
+    mean_exec = exec_us * 1000;
+    tuf_class =
+      (if hetero then Workload.Heterogeneous else Workload.Step_only);
+    seed;
+  }
+
+let sync_of = function
+  | `Lock_based -> Experiments.Common.lock_based
+  | `Lock_free -> Experiments.Common.lock_free
+  | `Ideal -> Sync.Ideal
+
+(* --- rtlf list -------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, _) -> Format.fprintf fmt "%s@." name)
+      Experiments.All.experiments;
+    Format.fprintf fmt "all@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+(* --- rtlf run <name> --------------------------------------------------- *)
+
+let run_cmd =
+  let name_arg =
+    let doc = "Experiment name (see $(b,rtlf list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let run name fast =
+    let mode = mode_of_fast fast in
+    if name = "all" then begin
+      Experiments.All.run ~mode fmt;
+      `Ok ()
+    end
+    else
+      match List.assoc_opt name Experiments.All.experiments with
+      | Some f ->
+        f ?mode:(Some mode) fmt;
+        `Ok ()
+      | None -> `Error (false, Printf.sprintf "unknown experiment %S" name)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a named experiment (or `all').")
+    Term.(ret (const run $ name_arg $ fast_flag))
+
+(* --- rtlf sim ----------------------------------------------------------- *)
+
+let sim_cmd =
+  let run tasks objects load exec_us sync sched hetero seed fast =
+    let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
+    let task_list = Workload.make spec in
+    let mode = mode_of_fast fast in
+    let res =
+      Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~seed
+        task_list
+    in
+    Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
+    Format.fprintf fmt
+      "scheduler=%s sync=%s horizon=%dns@." res.Simulator.sched_name
+      res.Simulator.sync_name res.Simulator.final_time;
+    Format.fprintf fmt
+      "released=%d completed=%d aborted=%d in-flight=%d@."
+      res.Simulator.released res.Simulator.completed res.Simulator.aborted
+      res.Simulator.in_flight;
+    Format.fprintf fmt "AUR=%.1f%% CMR=%.1f%%@."
+      (100.0 *. res.Simulator.aur)
+      (100.0 *. res.Simulator.cmr);
+    Format.fprintf fmt
+      "retries=%d preemptions=%d blockings=%d sched-invocations=%d@."
+      res.Simulator.retries_total res.Simulator.preemptions
+      res.Simulator.blocked_events res.Simulator.sched_invocations;
+    Format.fprintf fmt "mean access time: %a@."
+      Rtlf_engine.Stats.pp_summary res.Simulator.access_samples
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run one ad-hoc simulation and print a summary.")
+    Term.(
+      const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
+      $ sched_arg $ hetero_arg $ seed_arg $ fast_flag)
+
+(* --- rtlf timeline -------------------------------------------------------- *)
+
+let timeline_cmd =
+  let run tasks objects load exec_us sync sched hetero seed =
+    let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
+    let task_list = Workload.make spec in
+    let horizon =
+      Experiments.Common.horizon_for Experiments.Common.Fast task_list / 4
+    in
+    let res =
+      Simulator.run
+        (Simulator.config ~tasks:task_list ~sync:(sync_of sync) ~sched
+           ~horizon ~seed
+           ~sched_base:Experiments.Common.sched_base
+           ~sched_per_op:Experiments.Common.sched_per_op ~trace:true ())
+    in
+    Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
+    Format.fprintf fmt "scheduler=%s sync=%s AUR=%.1f%% CMR=%.1f%%@.@."
+      res.Simulator.sched_name res.Simulator.sync_name
+      (100.0 *. res.Simulator.aur)
+      (100.0 *. res.Simulator.cmr);
+    Format.pp_print_string fmt
+      (Rtlf_sim.Timeline.render
+         (Rtlf_sim.Timeline.build ~buckets:100 ~max_jobs:24
+            res.Simulator.trace))
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Simulate briefly and render an ASCII execution timeline.")
+    Term.(
+      const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
+      $ sched_arg $ hetero_arg $ seed_arg)
+
+(* --- rtlf bound ---------------------------------------------------------- *)
+
+let bound_cmd =
+  let run tasks objects load exec_us hetero seed =
+    let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
+    let task_list = Workload.make spec in
+    Format.fprintf fmt "Theorem 2 retry bounds (%a)@." Workload.pp_spec spec;
+    List.iter
+      (fun t ->
+        let i = t.Rtlf_model.Task.id in
+        Format.fprintf fmt "  task %d: x_i=%d bound=%d@." i
+          (Rtlf_core.Retry_bound.x_i ~tasks:task_list ~i)
+          (Rtlf_core.Retry_bound.bound ~tasks:task_list ~i))
+      task_list
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Print Theorem 2 retry bounds for a workload.")
+    Term.(
+      const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ hetero_arg
+      $ seed_arg)
+
+let main =
+  let doc = "Lock-free synchronization for dynamic embedded real-time systems" in
+  Cmd.group
+    (Cmd.info "rtlf" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; sim_cmd; timeline_cmd; bound_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,112 @@
+(* Mars-rover scenario (the paper's §1 motivating domain: NASA/JPL's
+   Mars Rover, dynamic arrivals, context-dependent execution times).
+
+     dune exec examples/mars_rover.exe
+
+   A rover runs a mix of housekeeping and science tasks that all log
+   telemetry through shared queues. Normally the system is underloaded.
+   When the hazard camera detects an obstacle, a burst of
+   hazard-response jobs arrives (UAM burst, not periodic!) and the
+   system transiently overloads; the scheduler must then favour
+   navigation and hazard response over science, and the sharing
+   discipline decides whether telemetry queues poison timeliness.
+
+   The example sweeps the hazard-burst intensity and reports AUR/CMR
+   for lock-based vs lock-free RUA. *)
+
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+module Task = Rtlf_model.Task
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+
+let us n = n * 1_000
+let ms n = n * 1_000_000
+
+(* Shared objects: 0 = telemetry queue, 1 = command queue, 2 = image
+   buffer index. *)
+let telemetry = 0
+let command = 1
+let image_index = 2
+
+let rover_tasks ~hazard_burst =
+  [
+    (* Wheel odometry: hard periodic, high utility, tight deadline. *)
+    Task.make ~id:0 ~name:"odometry"
+      ~tuf:(Tuf.step ~height:100.0 ~c:(us 900))
+      ~arrival:(Uam.periodic ~period:(us 1000))
+      ~exec:(us 120)
+      ~accesses:[ (telemetry, us 4) ]
+      ();
+    (* Navigation planning: utility decays as the plan staleness grows. *)
+    Task.make ~id:1 ~name:"navigation"
+      ~tuf:(Tuf.linear ~u0:90.0 ~c:(us 4500))
+      ~arrival:(Uam.periodic ~period:(us 5000))
+      ~exec:(us 900)
+      ~accesses:[ (telemetry, us 4); (command, us 6) ]
+      ();
+    (* Hazard response: bursty arrivals (obstacle events), step TUF —
+       a late hazard response is worthless. *)
+    Task.make ~id:2 ~name:"hazard"
+      ~tuf:(Tuf.step ~height:80.0 ~c:(us 2500))
+      ~arrival:(Uam.bursty ~a:hazard_burst ~w:(us 3000))
+      ~exec:(us 500)
+      ~accesses:[ (command, us 6); (telemetry, us 4) ]
+      ();
+    (* Science imaging: parabolic — useful if prompt, degrading. *)
+    Task.make ~id:3 ~name:"science"
+      ~tuf:(Tuf.parabolic ~u0:40.0 ~c:(us 7500))
+      ~arrival:(Uam.periodic ~period:(us 8000))
+      ~exec:(us 1500)
+      ~accesses:[ (image_index, us 10); (telemetry, us 4) ]
+      ();
+    (* Telemetry downlink: low utility housekeeping. *)
+    Task.make ~id:4 ~name:"downlink"
+      ~tuf:(Tuf.linear ~u0:15.0 ~c:(us 9000))
+      ~arrival:(Uam.periodic ~period:(us 10000))
+      ~exec:(us 1200)
+      ~accesses:[ (telemetry, us 4); (telemetry, us 4) ]
+      ();
+  ]
+
+let run ~sync ~hazard_burst ~seed =
+  let tasks = rover_tasks ~hazard_burst in
+  Simulator.run (Simulator.config ~tasks ~sync ~horizon:(ms 400) ~seed ())
+
+let hazard_stats (res : Simulator.result) =
+  let tr = res.Simulator.per_task.(2) in
+  if tr.Simulator.released = 0 then 1.0
+  else float_of_int tr.Simulator.met /. float_of_int tr.Simulator.released
+
+let () =
+  print_endline "Mars rover: hazard-burst sweep (400ms virtual per point)";
+  print_endline
+    "hazard CMR = fraction of hazard-response jobs meeting their critical \
+     time\n";
+  Printf.printf "%-6s  %-22s  %-22s\n" "" "lock-based RUA" "lock-free RUA";
+  Printf.printf "%-6s  %-6s %-6s %-8s  %-6s %-6s %-8s\n" "burst" "AUR"
+    "CMR" "hazard" "AUR" "CMR" "hazard";
+  List.iter
+    (fun hazard_burst ->
+      let lb =
+        run ~sync:(Sync.Lock_based { overhead = 5_000 }) ~hazard_burst
+          ~seed:3
+      in
+      let lf =
+        run ~sync:(Sync.Lock_free { overhead = 150 }) ~hazard_burst ~seed:3
+      in
+      Printf.printf "%-6d  %5.1f%% %5.1f%% %6.1f%%   %5.1f%% %5.1f%% %6.1f%%\n"
+        hazard_burst
+        (100.0 *. lb.Simulator.aur)
+        (100.0 *. lb.Simulator.cmr)
+        (100.0 *. hazard_stats lb)
+        (100.0 *. lf.Simulator.aur)
+        (100.0 *. lf.Simulator.cmr)
+        (100.0 *. hazard_stats lf))
+    [ 1; 2; 4; 6; 8 ];
+  print_newline ();
+  print_endline
+    "Reading: as obstacle bursts intensify the system overloads; lock-free \
+     RUA\nkeeps hazard responses timely because telemetry-queue sharing \
+     costs stay\nnegligible, while lock-based RUA bleeds utility on lock \
+     management and\nscheduler activations."

@@ -1,0 +1,68 @@
+(* Theorem 2 demonstration: the lock-free retry bound under UAM.
+
+     dune exec examples/retry_bound_demo.exe
+
+   Builds a contended workload, prints each task's analytic retry bound
+   f_i <= 3*a_i + sum 2*a_j*(ceil(C_i/W_j)+1), then simulates under
+   lock-free RUA twice — once with realistic conflict detection (a
+   retry only when another job modified the object mid-attempt) and
+   once with the adversarial rule of Lemma 1 (any preemption inside an
+   attempt forces a retry) — and shows both stay below the bound. *)
+
+module Task = Rtlf_model.Task
+module Uam = Rtlf_model.Uam
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+module Retry_bound = Rtlf_core.Retry_bound
+
+let ms n = n * 1_000_000
+
+let spec =
+  {
+    Workload.default with
+    Workload.n_tasks = 6;
+    n_objects = 1;  (* everything contends on a single queue *)
+    accesses_per_job = 8;
+    access_work = 5_000;
+    target_al = 0.85;
+    burst = 3;
+    mean_exec = 80_000;
+    seed = 77;
+  }
+
+let run ~retry_on_any_preemption tasks =
+  Simulator.run
+    (Simulator.config ~tasks
+       ~sync:(Sync.Lock_free { overhead = 200 })
+       ~horizon:(ms 500) ~seed:5 ~retry_on_any_preemption ())
+
+let () =
+  let tasks = Workload.make spec in
+  Printf.printf "Workload: %d tasks, single shared queue, AL=%.1f, burst=%d\n\n"
+    spec.Workload.n_tasks spec.Workload.target_al spec.Workload.burst;
+  let realistic = run ~retry_on_any_preemption:false tasks in
+  let adversarial = run ~retry_on_any_preemption:true tasks in
+  Printf.printf "%-5s %-4s %-10s %-10s %-10s %-12s %-12s\n" "task" "a_i"
+    "W (us)" "C (us)" "bound f_i" "worst real" "worst advers.";
+  List.iter
+    (fun t ->
+      let i = t.Task.id in
+      let bound = Retry_bound.bound ~tasks ~i in
+      let real = realistic.Simulator.per_task.(i).Simulator.max_retries in
+      let adv = adversarial.Simulator.per_task.(i).Simulator.max_retries in
+      Printf.printf "%-5d %-4d %-10.1f %-10.1f %-10d %-12d %-12d%s\n" i
+        t.Task.arrival.Uam.a
+        (float_of_int t.Task.arrival.Uam.w /. 1000.0)
+        (float_of_int (Task.critical_time t) /. 1000.0)
+        bound real adv
+        (if real > bound || adv > bound then "  <-- VIOLATION" else ""))
+    tasks;
+  Printf.printf
+    "\ntotals: realistic retries=%d, adversarial retries=%d over %d jobs\n"
+    realistic.Simulator.retries_total adversarial.Simulator.retries_total
+    realistic.Simulator.released;
+  print_endline
+    "\nThe bound counts every scheduling event in a job's lifetime, so it \
+     is\nconservative: real conflict-driven retries sit far below it, and \
+     even the\nadversarial preemption rule cannot reach it (Lemma 1)."

@@ -1,0 +1,131 @@
+(* Wait-free sensor fusion (§1.1's wait-free related work + §7's
+   snapshot future work, on real OCaml 5 domains).
+
+     dune exec examples/sensor_fusion.exe
+
+   An embedded fusion loop reads many sensor channels that independent
+   producers update at their own rates. Three synchronization designs
+   from the paper's design space:
+
+   - NBW registers (Kopetz [16]): writers are wait-free (never miss a
+     sampling deadline); readers retry on interference.
+   - Simpson four-slot: both sides wait-free, single reader.
+   - Atomic snapshot (double-collect over the whole channel bank): the
+     fusion loop gets a *consistent cut* of all channels at once.
+
+   The demo runs producer domains against a fusion reader and reports
+   retry counts and coherence checks for each design. *)
+
+module Nbw = Rtlf_lockfree.Nbw_register
+module Four_slot = Rtlf_lockfree.Four_slot
+module Snapshot = Rtlf_lockfree.Snapshot
+
+let channels = 4
+let updates = 20_000
+
+(* --- design 1: a bank of NBW registers ---------------------------------- *)
+
+let nbw_demo () =
+  let bank = Array.init channels (fun _ -> Nbw.create (0, 0)) in
+  let stop = Atomic.make false in
+  let torn = ref 0 and reads = ref 0 and retries = ref 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun reg ->
+              let (a, b), r = Nbw.read_with_retries reg in
+              incr reads;
+              retries := !retries + r;
+              if b <> 2 * a then incr torn)
+            bank
+        done)
+  in
+  for i = 1 to updates do
+    Array.iter (fun reg -> Nbw.write reg (i, 2 * i)) bank;
+    if i mod 512 = 0 then Unix.sleepf 0.0 (* let the reader run: 1 CPU *)
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Printf.printf
+    "NBW bank:      %7d reads, %d retries, %d torn values (writers never \
+     waited)\n"
+    !reads !retries !torn
+
+(* --- design 2: four-slot registers --------------------------------------- *)
+
+let four_slot_demo () =
+  let bank = Array.init channels (fun _ -> Four_slot.create (0, 0)) in
+  let stop = Atomic.make false in
+  let torn = ref 0 and reads = ref 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun reg ->
+              let a, b = Four_slot.read reg in
+              incr reads;
+              if b <> 2 * a then incr torn)
+            bank
+        done)
+  in
+  for i = 1 to updates do
+    Array.iter (fun reg -> Four_slot.write reg (i, 2 * i)) bank;
+    if i mod 512 = 0 then Unix.sleepf 0.0
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Printf.printf
+    "four-slot:     %7d reads, 0 retries by construction, %d torn values\n"
+    !reads !torn
+
+(* --- design 3: atomic snapshot across the whole bank ----------------------- *)
+
+let snapshot_demo () =
+  let snap = Snapshot.create ~n:channels ~init:0 in
+  let stop = Atomic.make false in
+  let skewed = ref 0 and scans = ref 0 and retries = ref 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let view, r = Snapshot.scan_with_retries snap in
+          incr scans;
+          retries := !retries + r;
+          (* The producer bumps channels left to right within one
+             round, so a consistent cut never shows channel j ahead of
+             channel i < j, nor a spread wider than one round. *)
+          let mn = Array.fold_left min view.(0) view in
+          let mx = Array.fold_left max view.(0) view in
+          if mx - mn > 1 then incr skewed
+        done)
+  in
+  for i = 1 to updates do
+    for ch = 0 to channels - 1 do
+      Snapshot.update snap ~i:ch i
+    done;
+    if i mod 512 = 0 then Unix.sleepf 0.0
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Printf.printf
+    "snapshot:      %7d scans, %d double-collect retries, %d inconsistent \
+     cuts\n"
+    !scans !retries !skewed
+
+let () =
+  Printf.printf
+    "Sensor fusion: %d channels, %d update rounds, one fusion reader \
+     domain\n\n" channels updates;
+  nbw_demo ();
+  four_slot_demo ();
+  snapshot_demo ();
+  print_newline ();
+  print_endline
+    "All three keep the producers deadline-safe; they differ in reader \
+     progress\n(retry-prone vs wait-free) and in consistency scope \
+     (per-channel vs whole-bank)\n-- the trade-offs of the paper's §1.1 \
+     design space.";
+  print_endline
+    "\nTheorem 2's role: under UAM arrivals, the reader-side retries \
+     above are\nexactly what RUA's retry bound caps in the scheduling \
+     analysis."

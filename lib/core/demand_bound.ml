@@ -1,0 +1,53 @@
+module Task = Rtlf_model.Task
+module Uam = Rtlf_model.Uam
+
+let jobs_in_interval task ~t =
+  let c = Task.critical_time task in
+  if t < c then 0
+  else
+    let a = task.Task.arrival.Uam.a and w = task.Task.arrival.Uam.w in
+    a * (((t - c) / w) + 1)
+
+let demand ~tasks ~cost ~t =
+  List.fold_left
+    (fun acc task -> acc + (jobs_in_interval task ~t * cost task))
+    0 tasks
+
+let checkpoints ~tasks ~horizon =
+  let points =
+    List.concat_map
+      (fun task ->
+        let c = Task.critical_time task
+        and w = task.Task.arrival.Uam.w in
+        let rec steps t acc =
+          if t > horizon then acc else steps (t + w) (t :: acc)
+        in
+        steps c [])
+      tasks
+  in
+  List.sort_uniq compare points
+
+let default_horizon tasks =
+  let max_w =
+    List.fold_left (fun acc t -> max acc t.Task.arrival.Uam.w) 1 tasks
+  in
+  let max_c =
+    List.fold_left (fun acc t -> max acc (Task.critical_time t)) 0 tasks
+  in
+  (2 * max_w) + max_c
+
+let schedulable ~tasks ?(cost = Task.total_work) ?horizon () =
+  let horizon =
+    match horizon with Some h -> h | None -> default_horizon tasks
+  in
+  List.for_all
+    (fun t -> demand ~tasks ~cost ~t <= t)
+    (checkpoints ~tasks ~horizon)
+
+let utilization_bound ~tasks ~cost =
+  List.fold_left
+    (fun acc task ->
+      acc
+      +. float_of_int (task.Task.arrival.Uam.a * cost task)
+         /. float_of_int task.Task.arrival.Uam.w)
+    0.0 tasks

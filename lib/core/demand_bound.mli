@@ -1,0 +1,44 @@
+(** Processor-demand schedulability analysis for the UAM model.
+
+    Classical demand-bound reasoning adapted to UAM arrivals: in any
+    interval of length [t], task [Tᵢ] releases at most
+    [aᵢ·(⌈t/Wᵢ⌉+1)] jobs (the window-counting bound of Theorem 2's
+    proof), but only those whose critical time also falls inside the
+    interval contribute mandatory demand. A task set is
+    demand-schedulable when the total demand never exceeds the interval
+    length at any checkpoint.
+
+    This is a {e sufficient} test for "all critical times met under
+    EDF/ECF in the worst case"; its converse direction is exercised in
+    tests against the simulator (a demand-schedulable set must produce
+    a miss-free simulation). The per-job cost can include
+    synchronisation overheads via [cost]. *)
+
+val jobs_in_interval : Rtlf_model.Task.t -> t:int -> int
+(** [jobs_in_interval task ~t] is the most [task] jobs that can both
+    arrive and reach their critical time within any interval of length
+    [t]: [aᵢ·(⌊(t − Cᵢ)/Wᵢ⌋ + 1)] for [t ≥ Cᵢ], else 0. *)
+
+val demand : tasks:Rtlf_model.Task.t list -> cost:(Rtlf_model.Task.t -> int) -> t:int -> int
+(** [demand ~tasks ~cost ~t] is the total worst-case demand in any
+    interval of length [t]. *)
+
+val checkpoints : tasks:Rtlf_model.Task.t list -> horizon:int -> int list
+(** [checkpoints ~tasks ~horizon] are the interval lengths at which the
+    demand function steps: [Cᵢ + k·Wᵢ ≤ horizon]. *)
+
+val schedulable :
+  tasks:Rtlf_model.Task.t list ->
+  ?cost:(Rtlf_model.Task.t -> int) ->
+  ?horizon:int ->
+  unit ->
+  bool
+(** [schedulable ~tasks ()] checks [demand t ≤ t] at every checkpoint
+    up to [horizon] (default: twice the largest window plus the largest
+    critical time). [cost] defaults to {!Rtlf_model.Task.total_work}. *)
+
+val utilization_bound :
+  tasks:Rtlf_model.Task.t list -> cost:(Rtlf_model.Task.t -> int) -> float
+(** [utilization_bound ~tasks ~cost] is the long-run demand rate
+    [Σ aᵢ·cost(Tᵢ)/Wᵢ]; a value above 1.0 means overload is
+    inevitable. *)

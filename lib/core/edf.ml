@@ -1,0 +1,34 @@
+module Job = Rtlf_model.Job
+
+let decide ~now:_ ~jobs ~remaining:_ =
+  let runnable = List.filter Job.is_runnable jobs in
+  let earlier a b =
+    let ca = Job.absolute_critical_time a
+    and cb = Job.absolute_critical_time b in
+    ca < cb || (ca = cb && a.Job.jid < b.Job.jid)
+  in
+  let best =
+    List.fold_left
+      (fun acc j ->
+        match acc with
+        | None -> Some j
+        | Some b -> if earlier j b then Some j else acc)
+      None runnable
+  in
+  let schedule =
+    List.sort
+      (fun a b ->
+        compare
+          (Job.absolute_critical_time a, a.Job.jid)
+          (Job.absolute_critical_time b, b.Job.jid))
+      runnable
+  in
+  {
+    Scheduler.dispatch = best;
+    aborts = [];
+    rejected = [];
+    schedule;
+    ops = List.length jobs;
+  }
+
+let make () = { Scheduler.name = "edf"; decide }

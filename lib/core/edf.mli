@@ -1,0 +1,9 @@
+(** Earliest-deadline-first baseline.
+
+    Dispatches the runnable job with the earliest absolute critical
+    time. Optimal for underloaded step-TUF task sets without object
+    sharing — the regime in which RUA must coincide with it (§1, §3.4).
+    Blocked jobs are skipped; no deadlock handling. *)
+
+val make : unit -> Scheduler.t
+(** [make ()] is an EDF scheduler instance. *)

@@ -1,0 +1,53 @@
+module Job = Rtlf_model.Job
+module Lock_manager = Rtlf_model.Lock_manager
+
+(* Jobs transitively blocked on [j] are those whose dependency chain
+   contains [j]. Rather than inverting the wait-for graph, walk each
+   blocked job's chain once; cost O(n · chain) per invocation, in line
+   with PIP implementations that propagate on block/release events. *)
+let effective_critical_time ~locks ~by_jid job =
+  let own = Job.absolute_critical_time job in
+  Hashtbl.fold
+    (fun jid blocked acc ->
+      if jid = job.Job.jid then acc
+      else
+        match blocked.Job.state with
+        | Job.Blocked _ ->
+          let chain = Lock_manager.dependency_chain locks ~jid in
+          if List.mem job.Job.jid chain then
+            min acc (Job.absolute_critical_time blocked)
+          else acc
+        | Job.Ready | Job.Running | Job.Completed | Job.Aborted -> acc)
+    by_jid own
+
+let decide ~locks ~now:_ ~jobs ~remaining:_ =
+  let live = List.filter Job.is_live jobs in
+  let by_jid = Hashtbl.create (max (List.length live) 1) in
+  List.iter (fun j -> Hashtbl.replace by_jid j.Job.jid j) live;
+  let ops = ref 0 in
+  let scored =
+    List.filter_map
+      (fun j ->
+        ops := !ops + 1;
+        if Job.is_runnable j then
+          Some (effective_critical_time ~locks ~by_jid j, j.Job.jid, j)
+        else None)
+      live
+  in
+  let ordered = List.sort compare scored in
+  let schedule = List.map (fun (_, _, j) -> j) ordered in
+  ops := !ops + (List.length live * List.length live);
+  {
+    Scheduler.dispatch =
+      (match schedule with [] -> None | j :: _ -> Some j);
+    aborts = [];
+    rejected = [];
+    schedule;
+    ops = !ops;
+  }
+
+let make ~locks =
+  {
+    Scheduler.name = "edf-pip";
+    decide = (fun ~now ~jobs ~remaining -> decide ~locks ~now ~jobs ~remaining);
+  }

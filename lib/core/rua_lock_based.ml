@@ -1,0 +1,105 @@
+module Job = Rtlf_model.Job
+module Lock_manager = Rtlf_model.Lock_manager
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 1 else go 0 1
+
+(* Map the jid chains produced by the lock manager back to jobs. Chain
+   members that are no longer live (just completed/aborted) are
+   dropped. *)
+let resolve_chain by_jid jids =
+  List.filter_map (fun jid -> Hashtbl.find_opt by_jid jid) jids
+
+let decide ~locks ~now ~jobs ~remaining =
+  let ops = ref 0 in
+  let live = List.filter Job.is_live jobs in
+  let n = List.length live in
+  let by_jid = Hashtbl.create (max n 1) in
+  List.iter (fun j -> Hashtbl.replace by_jid j.Job.jid j) live;
+  (* Step 1: dependency chains (head-first execution order). *)
+  let chains =
+    List.map
+      (fun j ->
+        let chain_jids = Lock_manager.dependency_chain locks ~jid:j.Job.jid in
+        let chain = resolve_chain by_jid chain_jids in
+        ops := !ops + List.length chain;
+        (j, chain))
+      live
+  in
+  (* Step 2: deadlock detection; resolve each cycle by aborting its
+     least-PUD member. *)
+  let victims = Hashtbl.create 4 in
+  List.iter
+    (fun j ->
+      ops := !ops + 1;
+      match Lock_manager.find_cycle locks ~jid:j.Job.jid with
+      | None -> ()
+      | Some cycle_jids ->
+        let cycle = resolve_chain by_jid cycle_jids in
+        ops := !ops + List.length cycle;
+        let weakest =
+          List.fold_left
+            (fun acc job ->
+              let pud = Pud.of_job ~now ~remaining job in
+              match acc with
+              | None -> Some (pud, job)
+              | Some (best, _) when pud < best -> Some (pud, job)
+              | Some _ -> acc)
+            None cycle
+        in
+        (match weakest with
+        | Some (_, job) -> Hashtbl.replace victims job.Job.jid job
+        | None -> ()))
+    live;
+  let is_victim j = Hashtbl.mem victims j.Job.jid in
+  (* Step 3: PUD of each surviving job over its chain. *)
+  let scored =
+    List.filter_map
+      (fun (j, chain) ->
+        if is_victim j then None
+        else begin
+          let chain = List.filter (fun c -> not (is_victim c)) chain in
+          ops := !ops + List.length chain;
+          Some (Pud.of_chain ~now ~remaining chain, j, chain)
+        end)
+      chains
+  in
+  (* Step 4: sort by non-increasing PUD. *)
+  let by_pud (pa, ja, _) (pb, jb, _) =
+    match compare pb pa with 0 -> compare ja.Job.jid jb.Job.jid | c -> c
+  in
+  let sorted = List.sort by_pud scored in
+  ops := !ops + (n * log2_ceil (max n 2));
+  (* Step 5: greedy construction with aggregate insertion. *)
+  let sched = Tentative_schedule.create ~ops ~now ~remaining in
+  let final, rejected =
+    List.fold_left
+      (fun (sched, rejected) (_, job, chain) ->
+        if Tentative_schedule.mem sched ~jid:job.Job.jid then
+          (* Already scheduled as someone's dependent. *)
+          (sched, rejected)
+        else begin
+          let tentative = Tentative_schedule.copy sched in
+          Tentative_schedule.insert_chain tentative chain;
+          if Tentative_schedule.feasible tentative then (tentative, rejected)
+          else (sched, job.Job.jid :: rejected)
+        end)
+      (sched, []) sorted
+  in
+  let schedule = Tentative_schedule.jobs final in
+  let dispatch = List.find_opt Job.is_runnable schedule in
+  let aborts = Hashtbl.fold (fun _ job acc -> job :: acc) victims [] in
+  {
+    Scheduler.dispatch;
+    aborts;
+    rejected = List.rev rejected;
+    schedule;
+    ops = !ops;
+  }
+
+let make ~locks =
+  {
+    Scheduler.name = "rua-lock-based";
+    decide = (fun ~now ~jobs ~remaining -> decide ~locks ~now ~jobs ~remaining);
+  }

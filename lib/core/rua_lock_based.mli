@@ -1,0 +1,22 @@
+(** Lock-based RUA (Wu et al. [27], as summarised in §3).
+
+    At every scheduling event the algorithm:
+
+    + computes each live job's dependency chain by following lock
+      request-and-ownership edges (§3.1);
+    + detects dependency cycles — deadlocks, possible under nested
+      critical sections — and selects the cycle member with the least
+      PUD for abortion (§3.3);
+    + computes each job's PUD over its whole chain (§3.2);
+    + examines jobs in non-increasing PUD order, inserting each job
+      {e with its dependents} into a copy of the schedule in ECF order
+      with dependency-respecting clamping, keeping the copy only if
+      feasible (§3.4, §3.4.1);
+    + dispatches the earliest runnable job of the resulting schedule.
+
+    Asymptotic cost O(n² log n) (§3.6); the reported [ops] count grows
+    accordingly and drives the simulator's overhead charging. *)
+
+val make : locks:Rtlf_model.Lock_manager.t -> Scheduler.t
+(** [make ~locks] is a lock-based RUA instance reading dependencies
+    from [locks]. *)

@@ -1,0 +1,44 @@
+module Job = Rtlf_model.Job
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 1 else go 0 1
+
+let decide ~now ~jobs ~remaining =
+  let ops = ref 0 in
+  let live = List.filter Job.is_live jobs in
+  let n = List.length live in
+  (* PUD of each job: O(1) per job without dependency chains. *)
+  let scored =
+    List.map (fun j -> (Pud.of_job ~now ~remaining j, j)) live
+  in
+  ops := !ops + n;
+  (* Sort by non-increasing PUD; ties by jid for determinism. *)
+  let by_pud (pa, ja) (pb, jb) =
+    match compare pb pa with 0 -> compare ja.Job.jid jb.Job.jid | c -> c
+  in
+  let sorted = List.sort by_pud scored in
+  ops := !ops + (n * log2_ceil (max n 2));
+  (* Greedy schedule construction: highest PUD first, keep if the
+     tentative schedule stays feasible. *)
+  let sched = Tentative_schedule.create ~ops ~now ~remaining in
+  let final, rejected =
+    List.fold_left
+      (fun (sched, rejected) (_, job) ->
+        let tentative = Tentative_schedule.copy sched in
+        Tentative_schedule.insert_job tentative job;
+        if Tentative_schedule.feasible tentative then (tentative, rejected)
+        else (sched, job.Job.jid :: rejected))
+      (sched, []) sorted
+  in
+  let schedule = Tentative_schedule.jobs final in
+  let dispatch = List.find_opt Job.is_runnable schedule in
+  {
+    Scheduler.dispatch;
+    aborts = [];
+    rejected = List.rev rejected;
+    schedule;
+    ops = !ops;
+  }
+
+let make () = { Scheduler.name = "rua-lock-free"; decide }

@@ -1,0 +1,11 @@
+(** Lock-free RUA (§5).
+
+    With lock-free object sharing, dependencies never arise: every
+    job's dependency chain is the job itself. The algorithm therefore
+    skips chain computation and deadlock detection entirely, computes
+    each job's PUD in O(1), sorts by PUD, and inserts single jobs into
+    the ECF tentative schedule with a feasibility test after each —
+    O(n²) total versus lock-based RUA's O(n² log n). *)
+
+val make : unit -> Scheduler.t
+(** [make ()] is a lock-free RUA scheduler instance. *)

@@ -1,0 +1,19 @@
+type decision = {
+  dispatch : Rtlf_model.Job.t option;
+  aborts : Rtlf_model.Job.t list;
+  rejected : int list;
+  schedule : Rtlf_model.Job.t list;
+  ops : int;
+}
+
+type t = {
+  name : string;
+  decide :
+    now:int ->
+    jobs:Rtlf_model.Job.t list ->
+    remaining:(Rtlf_model.Job.t -> int) ->
+    decision;
+}
+
+let idle_decision =
+  { dispatch = None; aborts = []; rejected = []; schedule = []; ops = 0 }

@@ -1,0 +1,138 @@
+module Job = Rtlf_model.Job
+
+type entry = { job : Job.t; mutable eff_ct : int }
+
+type t = {
+  ops : int ref;
+  now : int;
+  remaining : Job.t -> int;
+  mutable entries : entry list; (* ECF order *)
+}
+
+let create ~ops ~now ~remaining = { ops; now; remaining; entries = [] }
+
+let copy sched =
+  {
+    sched with
+    entries =
+      List.map (fun e -> { job = e.job; eff_ct = e.eff_ct }) sched.entries;
+  }
+
+let length sched = List.length sched.entries
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 1 else go 0 1
+
+let charge_ordered_op sched = sched.ops := !(sched.ops) + log2_ceil (length sched + 1)
+
+let mem sched ~jid =
+  charge_ordered_op sched;
+  List.exists (fun e -> e.job.Job.jid = jid) sched.entries
+
+let jobs sched = List.map (fun e -> e.job) sched.entries
+let entries sched = List.map (fun e -> (e.job, e.eff_ct)) sched.entries
+
+let head sched =
+  match sched.entries with [] -> None | e :: _ -> Some e.job
+
+let index_of sched ~jid =
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if e.job.Job.jid = jid then Some i else go (i + 1) rest
+  in
+  go 0 sched.entries
+
+(* Insert [entry] at the last position whose predecessors all have
+   eff_ct <= entry.eff_ct (stable ECF), but never later than [cap]. *)
+let insert_at_ecf sched entry ~cap =
+  charge_ordered_op sched;
+  let rec go i acc = function
+    | [] -> List.rev (entry :: acc)
+    | e :: rest ->
+      if i >= cap || e.eff_ct > entry.eff_ct then
+        List.rev_append acc (entry :: e :: rest)
+      else go (i + 1) (e :: acc) rest
+  in
+  sched.entries <- go 0 [] sched.entries
+
+let remove sched ~jid =
+  charge_ordered_op sched;
+  sched.entries <-
+    List.filter (fun e -> e.job.Job.jid <> jid) sched.entries
+
+let insert_job sched job =
+  if not (mem sched ~jid:job.Job.jid) then begin
+    let entry = { job; eff_ct = Job.absolute_critical_time job } in
+    insert_at_ecf sched entry ~cap:max_int
+  end
+
+let find_entry sched ~jid =
+  List.find_opt (fun e -> e.job.Job.jid = jid) sched.entries
+
+(* §3.4.1: process the chain from tail (the examined job) to head. Each
+   processed element must precede the previously processed one (its
+   successor in execution order); clamp effective critical times when
+   the ECF order disagrees with the dependency order. *)
+let insert_chain sched chain =
+  let rec go succ_jid = function
+    | [] -> ()
+    | job :: earlier ->
+      let jid = job.Job.jid in
+      (match succ_jid with
+      | None ->
+        if not (mem sched ~jid) then begin
+          let entry = { job; eff_ct = Job.absolute_critical_time job } in
+          insert_at_ecf sched entry ~cap:max_int
+        end
+      | Some sj -> (
+        let succ_pos =
+          match index_of sched ~jid:sj with
+          | Some p -> p
+          | None -> invalid_arg "Tentative_schedule.insert_chain: broken"
+        in
+        let succ_ct =
+          match find_entry sched ~jid:sj with
+          | Some e -> e.eff_ct
+          | None -> assert false
+        in
+        match index_of sched ~jid with
+        | Some p when p < succ_pos ->
+          (* Already present and already before its successor: the
+             dependency order holds (Figure 5, Case 1). *)
+          charge_ordered_op sched
+        | Some _ ->
+          (* Present but after the successor: remove, clamp, reinsert
+             immediately before the successor (Figure 5, Case 2). *)
+          remove sched ~jid;
+          let succ_pos' =
+            match index_of sched ~jid:sj with
+            | Some p -> p
+            | None -> assert false
+          in
+          let entry = { job; eff_ct = succ_ct } in
+          insert_at_ecf sched entry ~cap:succ_pos'
+        | None ->
+          let abs_ct = Job.absolute_critical_time job in
+          let eff_ct = min abs_ct succ_ct in
+          let entry = { job; eff_ct } in
+          insert_at_ecf sched entry ~cap:succ_pos));
+      go (Some jid) earlier
+  in
+  go None (List.rev chain)
+
+let feasible sched =
+  sched.ops := !(sched.ops) + length sched;
+  let rec go time = function
+    | [] -> true
+    | e :: rest ->
+      let time = time + sched.remaining e.job in
+      time <= e.eff_ct && go time rest
+  in
+  go sched.now sched.entries
+
+let pp fmt sched =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+    (fun fmt e -> Format.fprintf fmt "J%d@%d" e.job.Job.jid e.eff_ct)
+    fmt sched.entries

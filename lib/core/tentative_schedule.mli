@@ -1,0 +1,66 @@
+(** ECF-ordered tentative schedules with dependency-respecting
+    insertion and feasibility testing (§3.4, §3.4.1).
+
+    A schedule is an ordered sequence of jobs, each carrying an
+    {e effective} absolute critical time. Insertion keeps the sequence
+    in earliest-critical-time-first (ECF) order; when a dependent must
+    precede a job with an earlier critical time (the paper's "Case 2"),
+    the dependent's effective critical time is clamped down to its
+    successor's and it is inserted immediately before it (Figures 4
+    and 5). Feasibility checks that cumulative remaining work meets
+    every effective critical time.
+
+    Every structural operation charges the externally supplied [ops]
+    counter with its {e abstract} cost — ⌈log₂ n⌉ for ordered-list
+    lookup/insert/remove and n for a feasibility walk — matching the
+    paper's complexity accounting (§3.6) independently of this
+    implementation's physical data layout. *)
+
+type t
+(** A tentative schedule. *)
+
+val create :
+  ops:int ref -> now:int -> remaining:(Rtlf_model.Job.t -> int) -> t
+(** [create ~ops ~now ~remaining] is an empty schedule; [remaining]
+    estimates each job's outstanding CPU demand (including
+    synchronisation overheads, as the caller sees fit). *)
+
+val copy : t -> t
+(** [copy sched] is an independent deep copy (shares [ops]). *)
+
+val length : t -> int
+(** [length sched] is the number of scheduled jobs. *)
+
+val mem : t -> jid:int -> bool
+(** [mem sched ~jid] is [true] iff the job is in the schedule. *)
+
+val jobs : t -> Rtlf_model.Job.t list
+(** [jobs sched] lists jobs in schedule order. *)
+
+val entries : t -> (Rtlf_model.Job.t * int) list
+(** [entries sched] lists [(job, effective_critical_time)] in
+    order. *)
+
+val head : t -> Rtlf_model.Job.t option
+(** [head sched] is the first job, if any. *)
+
+val insert_job : t -> Rtlf_model.Job.t -> unit
+(** [insert_job sched j] inserts [j] at its ECF position (effective
+    critical time = its absolute critical time). No-op if already
+    present. *)
+
+val insert_chain : t -> Rtlf_model.Job.t list -> unit
+(** [insert_chain sched chain] inserts a job and its dependents, given
+    head-first (execution order; the tail is the examined job). Per
+    §3.4.1 the chain is processed tail to head; each element must end
+    up before its successor in the chain, clamping effective critical
+    times as needed, including the removal-and-reinsertion of elements
+    already present (Figure 5). *)
+
+val feasible : t -> bool
+(** [feasible sched] walks the schedule accumulating [remaining] and
+    checks every job's effective critical time is met starting from
+    [now]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt sched] prints the ordered jid/critical-time pairs. *)

@@ -1,0 +1,111 @@
+(* Classic array-backed binary min-heap. Ties on [time] are broken by a
+   monotonically increasing sequence number so that simultaneous events
+   dequeue in insertion order — required for deterministic replay. *)
+
+type 'a cell = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy payload = { time = 0; seq = 0; payload }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q c =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nheap = Array.make ncap (dummy c.payload) in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < q.size && cell_lt q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && cell_lt q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  let c = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q c;
+  q.heap.(q.size) <- c;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let c = q.heap.(0) in
+    Some (c.time, c.payload)
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let c = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (c.time, c.payload)
+  end
+
+let pop_exn q =
+  match pop q with
+  | Some x -> x
+  | None -> invalid_arg "Event_queue.pop_exn: empty queue"
+
+let clear q = q.size <- 0
+
+let drain q =
+  let rec loop acc =
+    match pop q with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []
+
+let to_list q =
+  let cells = Array.sub q.heap 0 q.size in
+  let order a b =
+    match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+  in
+  Array.sort order cells;
+  Array.to_list (Array.map (fun c -> (c.time, c.payload)) cells)
+
+let filter_in_place q keep =
+  let survivors =
+    List.filter (fun (t, e) -> keep t e) (to_list q)
+  in
+  q.size <- 0;
+  List.iter (fun (t, e) -> add q ~time:t e) survivors

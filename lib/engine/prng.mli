@@ -1,0 +1,51 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent
+    statistical quality for simulation purposes, and O(1) [split] so
+    every task / experiment point can own an independent stream derived
+    from a single root seed. Not cryptographically secure. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator; equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with [g]'s current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** [bits64 g] is the next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is uniform in [\[0, bound)]. Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in g ~lo ~hi] is uniform in the inclusive range [\[lo, hi\]].
+    Raises [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> bound:float -> float
+(** [float g ~bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> lo:float -> hi:float -> float
+(** [float_in g ~lo ~hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential g ~mean] draws from Exp(1/mean); used for Poisson-ish
+    interarrival jitter. *)
+
+val choose : t -> 'a array -> 'a
+(** [choose g arr] is a uniformly chosen element. Raises
+    [Invalid_argument] on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g arr] permutes [arr] in place (Fisher–Yates). *)

@@ -1,0 +1,78 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add acc x =
+  acc.n <- acc.n + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+  if x < acc.min then acc.min <- x;
+  if x > acc.max then acc.max <- x
+
+let count acc = acc.n
+
+(* 1.96 = z-score of the two-sided 95 % interval under the normal
+   approximation; adequate for the paper's thousands-of-samples runs. *)
+let z95 = 1.96
+
+let summary acc =
+  if acc.n = 0 then
+    { n = 0; mean = nan; stddev = nan; ci95 = nan; min = nan; max = nan }
+  else
+    let variance =
+      if acc.n < 2 then 0.0 else acc.m2 /. float_of_int (acc.n - 1)
+    in
+    let stddev = sqrt variance in
+    let ci95 = z95 *. stddev /. sqrt (float_of_int acc.n) in
+    { n = acc.n; mean = acc.mean; stddev; ci95; min = acc.min; max = acc.max }
+
+let of_list xs =
+  let acc = create () in
+  List.iter (add acc) xs;
+  summary acc
+
+let of_array xs =
+  let acc = create () in
+  Array.iter (add acc) xs;
+  summary acc
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let total = List.fold_left ( +. ) 0.0 xs in
+    total /. float_of_int (List.length xs)
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt "%.4g ± %.2g (n=%d)" s.mean s.ci95 s.n

@@ -1,0 +1,48 @@
+(** Streaming and batch statistics for experiment reporting.
+
+    Provides the sample summaries the paper reports: means with 95 %
+    confidence intervals (normal approximation, as customary for the
+    ~2000–5000 sample sizes used), plus percentiles and histograms for
+    diagnostic output. *)
+
+type summary = {
+  n : int;            (** sample count *)
+  mean : float;       (** arithmetic mean; [nan] when [n = 0] *)
+  stddev : float;     (** sample standard deviation (n-1 divisor) *)
+  ci95 : float;       (** half-width of the 95 % confidence interval *)
+  min : float;        (** smallest sample; [nan] when [n = 0] *)
+  max : float;        (** largest sample; [nan] when [n = 0] *)
+}
+(** Batch summary of a sample set. *)
+
+type t
+(** Mutable streaming accumulator (Welford's algorithm). *)
+
+val create : unit -> t
+(** [create ()] is an empty accumulator. *)
+
+val add : t -> float -> unit
+(** [add acc x] folds sample [x] into [acc]. *)
+
+val count : t -> int
+(** [count acc] is the number of samples folded so far. *)
+
+val summary : t -> summary
+(** [summary acc] is the current batch summary. *)
+
+val of_list : float list -> summary
+(** [of_list xs] summarises [xs]. *)
+
+val of_array : float array -> summary
+(** [of_array xs] summarises [xs]. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] is the [p]-th percentile (0 ≤ p ≤ 100) using
+    linear interpolation between closest ranks. Sorts a copy; raises
+    [Invalid_argument] on an empty array or out-of-range [p]. *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean ([nan] on the empty list). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** [pp_summary fmt s] prints ["mean ± ci95 (n=..)"]. *)

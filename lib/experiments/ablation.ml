@@ -1,0 +1,181 @@
+module Simulator = Rtlf_sim.Simulator
+module Cml = Rtlf_sim.Cml
+module Workload = Rtlf_workload.Workload
+module Retry_bound = Rtlf_core.Retry_bound
+
+type overhead_row = {
+  per_op_ns : int;
+  cml_lock_free : float;
+  cml_lock_based : float;
+}
+
+type retry_rule_row = {
+  rule : string;
+  retries_total : int;
+  max_retries : int;
+  aur : float;
+}
+
+type burst_row = { burst : int; bound : int; measured : int }
+
+(* --- overhead charging ------------------------------------------------- *)
+
+let overhead ?(mode = Common.Full) () =
+  let cml ~sync ~per_op =
+    let run ~al =
+      let spec =
+        {
+          Workload.default with
+          Workload.mean_exec = 30_000;
+          target_al = al;
+          accesses_per_job = 10;
+          n_objects = 10;
+          seed = 41;
+        }
+      in
+      let tasks = Workload.make spec in
+      Simulator.run
+        (Simulator.config ~tasks ~sync
+           ~horizon:(Common.horizon_for Common.Fast tasks)
+           ~seed:13 ~sched_base:0 ~sched_per_op:per_op ())
+    in
+    Cml.search ~iterations:(match mode with Common.Fast -> 5 | Common.Full -> 8)
+      ~run ()
+  in
+  List.map
+    (fun per_op_ns ->
+      {
+        per_op_ns;
+        cml_lock_free = cml ~sync:Common.lock_free ~per_op:per_op_ns;
+        cml_lock_based = cml ~sync:Common.lock_based ~per_op:per_op_ns;
+      })
+    (match mode with
+    | Common.Fast -> [ 0; 100 ]
+    | Common.Full -> [ 0; 25; 100; 400 ])
+
+(* --- retry rule --------------------------------------------------------- *)
+
+let retry_rule ?(mode = Common.Full) () =
+  let spec =
+    {
+      Workload.default with
+      Workload.target_al = 0.9;
+      n_objects = 1;
+      accesses_per_job = 8;
+      access_work = 5_000;
+      mean_exec = 80_000;
+      burst = 3;
+      seed = 43;
+    }
+  in
+  let tasks = Workload.make spec in
+  let run ~retry_on_any_preemption =
+    Simulator.run
+      (Simulator.config ~tasks ~sync:Common.lock_free
+         ~horizon:(Common.horizon_for mode tasks)
+         ~seed:7 ~sched_base:Common.sched_base
+         ~sched_per_op:Common.sched_per_op ~retry_on_any_preemption ())
+  in
+  let row rule res =
+    let max_retries =
+      Array.fold_left
+        (fun acc (tr : Simulator.task_result) ->
+          max acc tr.Simulator.max_retries)
+        0 res.Simulator.per_task
+    in
+    {
+      rule;
+      retries_total = res.Simulator.retries_total;
+      max_retries;
+      aur = res.Simulator.aur;
+    }
+  in
+  [
+    row "conflict-driven (realistic)" (run ~retry_on_any_preemption:false);
+    row "retry-on-preemption (Lemma 1 adversary)"
+      (run ~retry_on_any_preemption:true);
+  ]
+
+(* --- burst sensitivity ---------------------------------------------------- *)
+
+let burst ?(mode = Common.Full) () =
+  let points =
+    match mode with Common.Fast -> [ 1; 3 ] | Common.Full -> [ 1; 2; 3; 4; 5 ]
+  in
+  List.map
+    (fun burst ->
+      let spec =
+        {
+          Workload.default with
+          Workload.target_al = 0.9;
+          n_objects = 2;
+          accesses_per_job = 6;
+          access_work = 4_000;
+          mean_exec = 80_000;
+          burst;
+          seed = 47;
+        }
+      in
+      let tasks = Workload.make spec in
+      let res =
+        Simulator.run
+          (Simulator.config ~tasks ~sync:Common.lock_free
+             ~horizon:(Common.horizon_for mode tasks)
+             ~seed:11 ~sched_base:Common.sched_base
+             ~sched_per_op:Common.sched_per_op
+             ~retry_on_any_preemption:true ())
+      in
+      let bound =
+        List.fold_left
+          (fun acc t -> max acc (Retry_bound.bound ~tasks ~i:t.Rtlf_model.Task.id))
+          0 tasks
+      in
+      let measured =
+        Array.fold_left
+          (fun acc (tr : Simulator.task_result) ->
+            max acc tr.Simulator.max_retries)
+          0 res.Simulator.per_task
+      in
+      { burst; bound; measured })
+    points
+
+(* --- printing ---------------------------------------------------------------- *)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt "Ablation: scheduler-overhead charging (CML impact)";
+  Report.table fmt
+    ~header:[ "per-op cost (ns)"; "CML lock-free"; "CML lock-based" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [
+             string_of_int row.per_op_ns;
+             Report.f2 row.cml_lock_free;
+             Report.f2 row.cml_lock_based;
+           ])
+         (overhead ~mode ()));
+  Report.section fmt "Ablation: retry rule (realistic vs Lemma 1 adversary)";
+  Report.table fmt
+    ~header:[ "rule"; "total retries"; "max per job"; "AUR" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [
+             row.rule;
+             string_of_int row.retries_total;
+             string_of_int row.max_retries;
+             Report.pct row.aur;
+           ])
+         (retry_rule ~mode ()));
+  Report.section fmt "Ablation: burst size vs Theorem 2 bound tightness";
+  Report.table fmt
+    ~header:[ "burst a_i"; "worst bound f_i"; "worst measured retries" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [
+             string_of_int row.burst;
+             string_of_int row.bound;
+             string_of_int row.measured;
+           ])
+         (burst ~mode ()))

@@ -1,0 +1,44 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {b Overhead charging}: the simulator charges scheduling cost from
+      the algorithm's real operation count. Zeroing it must flatten the
+      CML gap (showing Figure 9 is an algorithmic result, not a tuned
+      constant).
+    - {b Retry rule}: realistic conflict-driven retries versus the
+      adversarial retry-on-any-preemption rule of Lemma 1 — the bound
+      must hold for both, with the adversary strictly costlier.
+    - {b Burst sensitivity}: Theorem 2's bound grows linearly in the
+      burst size [aᵢ]; measured retries grow far more slowly, showing
+      how conservative the bound is (its value is guaranteed safety,
+      not tightness). *)
+
+type overhead_row = {
+  per_op_ns : int;
+  cml_lock_free : float;
+  cml_lock_based : float;
+}
+
+type retry_rule_row = {
+  rule : string;
+  retries_total : int;
+  max_retries : int;
+  aur : float;
+}
+
+type burst_row = {
+  burst : int;
+  bound : int;       (** worst Theorem 2 bound across tasks *)
+  measured : int;    (** worst measured per-job retries *)
+}
+
+val overhead : ?mode:Common.mode -> unit -> overhead_row list
+(** [overhead ()] sweeps the per-op scheduling cost. *)
+
+val retry_rule : ?mode:Common.mode -> unit -> retry_rule_row list
+(** [retry_rule ()] compares the two retry disciplines. *)
+
+val burst : ?mode:Common.mode -> unit -> burst_row list
+(** [burst ()] sweeps the UAM burst size. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] prints all three ablation tables. *)

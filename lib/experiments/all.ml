@@ -1,0 +1,19 @@
+let experiments =
+  [
+    ("fig1", Fig1.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("thm2", Thm2.run);
+    ("thm3", Thm3.run);
+    ("lem45", Lem45.run);
+    ("ablation", Ablation.run);
+    ("baselines", Baselines.run);
+  ]
+
+let run ?(mode = Common.Full) fmt =
+  List.iter (fun (_, f) -> f ?mode:(Some mode) fmt) experiments

@@ -1,0 +1,11 @@
+(** Run every experiment in sequence — the full evaluation of the
+    paper plus the analytic validation tables. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] prints Figure 1, Figures 8–14, the Theorem 2 / Theorem 3
+    / Lemmas 4–5 tables, and the ablation studies. *)
+
+val experiments : (string * (?mode:Common.mode -> Format.formatter -> unit)) list
+(** [experiments] is the registry of named experiments ("fig1", "fig8"
+    … "fig14", "thm2", "thm3", "lem45", "ablation") used by the
+    CLI. *)

@@ -1,0 +1,65 @@
+module Stats = Rtlf_engine.Stats
+module Workload = Rtlf_workload.Workload
+module Metrics = Rtlf_sim.Metrics
+
+type row = {
+  n_objects : int;
+  lb_aur : Stats.summary;
+  lb_cmr : Stats.summary;
+  lf_aur : Stats.summary;
+  lf_cmr : Stats.summary;
+}
+
+let points = function
+  | Common.Fast -> [ 2; 6; 10 ]
+  | Common.Full -> [ 1; 2; 4; 6; 8; 10 ]
+
+let compute ?(mode = Common.Full) ~al ~tuf_class () =
+  List.map
+    (fun n_objects ->
+      let spec =
+        {
+          Workload.default with
+          Workload.n_objects;
+          accesses_per_job = n_objects;
+          target_al = al;
+          tuf_class;
+          access_work = Common.access_work;
+          (* §6.2 uses 30–1000 µs average execution times; at 100 µs the
+             lock-based access cost r·m is material while lock-free
+             stays negligible — the regime the paper reports. *)
+          mean_exec = 100_000;
+          seed = 7;
+        }
+      in
+      let tasks = Workload.make spec in
+      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      {
+        n_objects;
+        lb_aur = lb.Metrics.aur;
+        lb_cmr = lb.Metrics.cmr;
+        lf_aur = lf.Metrics.aur;
+        lf_cmr = lf.Metrics.cmr;
+      })
+    (points mode)
+
+let run ?(mode = Common.Full) ~title ~al ~tuf_class fmt =
+  Report.section fmt title;
+  let rows =
+    List.map
+      (fun row ->
+        [
+          string_of_int row.n_objects;
+          Report.with_ci row.lf_aur Report.pct;
+          Report.with_ci row.lb_aur Report.pct;
+          Report.with_ci row.lf_cmr Report.pct;
+          Report.with_ci row.lb_cmr Report.pct;
+        ])
+      (compute ~mode ~al ~tuf_class ())
+  in
+  Report.table fmt
+    ~header:
+      [ "#objects"; "AUR lock-free"; "AUR lock-based"; "CMR lock-free";
+        "CMR lock-based" ]
+    ~rows

@@ -1,0 +1,34 @@
+(** Shared implementation of Figures 10–13: AUR and CMR of lock-based
+    vs lock-free RUA under an increasing number of shared objects, at
+    a given load and TUF class (10 tasks, ≥ thousands of arrivals per
+    point, 95 % CI).
+
+    Expected shapes: during underload lock-free stays at ≈ 100 %
+    AUR/CMR while lock-based degrades with object count; during
+    overload lock-based collapses toward 0 while lock-free stays
+    high. *)
+
+type row = {
+  n_objects : int;
+  lb_aur : Rtlf_engine.Stats.summary;
+  lb_cmr : Rtlf_engine.Stats.summary;
+  lf_aur : Rtlf_engine.Stats.summary;
+  lf_cmr : Rtlf_engine.Stats.summary;
+}
+
+val compute :
+  ?mode:Common.mode ->
+  al:float ->
+  tuf_class:Rtlf_workload.Workload.tuf_class ->
+  unit ->
+  row list
+(** [compute ~al ~tuf_class ()] sweeps the object count. *)
+
+val run :
+  ?mode:Common.mode ->
+  title:string ->
+  al:float ->
+  tuf_class:Rtlf_workload.Workload.tuf_class ->
+  Format.formatter ->
+  unit
+(** [run ~title ~al ~tuf_class fmt] computes and prints the table. *)

@@ -1,0 +1,79 @@
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+
+type row = {
+  al : float;
+  edf_pip_aur : float;
+  rua_lb_aur : float;
+  rua_lf_aur : float;
+  edf_pip_cmr : float;
+  rua_lb_cmr : float;
+  rua_lf_cmr : float;
+}
+
+let points = function
+  | Common.Fast -> [ 0.4; 1.2 ]
+  | Common.Full -> [ 0.4; 0.8; 1.0; 1.2; 1.4; 1.6 ]
+
+let simulate ~mode ~sched ~sync spec =
+  let tasks = Workload.make spec in
+  Simulator.run
+    (Simulator.config ~tasks ~sync ~sched
+       ~horizon:(Common.horizon_for mode tasks)
+       ~seed:53 ~sched_base:Common.sched_base
+       ~sched_per_op:Common.sched_per_op ())
+
+let compute ?(mode = Common.Full) () =
+  List.map
+    (fun al ->
+      let spec =
+        {
+          Workload.default with
+          Workload.target_al = al;
+          n_objects = 6;
+          accesses_per_job = 6;
+          mean_exec = 100_000;
+          access_work = Common.access_work;
+          seed = 59;
+        }
+      in
+      let pip =
+        simulate ~mode ~sched:Simulator.Edf_pip ~sync:Common.lock_based spec
+      in
+      let lb =
+        simulate ~mode ~sched:Simulator.Rua ~sync:Common.lock_based spec
+      in
+      let lf =
+        simulate ~mode ~sched:Simulator.Rua ~sync:Common.lock_free spec
+      in
+      {
+        al;
+        edf_pip_aur = pip.Simulator.aur;
+        rua_lb_aur = lb.Simulator.aur;
+        rua_lf_aur = lf.Simulator.aur;
+        edf_pip_cmr = pip.Simulator.cmr;
+        rua_lb_cmr = lb.Simulator.cmr;
+        rua_lf_cmr = lf.Simulator.cmr;
+      })
+    (points mode)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt
+    "Baselines: EDF+PIP vs lock-based RUA vs lock-free RUA";
+  Report.table fmt
+    ~header:
+      [ "AL"; "AUR edf-pip"; "AUR rua-lb"; "AUR rua-lf"; "CMR edf-pip";
+        "CMR rua-lb"; "CMR rua-lf" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [
+             Report.f2 row.al;
+             Report.pct row.edf_pip_aur;
+             Report.pct row.rua_lb_aur;
+             Report.pct row.rua_lf_aur;
+             Report.pct row.edf_pip_cmr;
+             Report.pct row.rua_lb_cmr;
+             Report.pct row.rua_lf_cmr;
+           ])
+         (compute ~mode ()))

@@ -1,0 +1,27 @@
+(** Scheduler baseline comparison (extension).
+
+    The paper's §1.1 positions UA scheduling against classical
+    lock-based real-time synchronisation (priority inheritance, Sha et
+    al. [23]). This experiment sweeps the load through overload and
+    compares: EDF+PIP over locks, lock-based RUA, and lock-free RUA.
+
+    Expected shape: all three are fine during underload; during
+    overload EDF+PIP collapses fastest (deadline thrashing, no notion
+    of importance), lock-based RUA sheds by utility but pays lock
+    costs, and lock-free RUA dominates. *)
+
+type row = {
+  al : float;
+  edf_pip_aur : float;
+  rua_lb_aur : float;
+  rua_lf_aur : float;
+  edf_pip_cmr : float;
+  rua_lb_cmr : float;
+  rua_lf_cmr : float;
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] sweeps AL from 0.4 to 1.6. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table. *)

@@ -1,0 +1,50 @@
+module Tuf = Rtlf_model.Tuf
+
+type curve = { name : string; samples : (float * float) list }
+
+let c = 1_000
+
+let shapes =
+  [
+    ("step (deadline)", Tuf.step ~height:100.0 ~c);
+    ("linear decay", Tuf.linear ~u0:100.0 ~c);
+    ("parabolic (track association)", Tuf.parabolic ~u0:100.0 ~c);
+    ( "rising-then-falling (intercept)",
+      Tuf.piecewise
+        ~points:[| (0, 20.0); (c * 2 / 5, 100.0); (c * 3 / 5, 100.0);
+                   (c * 9 / 10, 10.0) |]
+        ~c );
+  ]
+
+let fractions = List.init 11 (fun i -> float_of_int i /. 10.0)
+
+let compute () =
+  List.map
+    (fun (name, tuf) ->
+      let samples =
+        List.map
+          (fun frac ->
+            let at = int_of_float (frac *. float_of_int c) in
+            (frac, Tuf.utility tuf ~at))
+          fractions
+      in
+      { name; samples })
+    shapes
+
+let run ?mode:_ fmt =
+  Report.section fmt "Figure 1: time/utility function shapes";
+  let curves = compute () in
+  let header =
+    "t/C" :: List.map (fun curve -> curve.name) curves
+  in
+  let rows =
+    List.map
+      (fun frac ->
+        Printf.sprintf "%.1f" frac
+        :: List.map
+             (fun curve ->
+               Printf.sprintf "%.0f" (List.assoc frac curve.samples))
+             curves)
+      fractions
+  in
+  Report.table fmt ~header ~rows

@@ -1,0 +1,15 @@
+(** Figure 1 — the TUF shapes of the paper's motivating applications:
+    a downward step (deadline), the AWACS track-association parabola,
+    and a coast-guard-style rising-then-falling piecewise shape.
+
+    Conceptual figure: reproduced as sampled utility curves so the
+    shapes are visible in text output and pinned by tests. *)
+
+type curve = { name : string; samples : (float * float) list }
+(** [samples] are (fraction of critical time, utility) pairs. *)
+
+val compute : unit -> curve list
+(** [compute ()] samples the three reference shapes at 10 % steps. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] prints the sampled curves side by side. *)

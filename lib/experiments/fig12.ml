@@ -1,0 +1,9 @@
+let al = 1.1
+let tuf_class = Rtlf_workload.Workload.Step_only
+
+let compute ?(mode = Common.Full) () = Aur_objects.compute ~mode ~al ~tuf_class ()
+
+let run ?(mode = Common.Full) fmt =
+  Aur_objects.run ~mode
+    ~title:"Figure 12: AUR/CMR during overload (AL=1.1), step TUFs" ~al
+    ~tuf_class fmt

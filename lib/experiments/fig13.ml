@@ -1,0 +1,10 @@
+let al = 1.1
+let tuf_class = Rtlf_workload.Workload.Heterogeneous
+
+let compute ?(mode = Common.Full) () = Aur_objects.compute ~mode ~al ~tuf_class ()
+
+let run ?(mode = Common.Full) fmt =
+  Aur_objects.run ~mode
+    ~title:
+      "Figure 13: AUR/CMR during overload (AL=1.1), heterogeneous TUFs"
+    ~al ~tuf_class fmt

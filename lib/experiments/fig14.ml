@@ -1,0 +1,78 @@
+module Stats = Rtlf_engine.Stats
+module Workload = Rtlf_workload.Workload
+module Metrics = Rtlf_sim.Metrics
+
+type row = {
+  n_readers : int;
+  al : float;
+  lb_aur : Stats.summary;
+  lb_cmr : Stats.summary;
+  lf_aur : Stats.summary;
+  lf_cmr : Stats.summary;
+}
+
+let n_writers = 2
+let n_objects = 6
+
+let points = function
+  | Common.Fast -> [ 0; 4; 8 ]
+  | Common.Full -> [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Load rises linearly from 0.1 (writers only) to 1.1 (8 readers). *)
+let load_for ~n_readers = 0.1 +. (float_of_int n_readers *. 0.125)
+
+let compute ?(mode = Common.Full) () =
+  List.map
+    (fun n_readers ->
+      let al = load_for ~n_readers in
+      let spec =
+        {
+          Workload.default with
+          Workload.n_tasks = n_writers + n_readers;
+          n_objects;
+          accesses_per_job = n_objects;
+          target_al = al;
+          tuf_class = Workload.Heterogeneous;
+          access_work = Common.access_work;
+          mean_exec = 100_000;
+          (* Added tasks are genuine readers: their lock-free accesses
+             never invalidate peers (multi-reader semantics); under
+             lock-based sharing they still take the lock. *)
+          readers = n_readers;
+          seed = 19;
+        }
+      in
+      let tasks = Workload.make spec in
+      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      {
+        n_readers;
+        al;
+        lb_aur = lb.Metrics.aur;
+        lb_cmr = lb.Metrics.cmr;
+        lf_aur = lf.Metrics.aur;
+        lf_cmr = lf.Metrics.cmr;
+      })
+    (points mode)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt
+    "Figure 14: AUR/CMR under increasing readers, heterogeneous TUFs";
+  let rows =
+    List.map
+      (fun row ->
+        [
+          string_of_int row.n_readers;
+          Report.f2 row.al;
+          Report.with_ci row.lf_aur Report.pct;
+          Report.with_ci row.lb_aur Report.pct;
+          Report.with_ci row.lf_cmr Report.pct;
+          Report.with_ci row.lb_cmr Report.pct;
+        ])
+      (compute ~mode ())
+  in
+  Report.table fmt
+    ~header:
+      [ "#readers"; "AL"; "AUR lock-free"; "AUR lock-based";
+        "CMR lock-free"; "CMR lock-based" ]
+    ~rows

@@ -1,0 +1,24 @@
+(** Figure 14 — AUR/CMR under an increasing number of reader tasks,
+    heterogeneous TUFs, load rising from ≈ 0.1 to ≈ 1.1 across the
+    sweep.
+
+    Two writer tasks are fixed; each added reader also accesses every
+    shared queue and raises the approximate load, so the right end of
+    the sweep is an overload. Expected shape: same ordering as Figures
+    10–13 — lock-free dominates throughout and the gap widens with
+    contention. *)
+
+type row = {
+  n_readers : int;
+  al : float;  (** approximate load at this point *)
+  lb_aur : Rtlf_engine.Stats.summary;
+  lb_cmr : Rtlf_engine.Stats.summary;
+  lf_aur : Rtlf_engine.Stats.summary;
+  lf_cmr : Rtlf_engine.Stats.summary;
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] sweeps the reader count. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table. *)

@@ -1,0 +1,53 @@
+module Stats = Rtlf_engine.Stats
+module Workload = Rtlf_workload.Workload
+
+type row = {
+  n_objects : int;
+  r_ns : Stats.summary;
+  s_ns : Stats.summary;
+}
+
+let points = function
+  | Common.Fast -> [ 2; 6; 10 ]
+  | Common.Full -> [ 1; 2; 4; 6; 8; 10 ]
+
+let spec ~n_objects =
+  {
+    Workload.default with
+    Workload.n_objects;
+    accesses_per_job = n_objects;
+    target_al = 0.5;
+    access_work = Common.access_work;
+    seed = 42;
+  }
+
+let compute ?(mode = Common.Full) () =
+  List.map
+    (fun n_objects ->
+      let tasks = Workload.make (spec ~n_objects) in
+      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      {
+        n_objects;
+        r_ns = lb.Rtlf_sim.Metrics.access_ns;
+        s_ns = lf.Rtlf_sim.Metrics.access_ns;
+      })
+    (points mode)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt
+    "Figure 8: lock-based (r) vs lock-free (s) object access time";
+  let rows =
+    List.map
+      (fun row ->
+        [
+          string_of_int row.n_objects;
+          Report.with_ci row.r_ns Report.ns_us;
+          Report.with_ci row.s_ns Report.ns_us;
+          Report.f2 (row.r_ns.Stats.mean /. row.s_ns.Stats.mean);
+        ])
+      (compute ~mode ())
+  in
+  Report.table fmt
+    ~header:[ "#objects"; "r (lock-based)"; "s (lock-free)"; "r/s" ]
+    ~rows

@@ -1,0 +1,20 @@
+(** Figure 8 — lock-based (r) and lock-free (s) shared-object access
+    times under an increasing number of shared objects accessed by
+    jobs (10 tasks, no nested sections, ≥ ~2000 samples per point,
+    95 % CI).
+
+    Expected shape: r ≫ s throughout, r grows with the object count
+    (more lock traffic and blocking), s stays nearly flat. *)
+
+type row = {
+  n_objects : int;  (** objects (and accesses per job) at this point *)
+  r_ns : Rtlf_engine.Stats.summary;  (** measured lock-based access time *)
+  s_ns : Rtlf_engine.Stats.summary;  (** measured lock-free access time *)
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] runs the sweep and returns one row per object
+    count. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table. *)

@@ -1,0 +1,62 @@
+module Workload = Rtlf_workload.Workload
+module Sync = Rtlf_sim.Sync
+module Cml = Rtlf_sim.Cml
+
+type row = {
+  exec_ns : int;
+  ideal : float;
+  lock_free : float;
+  lock_based : float;
+}
+
+let points = function
+  | Common.Fast -> [ 30_000; 300_000 ]
+  | Common.Full -> [ 10_000; 30_000; 100_000; 300_000; 1_000_000 ]
+
+let iterations = function Common.Fast -> 6 | Common.Full -> 9
+
+let cml ~mode ~sync ~exec_ns =
+  let run ~al =
+    let spec =
+      {
+        Workload.default with
+        Workload.mean_exec = exec_ns;
+        target_al = al;
+        accesses_per_job = 10;
+        n_objects = 10;
+        access_work = Common.access_work;
+        seed = 31;
+      }
+    in
+    let tasks = Workload.make spec in
+    Common.simulate ~mode:Common.Fast ~sync ~seed:17 tasks
+  in
+  Cml.search ~iterations:(iterations mode) ~run ()
+
+let compute ?(mode = Common.Full) () =
+  List.map
+    (fun exec_ns ->
+      {
+        exec_ns;
+        ideal = cml ~mode ~sync:Sync.Ideal ~exec_ns;
+        lock_free = cml ~mode ~sync:Common.lock_free ~exec_ns;
+        lock_based = cml ~mode ~sync:Common.lock_based ~exec_ns;
+      })
+    (points mode)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt "Figure 9: critical-time-miss load (CML)";
+  let rows =
+    List.map
+      (fun row ->
+        [
+          Report.ns_us (float_of_int row.exec_ns);
+          Report.f2 row.ideal;
+          Report.f2 row.lock_free;
+          Report.f2 row.lock_based;
+        ])
+      (compute ~mode ())
+  in
+  Report.table fmt
+    ~header:[ "avg exec"; "ideal"; "lock-free"; "lock-based" ]
+    ~rows

@@ -1,0 +1,22 @@
+(** Figure 9 — critical-time-miss load (CML) versus average job
+    execution time, for ideal, lock-free and lock-based RUA (10 tasks,
+    10 shared queues).
+
+    Expected shape: lock-free tracks ideal closely and reaches CML ≈ 1
+    at execution times of tens of microseconds; lock-based converges to
+    1 only near a millisecond, because every access costs two scheduler
+    activations of the O(n² log n) algorithm plus lock management. *)
+
+type row = {
+  exec_ns : int;      (** mean job execution time at this point *)
+  ideal : float;      (** CML of ideal RUA (zero-cost objects) *)
+  lock_free : float;  (** CML of lock-free RUA *)
+  lock_based : float; (** CML of lock-based RUA *)
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] binary-searches the CML per execution time and
+    discipline. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the series. *)

@@ -1,0 +1,63 @@
+module Stats = Rtlf_engine.Stats
+module Workload = Rtlf_workload.Workload
+module Metrics = Rtlf_sim.Metrics
+module Aur_bounds = Rtlf_core.Aur_bounds
+
+type row = {
+  discipline : string;
+  lower : float;
+  upper : float;
+  measured : float;
+  inside : bool;
+}
+
+let spec =
+  {
+    Workload.default with
+    Workload.target_al = 0.3;
+    tuf_class = Workload.Heterogeneous;
+    accesses_per_job = 4;
+    access_work = Common.access_work;
+    seed = 37;
+  }
+
+let compute ?(mode = Common.Full) () =
+  let tasks = Workload.make spec in
+  let s = float_of_int (Common.cas_overhead + Common.access_work) in
+  let r = float_of_int ((2 * Common.lock_overhead) + Common.access_work) in
+  let lf_band = Aur_bounds.lock_free ~tasks ~s () in
+  let lb_band = Aur_bounds.lock_based ~tasks ~r () in
+  let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+  let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
+  let row discipline (band : Aur_bounds.band) (point : Metrics.point) =
+    let measured = point.Metrics.aur.Stats.mean in
+    {
+      discipline;
+      lower = band.Aur_bounds.lower;
+      upper = band.Aur_bounds.upper;
+      measured;
+      inside = Aur_bounds.contains band measured;
+    }
+  in
+  [ row "lock-free (Lemma 4)" lf_band lf;
+    row "lock-based (Lemma 5)" lb_band lb ]
+
+let holds rows = List.for_all (fun row -> row.inside) rows
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt "Lemmas 4/5: AUR bands vs simulated AUR";
+  let rows =
+    List.map
+      (fun row ->
+        [
+          row.discipline;
+          Report.pct row.lower;
+          Report.pct row.measured;
+          Report.pct row.upper;
+          (if row.inside then "yes" else "NO");
+        ])
+      (compute ~mode ())
+  in
+  Report.table fmt
+    ~header:[ "discipline"; "lower"; "measured AUR"; "upper"; "inside" ]
+    ~rows

@@ -1,0 +1,26 @@
+(** Lemmas 4 and 5 validation — long-run simulated AUR against the
+    analytic bands.
+
+    Runs a feasible (underloaded) task set with non-increasing TUFs
+    under both disciplines and checks the measured AUR lies within the
+    corresponding lemma's [lower, upper] band. The lower bounds are
+    loose (worst-case interference); the informative check is the
+    upper bound and band membership. *)
+
+type row = {
+  discipline : string;       (** "lock-free" or "lock-based" *)
+  lower : float;
+  upper : float;
+  measured : float;
+  inside : bool;
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] is the two-row table (Lemma 4, Lemma 5). *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table. *)
+
+val holds : row list -> bool
+(** [holds rows] is [true] iff every measured AUR is inside its
+    band. *)

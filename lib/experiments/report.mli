@@ -1,0 +1,33 @@
+(** Aligned text tables for experiment output.
+
+    Every figure/table reproduction prints through this module so the
+    bench harness emits the paper's rows/series in a uniform,
+    grep-friendly format. *)
+
+val section : Format.formatter -> string -> unit
+(** [section fmt title] prints a banner line. *)
+
+val subsection : Format.formatter -> string -> unit
+(** [subsection fmt title] prints a lighter banner. *)
+
+val table :
+  Format.formatter -> header:string list -> rows:string list list -> unit
+(** [table fmt ~header ~rows] prints a column-aligned table. Rows
+    shorter than the header are padded with empty cells. *)
+
+val f2 : float -> string
+(** [f2 v] formats with two decimals. *)
+
+val f3 : float -> string
+(** [f3 v] formats with three significant decimals. *)
+
+val pct : float -> string
+(** [pct v] formats a ratio as a percentage with one decimal. *)
+
+val ns_us : float -> string
+(** [ns_us v] formats nanoseconds as microseconds with two
+    decimals. *)
+
+val with_ci : Rtlf_engine.Stats.summary -> (float -> string) -> string
+(** [with_ci s fmt_mean] is ["mean ± ci"] using [fmt_mean] for both
+    numbers. *)

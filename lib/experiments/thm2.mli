@@ -1,0 +1,27 @@
+(** Theorem 2 validation — measured worst-case lock-free retries per
+    task against the analytic bound
+    [fᵢ ≤ 3aᵢ + Σ_{j≠i} 2aⱼ(⌈Cᵢ/Wⱼ⌉+1)].
+
+    Runs the standard 10-task/10-queue workload under lock-free RUA,
+    both with realistic conflict-only retries and with the adversarial
+    retry-on-any-preemption rule of Lemma 1, and reports the per-task
+    maxima next to the bound. The bound must never be exceeded. *)
+
+type row = {
+  task_id : int;
+  a_i : int;             (** UAM burst size *)
+  w_us : float;          (** arrival window, µs *)
+  c_us : float;          (** critical time, µs *)
+  bound : int;           (** Theorem 2 bound *)
+  measured : int;        (** max retries, realistic conflicts *)
+  measured_adversarial : int;  (** max retries, retry-on-preemption *)
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] runs both simulations and tabulates per task. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table, flagging any violation. *)
+
+val holds : row list -> bool
+(** [holds rows] is [true] iff no measured value exceeds its bound. *)

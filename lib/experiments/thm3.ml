@@ -1,0 +1,143 @@
+module Task = Rtlf_model.Task
+module Uam = Rtlf_model.Uam
+module Stats = Rtlf_engine.Stats
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+module Retry_bound = Rtlf_core.Retry_bound
+module Sojourn = Rtlf_core.Sojourn
+
+type row = {
+  ratio : float;
+  r_ns : int;
+  s_ns : int;
+  analytic_lb_ns : float;
+  analytic_lf_ns : float;
+  sufficient : bool;
+  predicted_lf_wins : bool;
+  measured_lb_ns : float;
+  measured_lf_ns : float;
+}
+
+let r_ns = 6_000
+
+let ratios = function
+  | Common.Fast -> [ 0.3; 0.9 ]
+  | Common.Full -> [ 0.1; 0.3; 0.5; 2.0 /. 3.0; 0.8; 1.0; 1.2 ]
+
+(* Two tasks with burst 1 keep xᵢ (events from other tasks) small, so
+   mᵢ sits near its cap 2aᵢ + xᵢ — the regime in which Theorem 3's
+   stated sufficient condition is tight and the crossover falls inside
+   the swept ratio range. *)
+let spec =
+  {
+    Workload.default with
+    Workload.n_tasks = 2;
+    (* Light enough that even the costliest swept ratio stays feasible:
+       aborted jobs would otherwise bias the measured sojourn means
+       (only survivors are averaged). *)
+    Workload.target_al = 0.4;
+    accesses_per_job = 6;
+    n_objects = 2;
+    burst = 1;
+    mean_exec = 60_000;
+    access_work = 0;
+    seed = 29;
+  }
+
+(* Simulate with scheduler overhead zeroed so the sojourn difference is
+   the access-discipline difference Theorem 3 speaks about. The access
+   cost r (resp. s) is realised through the sync overhead: lock-based
+   accesses cost 2·ov + work, lock-free ones ov + work. *)
+let mean_sojourn ~mode ~sync tasks =
+  let horizon = Common.horizon_for mode tasks in
+  let acc = Stats.create () in
+  List.iter
+    (fun seed ->
+      let res =
+        Simulator.run
+          (Simulator.config ~tasks ~sync ~horizon ~seed ~sched_base:0
+             ~sched_per_op:0 ())
+      in
+      Array.iter
+        (fun (tr : Simulator.task_result) ->
+          let s = tr.Simulator.sojourn in
+          if s.Stats.n > 0 then Stats.add acc s.Stats.mean)
+        res.Simulator.per_task)
+    (Common.seeds mode);
+  (Stats.summary acc).Stats.mean
+
+(* Analytic worst case for a representative (mean) task of the set. *)
+let analytic tasks ~r ~s =
+  let t0 = List.nth tasks 0 in
+  let i = t0.Task.id in
+  let m_i = Task.num_accesses t0 in
+  let n_i = Retry_bound.n_i_upper_bound ~tasks ~i in
+  let x_i = Retry_bound.x_i ~tasks ~i in
+  let interference =
+    Rtlf_core.Aur_bounds.interference_estimate ~tasks ~i
+      ~per_job_cost:(fun t ->
+        float_of_int t.Task.exec
+        +. (r *. float_of_int (Task.num_accesses t)))
+  in
+  let params =
+    {
+      Sojourn.r;
+      s;
+      m_i;
+      n_i;
+      a_i = t0.Task.arrival.Uam.a;
+      x_i;
+      u_i = float_of_int t0.Task.exec;
+      interference;
+    }
+  in
+  params
+
+let compute ?(mode = Common.Full) () =
+  let tasks = Workload.make spec in
+  List.map
+    (fun ratio ->
+      let s_ns = int_of_float (float_of_int r_ns *. ratio) in
+      (* Realise the access costs through sync overheads (work = 0). *)
+      let lb_sync = Sync.Lock_based { overhead = r_ns / 2 } in
+      let lf_sync = Sync.Lock_free { overhead = s_ns } in
+      let params =
+        analytic tasks ~r:(float_of_int r_ns) ~s:(float_of_int s_ns)
+      in
+      {
+        ratio;
+        r_ns;
+        s_ns;
+        analytic_lb_ns = Sojourn.worst_sojourn_lock_based params;
+        analytic_lf_ns = Sojourn.worst_sojourn_lock_free params;
+        sufficient = Sojourn.sufficient_condition params;
+        predicted_lf_wins = Sojourn.lock_free_wins params;
+        measured_lb_ns = mean_sojourn ~mode ~sync:lb_sync tasks;
+        measured_lf_ns = mean_sojourn ~mode ~sync:lf_sync tasks;
+      })
+    (ratios mode)
+
+let run ?(mode = Common.Full) fmt =
+  Report.section fmt "Theorem 3: lock-based vs lock-free sojourn times";
+  let rows =
+    List.map
+      (fun row ->
+        [
+          Report.f2 row.ratio;
+          Report.ns_us row.analytic_lf_ns;
+          Report.ns_us row.analytic_lb_ns;
+          (if row.predicted_lf_wins then "lock-free" else "lock-based");
+          (if row.sufficient then "yes" else "no");
+          Report.ns_us row.measured_lf_ns;
+          Report.ns_us row.measured_lb_ns;
+          (if row.measured_lf_ns < row.measured_lb_ns then "lock-free"
+           else "lock-based");
+        ])
+      (compute ~mode ())
+  in
+  Report.table fmt
+    ~header:
+      [ "s/r"; "worst LF"; "worst LB"; "predicted"; "sufficient";
+        "mean LF"; "mean LB"; "measured" ]
+    ~rows

@@ -1,0 +1,27 @@
+(** Theorem 3 validation — where does lock-free stop winning as s/r
+    grows?
+
+    Sweeps the lock-free/lock-based access-cost ratio across the
+    theorem's 2/3 boundary. For each ratio the table shows the analytic
+    worst-case sojourns, whether the sufficient condition holds, the
+    exact analytic crossover, and the winner measured from simulation
+    (mean sojourn of completed jobs under each discipline, with
+    scheduler overhead zeroed so only the access costs differ). *)
+
+type row = {
+  ratio : float;        (** configured s/r *)
+  r_ns : int;
+  s_ns : int;
+  analytic_lb_ns : float;  (** worst-case lock-based sojourn *)
+  analytic_lf_ns : float;  (** worst-case lock-free sojourn *)
+  sufficient : bool;       (** Theorem 3's sufficient condition *)
+  predicted_lf_wins : bool;  (** direct worst-case comparison *)
+  measured_lb_ns : float;  (** simulated mean sojourn, lock-based *)
+  measured_lf_ns : float;  (** simulated mean sojourn, lock-free *)
+}
+
+val compute : ?mode:Common.mode -> unit -> row list
+(** [compute ()] runs the ratio sweep. *)
+
+val run : ?mode:Common.mode -> Format.formatter -> unit
+(** [run fmt] computes and prints the table. *)

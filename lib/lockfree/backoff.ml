@@ -1,0 +1,14 @@
+type t = { min_spins : int; max_spins : int; mutable spins : int }
+
+let create ?(min_spins = 4) ?(max_spins = 1024) () =
+  if min_spins < 1 || max_spins < min_spins then
+    invalid_arg "Backoff.create: need 1 <= min_spins <= max_spins";
+  { min_spins; max_spins; spins = min_spins }
+
+let once b =
+  for _ = 1 to b.spins do
+    Domain.cpu_relax ()
+  done;
+  b.spins <- min b.max_spins (b.spins * 2)
+
+let reset b = b.spins <- b.min_spins

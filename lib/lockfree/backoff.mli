@@ -1,0 +1,21 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Failed compare-and-swap attempts under contention waste bus
+    bandwidth; spinning a little before retrying lets the winner's
+    write propagate. [Domain.cpu_relax] is used so hardware threads
+    yield the core's execution resources. *)
+
+type t
+(** Mutable backoff state, one per operation invocation. *)
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** [create ()] starts at [min_spins] (default 4) and doubles up to
+    [max_spins] (default 1024) on each {!once}. Raises
+    [Invalid_argument] unless [1 <= min_spins <= max_spins]. *)
+
+val once : t -> unit
+(** [once b] spins for the current budget and doubles it (saturating at
+    the maximum). *)
+
+val reset : t -> unit
+(** [reset b] returns to the minimum budget (call after a success). *)

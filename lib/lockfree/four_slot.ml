@@ -1,0 +1,40 @@
+(* Simpson 1990. Slots are indexed by (pair, slot). Control variables:
+   [latest] — pair last written; [reading] — pair the reader announced;
+   [slot.(p)] — freshest slot within pair [p]. Each side touches the
+   control variables in an order that guarantees the reader never reads
+   a slot the writer is writing. *)
+
+type 'a t = {
+  slots : 'a Atomic.t array array;  (* 2 pairs x 2 slots *)
+  slot_of_pair : bool Atomic.t array;  (* freshest slot per pair *)
+  latest : bool Atomic.t;   (* pair last written *)
+  reading : bool Atomic.t;  (* pair the reader is using *)
+}
+
+let idx b = if b then 1 else 0
+
+let create v =
+  {
+    slots =
+      Array.init 2 (fun _ -> Array.init 2 (fun _ -> Atomic.make v));
+    slot_of_pair = Array.init 2 (fun _ -> Atomic.make false);
+    latest = Atomic.make false;
+    reading = Atomic.make false;
+  }
+
+let write reg v =
+  (* Write into the pair the reader is NOT using, into the slot not
+     last used within that pair. *)
+  let pair = not (Atomic.get reg.reading) in
+  let slot = not (Atomic.get reg.slot_of_pair.(idx pair)) in
+  Atomic.set reg.slots.(idx pair).(idx slot) v;
+  Atomic.set reg.slot_of_pair.(idx pair) slot;
+  Atomic.set reg.latest pair
+
+let read reg =
+  let pair = Atomic.get reg.latest in
+  Atomic.set reg.reading pair;
+  (* Re-read the freshest slot of the announced pair; the writer now
+     avoids this pair entirely. *)
+  let slot = Atomic.get reg.slot_of_pair.(idx pair) in
+  Atomic.get reg.slots.(idx pair).(idx slot)

@@ -1,0 +1,24 @@
+(** Simpson's four-slot algorithm: a fully {e wait-free}
+    single-writer/single-reader register.
+
+    Both operations complete in a bounded number of steps with no
+    retries at all — the strongest progress guarantee in the paper's
+    taxonomy (§1.1), bought with four data slots of space. This is the
+    space/time trade the paper attributes to wait-free protocols, and
+    the contrast to {!Nbw_register} (reader retries) and to lock-free
+    structures (writer and reader both retry). *)
+
+type 'a t
+(** A four-slot register holding ['a]. *)
+
+val create : 'a -> 'a t
+(** [create v] initialises all slots to [v]. *)
+
+val write : 'a t -> 'a -> unit
+(** [write reg v] publishes [v] in a constant number of steps. Single
+    writer only. *)
+
+val read : 'a t -> 'a
+(** [read reg] returns a coherent, fresh-enough value in a constant
+    number of steps — never blocks, never retries. Single reader
+    only. *)

@@ -1,0 +1,137 @@
+(* Harris–Michael list. Each node's [next] holds (pointer, marked):
+   marked = the node itself is logically deleted. We encode the pair as
+   one record inside an Atomic so mark+pointer swing is a single CAS.
+
+   IMPORTANT: [Atomic.compare_and_set] compares the old value
+   physically, so every CAS below passes the {e exact link record it
+   previously read}, never a structurally-equal reconstruction.
+   Sentinels head (-inf) and tail (+inf) simplify traversal. *)
+
+type node = {
+  key : int;
+  kind : kind;
+  next : link Atomic.t option; (* None only for the tail sentinel *)
+}
+
+and kind = Head | Tail | Value
+
+and link = { target : node; marked : bool }
+
+type t = { head : node }
+
+let tail_node = { key = max_int; kind = Tail; next = None }
+
+let create () =
+  {
+    head =
+      {
+        key = min_int;
+        kind = Head;
+        next = Some (Atomic.make { target = tail_node; marked = false });
+      };
+  }
+
+let next_atomic node =
+  match node.next with
+  | Some a -> a
+  | None -> invalid_arg "Lf_set: traversed past the tail sentinel"
+
+(* [find s k] returns (pred, pred_link, curr): pred is unmarked,
+   [pred_link] is the exact link record read from pred (pointing at
+   curr), and pred.key < k <= curr.key. Marked nodes encountered on the
+   way are physically unlinked (helping). *)
+let rec find s k =
+  let rec advance pred =
+    let pred_next = next_atomic pred in
+    let pred_link = Atomic.get pred_next in
+    if pred_link.marked then find s k (* pred itself got deleted *)
+    else begin
+      let curr = pred_link.target in
+      match curr.kind with
+      | Tail -> (pred, pred_link, curr)
+      | Head -> assert false
+      | Value ->
+        let curr_link = Atomic.get (next_atomic curr) in
+        if curr_link.marked then begin
+          (* Help unlink the logically deleted node. *)
+          if
+            Atomic.compare_and_set pred_next pred_link
+              { target = curr_link.target; marked = false }
+          then advance pred
+          else find s k
+        end
+        else if curr.key >= k then (pred, pred_link, curr)
+        else advance curr
+    end
+  in
+  advance s.head
+
+let rec add s k =
+  if k = min_int || k = max_int then
+    invalid_arg "Lf_set.add: reserved sentinel key";
+  let pred, pred_link, curr = find s k in
+  if curr.kind = Value && curr.key = k then false
+  else begin
+    let node =
+      {
+        key = k;
+        kind = Value;
+        next = Some (Atomic.make { target = curr; marked = false });
+      }
+    in
+    if
+      Atomic.compare_and_set (next_atomic pred) pred_link
+        { target = node; marked = false }
+    then true
+    else add s k
+  end
+
+let rec remove s k =
+  let _pred, _pred_link, curr = find s k in
+  if curr.kind <> Value || curr.key <> k then false
+  else begin
+    let curr_next = next_atomic curr in
+    let curr_link = Atomic.get curr_next in
+    if curr_link.marked then false
+    else if
+      (* Logical deletion: mark curr's next pointer. *)
+      Atomic.compare_and_set curr_next curr_link
+        { target = curr_link.target; marked = true }
+    then begin
+      (* Best-effort physical unlink; find() helps if this fails. *)
+      ignore (find s k);
+      true
+    end
+    else remove s k
+  end
+
+let mem s k =
+  let rec walk node =
+    let link = Atomic.get (next_atomic node) in
+    let next = link.target in
+    match next.kind with
+    | Tail -> false
+    | Head -> assert false
+    | Value ->
+      if next.key > k then false
+      else if next.key = k then
+        (* Present iff not logically deleted. *)
+        not (Atomic.get (next_atomic next)).marked
+      else walk next
+  in
+  walk s.head
+
+let to_list s =
+  let rec walk node acc =
+    let link = Atomic.get (next_atomic node) in
+    let next = link.target in
+    match next.kind with
+    | Tail -> List.rev acc
+    | Head -> assert false
+    | Value ->
+      let deleted = (Atomic.get (next_atomic next)).marked in
+      walk next (if deleted then acc else next.key :: acc)
+  in
+  walk s.head []
+
+let length s = List.length (to_list s)

@@ -1,0 +1,30 @@
+(** Harris–Michael lock-free sorted linked-list set — the modern
+    descendant of Valois's CAS-based linked lists [26] cited in §1.1.
+
+    An ordered set of integer keys supporting lock-free [add], [remove]
+    and wait-free [mem] (the search never modifies the list; deleted
+    nodes are unlinked by the helping [find] of mutating operations).
+    Removal is two-phase: logically mark the node's next pointer, then
+    physically unlink — the marking is what makes traversal safe
+    without locks. *)
+
+type t
+(** A lock-free sorted set of [int]s. *)
+
+val create : unit -> t
+(** [create ()] is the empty set. *)
+
+val add : t -> int -> bool
+(** [add s k] inserts [k]; [false] if already present. *)
+
+val remove : t -> int -> bool
+(** [remove s k] deletes [k]; [false] if absent. *)
+
+val mem : t -> int -> bool
+(** [mem s k] — wait-free membership test on the current state. *)
+
+val to_list : t -> int list
+(** [to_list s] is a sorted snapshot of the unmarked keys. *)
+
+val length : t -> int
+(** [length s] is the size of the snapshot — O(n). *)

@@ -1,0 +1,30 @@
+type 'a t = {
+  mutex : Mutex.t;
+  queue : 'a Queue.t;
+  mutable acquisitions : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); queue = Queue.create (); acquisitions = 0 }
+
+let locked q f =
+  Mutex.lock q.mutex;
+  let result = try f () with exn -> Mutex.unlock q.mutex; raise exn in
+  q.acquisitions <- q.acquisitions + 1;
+  Mutex.unlock q.mutex;
+  result
+
+let enqueue q v = locked q (fun () -> Queue.push v q.queue)
+
+let dequeue q = locked q (fun () -> Queue.take_opt q.queue)
+
+let peek q = locked q (fun () -> Queue.peek_opt q.queue)
+
+let is_empty q = locked q (fun () -> Queue.is_empty q.queue)
+
+let length q = locked q (fun () -> Queue.length q.queue)
+
+let acquisitions q = q.acquisitions
+
+let to_list q =
+  locked q (fun () -> List.of_seq (Queue.to_seq q.queue))

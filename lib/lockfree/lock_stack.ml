@@ -1,0 +1,29 @@
+type 'a t = { mutex : Mutex.t; mutable items : 'a list }
+
+let create () = { mutex = Mutex.create (); items = [] }
+
+let locked st f =
+  Mutex.lock st.mutex;
+  let result = try f () with exn -> Mutex.unlock st.mutex; raise exn in
+  Mutex.unlock st.mutex;
+  result
+
+let push st v = locked st (fun () -> st.items <- v :: st.items)
+
+let pop st =
+  locked st (fun () ->
+      match st.items with
+      | [] -> None
+      | v :: rest ->
+        st.items <- rest;
+        Some v)
+
+let peek st =
+  locked st (fun () ->
+      match st.items with [] -> None | v :: _ -> Some v)
+
+let is_empty st = locked st (fun () -> st.items = [])
+
+let length st = locked st (fun () -> List.length st.items)
+
+let to_list st = locked st (fun () -> st.items)

@@ -1,0 +1,89 @@
+(* Michael & Scott's two-pointer queue with a dummy node. [next] being
+   [None] marks the end of the list. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  head : 'a node Atomic.t;  (* points at the dummy; head.next is first *)
+  tail : 'a node Atomic.t;  (* points at the last or second-to-last *)
+  retry_count : int Atomic.t;
+}
+
+let new_node value = { value; next = Atomic.make None }
+
+let create () =
+  let dummy = new_node None in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    retry_count = Atomic.make 0;
+  }
+
+let count_retry q = Atomic.incr q.retry_count
+
+let enqueue q value =
+  let node = new_node (Some value) in
+  let b = Backoff.create () in
+  let rec attempt () =
+    let tail = Atomic.get q.tail in
+    match Atomic.get tail.next with
+    | None ->
+      if Atomic.compare_and_set tail.next None (Some node) then
+        (* Swing the tail; failure means someone helped us. *)
+        ignore (Atomic.compare_and_set q.tail tail node)
+      else begin
+        count_retry q;
+        Backoff.once b;
+        attempt ()
+      end
+    | Some next ->
+      (* Tail is lagging: help it forward and retry (a help, not a
+         counted retry — no progress was lost). *)
+      ignore (Atomic.compare_and_set q.tail tail next);
+      attempt ()
+  in
+  attempt ()
+
+let dequeue q =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let head = Atomic.get q.head in
+    let tail = Atomic.get q.tail in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+      if head == tail then begin
+        (* Tail lagging behind a non-empty list: help. *)
+        ignore (Atomic.compare_and_set q.tail tail next);
+        attempt ()
+      end
+      else if Atomic.compare_and_set q.head head next then next.value
+      else begin
+        count_retry q;
+        Backoff.once b;
+        attempt ()
+      end
+  in
+  attempt ()
+
+let peek q =
+  match Atomic.get (Atomic.get q.head).next with
+  | None -> None
+  | Some node -> node.value
+
+let is_empty q = Atomic.get (Atomic.get q.head).next = None
+
+let to_list q =
+  let rec go acc node =
+    match Atomic.get node.next with
+    | None -> List.rev acc
+    | Some next -> (
+      match next.value with
+      | Some v -> go (v :: acc) next
+      | None -> go acc next)
+  in
+  go [] (Atomic.get q.head)
+
+let length q = List.length (to_list q)
+
+let retries q = Atomic.get q.retry_count

@@ -1,0 +1,36 @@
+(** Michael–Scott lock-free FIFO queue [21] — the structure the paper's
+    own experiments use (§6).
+
+    Two CAS'd pointers (head, tail) over a singly linked list with a
+    dummy node. Enqueuers help lagging tails forward, so the queue is
+    lock-free for any mix of writers and readers. Retries (lost CAS
+    races) are counted. *)
+
+type 'a t
+(** A lock-free queue of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val enqueue : 'a t -> 'a -> unit
+(** [enqueue q v] appends [v] at the tail. *)
+
+val dequeue : 'a t -> 'a option
+(** [dequeue q] removes and returns the head element, or [None] when
+    empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek q] is the head element without removing it. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] — a snapshot; may be stale under concurrency. *)
+
+val length : 'a t -> int
+(** [length q] walks the current snapshot — O(n), for tests. *)
+
+val retries : 'a t -> int
+(** [retries q] is the total CAS failures suffered so far (tail helps
+    excluded; only genuine lost races count). *)
+
+val to_list : 'a t -> 'a list
+(** [to_list q] is a snapshot, head (oldest) first. *)

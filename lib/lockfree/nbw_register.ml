@@ -1,0 +1,39 @@
+(* Version counter protocol: the writer bumps to odd, stores, bumps to
+   even. Readers sample-copy-validate. The value cell is itself an
+   [Atomic.t] so the unsynchronised-race semantics of the OCaml memory
+   model never hand a torn value to a reader; the version discipline is
+   what makes the *protocol* interesting and is preserved exactly. *)
+
+type 'a t = { version : int Atomic.t; cell : 'a Atomic.t }
+
+let create v = { version = Atomic.make 0; cell = Atomic.make v }
+
+let write reg v =
+  let before = Atomic.get reg.version in
+  Atomic.set reg.version (before + 1);   (* odd: write in flight *)
+  Atomic.set reg.cell v;
+  Atomic.set reg.version (before + 2)    (* even: stable *)
+
+let read_with_retries reg =
+  let b = Backoff.create () in
+  let rec attempt retries =
+    let v1 = Atomic.get reg.version in
+    if v1 land 1 = 1 then begin
+      Backoff.once b;
+      attempt (retries + 1)
+    end
+    else begin
+      let value = Atomic.get reg.cell in
+      let v2 = Atomic.get reg.version in
+      if v1 = v2 then (value, retries)
+      else begin
+        Backoff.once b;
+        attempt (retries + 1)
+      end
+    end
+  in
+  attempt 0
+
+let read reg = fst (read_with_retries reg)
+
+let version reg = Atomic.get reg.version

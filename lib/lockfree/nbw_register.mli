@@ -1,0 +1,34 @@
+(** Non-Blocking Write protocol (NBW), Kopetz & Reisinger [16].
+
+    A single-writer/multi-reader register in which the {e writer never
+    blocks and never retries} (wait-free for the producer — the
+    real-time requirement NBW was designed for), while readers detect
+    concurrent modification through a version counter and retry.
+    Readers are therefore lock-free, not wait-free.
+
+    The version counter is even when the register is stable and odd
+    while a write is in flight; a reader accepts a value only if it
+    observed the same even version before and after copying. *)
+
+type 'a t
+(** An NBW register holding ['a]. *)
+
+val create : 'a -> 'a t
+(** [create v] is a register initialised to [v] at version 0. *)
+
+val write : 'a t -> 'a -> unit
+(** [write reg v] publishes [v]. Wait-free: a constant number of
+    atomic operations, regardless of concurrent readers. Must only be
+    called from the single writer. *)
+
+val read : 'a t -> 'a
+(** [read reg] returns a consistent snapshot, retrying while writes
+    interfere. Lock-free: finishes as soon as one stable interval is
+    observed. *)
+
+val read_with_retries : 'a t -> 'a * int
+(** [read_with_retries reg] also reports how many retries the read
+    suffered — the quantity the paper's retry bounds govern. *)
+
+val version : 'a t -> int
+(** [version reg] is the current (possibly odd, mid-write) version. *)

@@ -1,0 +1,80 @@
+(* Vyukov bounded MPMC queue. Slot sequence discipline:
+   - slot.seq = index          : free, awaiting producer of [index]
+   - slot.seq = index + 1      : full, awaiting consumer of [index]
+   - producer claims [head] via CAS, writes value, sets seq = head+1
+   - consumer claims [tail] via CAS, reads value, sets seq = tail+cap *)
+
+type 'a slot = { seq : int Atomic.t; mutable value : 'a option }
+
+type 'a t = {
+  slots : 'a slot array;
+  mask : int;
+  head : int Atomic.t;  (* next producer index *)
+  tail : int Atomic.t;  (* next consumer index *)
+  retry_count : int Atomic.t;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~capacity =
+  if not (is_power_of_two capacity) then
+    invalid_arg "Ring_buffer.create: capacity must be a power of two";
+  {
+    slots =
+      Array.init capacity (fun i -> { seq = Atomic.make i; value = None });
+    mask = capacity - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    retry_count = Atomic.make 0;
+  }
+
+let capacity q = q.mask + 1
+
+let try_push q v =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let head = Atomic.get q.head in
+    let slot = q.slots.(head land q.mask) in
+    let seq = Atomic.get slot.seq in
+    if seq = head then
+      if Atomic.compare_and_set q.head head (head + 1) then begin
+        slot.value <- Some v;
+        Atomic.set slot.seq (head + 1);
+        true
+      end
+      else begin
+        Atomic.incr q.retry_count;
+        Backoff.once b;
+        attempt ()
+      end
+    else if seq < head then false (* slot still occupied: full *)
+    else attempt () (* another producer advanced; re-read head *)
+  in
+  attempt ()
+
+let try_pop q =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let tail = Atomic.get q.tail in
+    let slot = q.slots.(tail land q.mask) in
+    let seq = Atomic.get slot.seq in
+    if seq = tail + 1 then
+      if Atomic.compare_and_set q.tail tail (tail + 1) then begin
+        let v = slot.value in
+        slot.value <- None;
+        Atomic.set slot.seq (tail + capacity q);
+        v
+      end
+      else begin
+        Atomic.incr q.retry_count;
+        Backoff.once b;
+        attempt ()
+      end
+    else if seq < tail + 1 then None (* slot not yet produced: empty *)
+    else attempt ()
+  in
+  attempt ()
+
+let length q = max 0 (Atomic.get q.head - Atomic.get q.tail)
+let is_empty q = length q = 0
+let retries q = Atomic.get q.retry_count

@@ -1,0 +1,34 @@
+(** Lock-free bounded multi-producer/multi-consumer ring buffer.
+
+    The fixed-capacity FIFO embedded systems actually deploy when
+    allocation at run time is forbidden. Each slot carries a sequence
+    number (Vyukov-style): producers and consumers claim indices with
+    CAS and use the per-slot sequence to detect full/empty without
+    locking. Operations are lock-free; a stalled peer can delay slot
+    reuse but not block the structure. *)
+
+type 'a t
+(** A bounded queue of ['a]. *)
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] allocates the ring. [capacity] must be a power
+    of two; raises [Invalid_argument] otherwise. *)
+
+val capacity : 'a t -> int
+(** [capacity q] is the fixed slot count. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push q v] appends [v], or returns [false] if the ring is
+    full. *)
+
+val try_pop : 'a t -> 'a option
+(** [try_pop q] removes the oldest element, or [None] when empty. *)
+
+val length : 'a t -> int
+(** [length q] is a racy snapshot of the occupancy. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is a racy emptiness snapshot. *)
+
+val retries : 'a t -> int
+(** [retries q] counts CAS races lost by producers and consumers. *)

@@ -1,0 +1,44 @@
+(* Double-collect scan over versioned components. Each component is a
+   (version, value) pair swapped atomically as one record, so a collect
+   is a per-component atomic read and two identical collects imply no
+   write landed in between. *)
+
+type 'a cell = { version : int; value : 'a }
+
+type 'a t = { cells : 'a cell Atomic.t array }
+
+let create ~n ~init =
+  if n <= 0 then invalid_arg "Snapshot.create: n must be positive";
+  { cells = Array.init n (fun _ -> Atomic.make { version = 0; value = init }) }
+
+let size snap = Array.length snap.cells
+
+let check snap i =
+  if i < 0 || i >= size snap then
+    invalid_arg "Snapshot: component index out of range"
+
+let update snap ~i v =
+  check snap i;
+  let cell = Atomic.get snap.cells.(i) in
+  Atomic.set snap.cells.(i) { version = cell.version + 1; value = v }
+
+let collect snap = Array.map Atomic.get snap.cells
+
+let scan_with_retries snap =
+  let b = Backoff.create () in
+  let rec attempt retries =
+    let first = collect snap in
+    let second = collect snap in
+    let same = ref true in
+    Array.iteri
+      (fun i c -> if c.version <> second.(i).version then same := false)
+      first;
+    if !same then (Array.map (fun c -> c.value) second, retries)
+    else begin
+      Backoff.once b;
+      attempt (retries + 1)
+    end
+  in
+  attempt 0
+
+let scan snap = fst (scan_with_retries snap)

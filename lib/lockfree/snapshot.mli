@@ -1,0 +1,31 @@
+(** Lock-free atomic snapshot over single-writer registers — the
+    "snapshot abstraction" the paper names as future work (§7).
+
+    [n] components, each owned by one writer (NBW-style versioned
+    cells). [scan] returns a vector that is a consistent cut: a
+    double-collect that observed no version change between two sweeps
+    must have seen a state that existed at some instant between them.
+    Scans are lock-free (a scan retries only while writers make
+    progress); updates are wait-free. *)
+
+type 'a t
+(** A snapshot object of [n] components of type ['a]. *)
+
+val create : n:int -> init:'a -> 'a t
+(** [create ~n ~init] makes [n] components all holding [init]. Raises
+    [Invalid_argument] if [n <= 0]. *)
+
+val size : 'a t -> int
+(** [size snap] is the component count. *)
+
+val update : 'a t -> i:int -> 'a -> unit
+(** [update snap ~i v] publishes [v] in component [i]. Wait-free; each
+    component must have a single writer. Raises [Invalid_argument] on
+    a bad index. *)
+
+val scan : 'a t -> 'a array
+(** [scan snap] is a consistent snapshot of all components. *)
+
+val scan_with_retries : 'a t -> 'a array * int
+(** [scan_with_retries snap] also reports how many double-collect
+    rounds were discarded due to concurrent updates. *)

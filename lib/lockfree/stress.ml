@@ -1,0 +1,54 @@
+type report = {
+  domains : int;
+  ops_per_domain : int;
+  pushed : int;
+  popped : int;
+  drained : int;
+  elapsed_ns : int;
+}
+
+let run ~domains ~ops ~push ~pop ~drain =
+  if domains < 1 then invalid_arg "Stress.run: domains must be >= 1";
+  if ops < 0 then invalid_arg "Stress.run: negative ops";
+  let popped_counts = Array.make domains 0 in
+  let pushed_counts = Array.make domains 0 in
+  let barrier = Atomic.make 0 in
+  let worker d () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < domains do
+      Domain.cpu_relax ()
+    done;
+    for k = 0 to ops - 1 do
+      if k land 1 = 0 then begin
+        push ((d * ops) + k);
+        pushed_counts.(d) <- pushed_counts.(d) + 1
+      end
+      else
+        match pop () with
+        | Some _ -> popped_counts.(d) <- popped_counts.(d) + 1
+        | None -> ()
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let t1 = Unix.gettimeofday () in
+  let drained = List.length (drain ()) in
+  {
+    domains;
+    ops_per_domain = ops;
+    pushed = Array.fold_left ( + ) 0 pushed_counts;
+    popped = Array.fold_left ( + ) 0 popped_counts;
+    drained;
+    elapsed_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }
+
+let conserved r = r.pushed = r.popped + r.drained
+
+let throughput_mops r =
+  let total_ops = float_of_int (r.domains * r.ops_per_domain) in
+  if r.elapsed_ns = 0 then infinity
+  else total_ops /. (float_of_int r.elapsed_ns /. 1e3)

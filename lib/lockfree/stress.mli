@@ -1,0 +1,35 @@
+(** Multi-domain stress harness for the concurrent structures.
+
+    Spawns [domains] OCaml domains, each performing [ops] operations
+    against a shared structure, and reports wall time and conservation
+    counts. Used by the test suite (no element lost or duplicated) and
+    by the native r-vs-s benches (Fig. 8's real-hardware analogue). *)
+
+type report = {
+  domains : int;
+  ops_per_domain : int;
+  pushed : int;       (** total successful inserts *)
+  popped : int;       (** total successful removes *)
+  drained : int;      (** elements left in the structure afterwards *)
+  elapsed_ns : int;   (** wall time of the contention phase *)
+}
+(** Conservation holds iff [pushed = popped + drained]. *)
+
+val run :
+  domains:int ->
+  ops:int ->
+  push:(int -> unit) ->
+  pop:(unit -> int option) ->
+  drain:(unit -> int list) ->
+  report
+(** [run ~domains ~ops ~push ~pop ~drain] has each domain alternate
+    [push]/[pop]; values are tagged with the producing domain so tests
+    can also check element integrity. [drain] empties the structure at
+    the end. *)
+
+val conserved : report -> bool
+(** [conserved r] is [pushed = popped + drained]. *)
+
+val throughput_mops : report -> float
+(** [throughput_mops r] is million operations per second over the
+    contention phase. *)

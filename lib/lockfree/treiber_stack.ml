@@ -1,0 +1,54 @@
+type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+type 'a t = { head : 'a node Atomic.t; retry_count : int Atomic.t }
+
+let create () = { head = Atomic.make Nil; retry_count = Atomic.make 0 }
+
+let count_retry st = Atomic.incr st.retry_count
+
+let push st value =
+  let b = Backoff.create () in
+  let rec attempt () =
+    let old = Atomic.get st.head in
+    if Atomic.compare_and_set st.head old (Cons { value; next = old }) then
+      ()
+    else begin
+      count_retry st;
+      Backoff.once b;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let pop st =
+  let b = Backoff.create () in
+  let rec attempt () =
+    match Atomic.get st.head with
+    | Nil -> None
+    | Cons { value; next } as old ->
+      if Atomic.compare_and_set st.head old next then Some value
+      else begin
+        count_retry st;
+        Backoff.once b;
+        attempt ()
+      end
+  in
+  attempt ()
+
+let peek st =
+  match Atomic.get st.head with
+  | Nil -> None
+  | Cons { value; _ } -> Some value
+
+let is_empty st = Atomic.get st.head = Nil
+
+let to_list st =
+  let rec go acc = function
+    | Nil -> List.rev acc
+    | Cons { value; next } -> go (value :: acc) next
+  in
+  go [] (Atomic.get st.head)
+
+let length st = List.length (to_list st)
+
+let retries st = Atomic.get st.retry_count

@@ -1,0 +1,36 @@
+(** Treiber's lock-free stack [25].
+
+    Multi-writer/multi-reader LIFO built on a single CAS'd head
+    pointer. [push] and [pop] are lock-free: some operation always
+    completes in a finite number of steps; an individual operation may
+    retry when it loses a CAS race. Retries are counted so tests and
+    benches can relate real contention to the paper's retry model. *)
+
+type 'a t
+(** A lock-free stack of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty stack. *)
+
+val push : 'a t -> 'a -> unit
+(** [push st v] adds [v] on top. *)
+
+val pop : 'a t -> 'a option
+(** [pop st] removes and returns the top element, or [None] when
+    empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek st] is the top element without removing it. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty st] — a snapshot; may be stale under concurrency. *)
+
+val length : 'a t -> int
+(** [length st] walks the current snapshot — O(n), for tests. *)
+
+val retries : 'a t -> int
+(** [retries st] is the total CAS failures suffered by all operations
+    so far. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list st] is a snapshot, top first. *)

@@ -1,0 +1,84 @@
+(** Job (task invocation) runtime state.
+
+    A job is the basic scheduling entity (§2). The simulator owns the
+    state machine; this module defines the record, its legal
+    transitions, and derived quantities (remaining work, absolute
+    critical time, accrued utility). *)
+
+type state =
+  | Ready        (** eligible to run, not currently dispatched *)
+  | Running      (** currently holds the CPU *)
+  | Blocked of int
+      (** waiting for the given shared object (lock-based only) *)
+  | Completed    (** finished all segments *)
+  | Aborted      (** critical time expired (or deadlock resolution) *)
+
+type t = {
+  task : Task.t;          (** static parameters *)
+  jid : int;              (** globally unique job id *)
+  arrival : int;          (** absolute arrival time, ns *)
+  mutable state : state;
+  mutable segments : Segment.t list;  (** remaining profile, head is current *)
+  mutable seg_progress : int;
+      (** ns of the head segment already executed *)
+  mutable holding : int list;
+      (** shared objects currently locked (lock-based) *)
+  mutable lock_pending : bool;
+      (** head access segment has issued its lock request *)
+  mutable attempt_snapshot : int option;
+      (** object version at the start of the current lock-free attempt *)
+  mutable access_enter : int option;
+      (** time the head access segment was first entered (for r/s) *)
+  mutable retries : int;  (** lock-free retries suffered so far *)
+  mutable preemptions : int;
+  mutable blocked_count : int;
+  mutable completion : int option;  (** absolute completion time *)
+  mutable accrued : float;          (** utility credited on completion *)
+}
+
+val create : task:Task.t -> jid:int -> arrival:int -> t
+(** [create ~task ~jid ~arrival] is a fresh [Ready] job with the full
+    segment profile. *)
+
+val absolute_critical_time : t -> int
+(** [absolute_critical_time j] is [arrival + Cᵢ]. *)
+
+val remaining_nominal : t -> int
+(** [remaining_nominal j] is the ns of work left excluding sync
+    overheads: remaining head-segment span plus the tail. *)
+
+val remaining_accesses : t -> int
+(** [remaining_accesses j] counts access segments not yet completed. *)
+
+val current_segment : t -> Segment.t option
+(** [current_segment j] is the head of the remaining profile. *)
+
+val is_live : t -> bool
+(** [is_live j] is [true] for [Ready], [Running] or [Blocked _]. *)
+
+val is_runnable : t -> bool
+(** [is_runnable j] is [true] for [Ready] or [Running] (not blocked,
+    not finished). *)
+
+val utility_at : t -> now:int -> float
+(** [utility_at j ~now] is the utility the job would accrue by
+    completing at absolute time [now]. *)
+
+val sojourn : t -> int option
+(** [sojourn j] is [completion − arrival] once completed. *)
+
+val finish_segment : t -> unit
+(** [finish_segment j] pops the head segment and resets per-segment
+    bookkeeping ([seg_progress], [lock_pending], [attempt_snapshot],
+    [access_enter]). Raises [Invalid_argument] if no segment
+    remains. *)
+
+val restart_access : t -> unit
+(** [restart_access j] zeroes progress on the current (access) segment
+    and counts one retry — the lock-free conflict path. *)
+
+val pp_state : Format.formatter -> state -> unit
+(** [pp_state fmt s] prints the state name. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt j] prints a one-line runtime summary. *)

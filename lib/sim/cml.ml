@@ -1,0 +1,16 @@
+let misses (res : Simulator.result) = res.Simulator.met < res.Simulator.released
+
+let search ?(lo = 0.02) ?(hi = 1.5) ?(iterations = 9) ~run () =
+  if not (misses (run ~al:hi)) then hi
+  else if misses (run ~al:lo) then lo
+  else begin
+    (* Invariant: lo meets everything, hi misses. *)
+    let rec go lo hi i =
+      if i = 0 then lo
+      else
+        let mid = (lo +. hi) /. 2.0 in
+        if misses (run ~al:mid) then go lo mid (i - 1)
+        else go mid hi (i - 1)
+    in
+    go lo hi iterations
+  end

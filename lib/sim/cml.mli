@@ -1,0 +1,24 @@
+(** Critical-time-miss load (CML) search (§6.1).
+
+    The CML of a scheduler configuration is the approximate load
+    [AL = Σ uᵢ/Cᵢ] {e after which} the scheduler begins to miss task
+    critical times. An ideal zero-overhead scheduler has CML 1.0; real
+    overhead pushes it below 1, the more so the shorter the job
+    execution times — the paper's Figure 9. *)
+
+val misses : Simulator.result -> bool
+(** [misses res] is [true] when at least one resolved job failed to
+    meet its critical time. *)
+
+val search :
+  ?lo:float ->
+  ?hi:float ->
+  ?iterations:int ->
+  run:(al:float -> Simulator.result) ->
+  unit ->
+  float
+(** [search ~run ()] binary-searches [\[lo, hi\]] (defaults 0.02–1.5)
+    for the largest load at which [run ~al] still meets every critical
+    time, using [iterations] bisection steps (default 9). [run] must
+    build and simulate a workload whose approximate load is [al].
+    Returns [lo] if even the lightest load misses. *)

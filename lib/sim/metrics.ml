@@ -1,0 +1,50 @@
+module Stats = Rtlf_engine.Stats
+
+type point = {
+  aur : Stats.summary;
+  cmr : Stats.summary;
+  access_ns : Stats.summary;
+  retries_total : int;
+  max_retries : int;
+  released : int;
+  sched_overhead_ns : int;
+}
+
+let mean_access_ns (res : Simulator.result) =
+  res.Simulator.access_samples.Stats.mean
+
+let aggregate results =
+  let aur = Stats.create ()
+  and cmr = Stats.create ()
+  and access = Stats.create () in
+  let retries = ref 0
+  and max_retries = ref 0
+  and released = ref 0
+  and overhead = ref 0 in
+  List.iter
+    (fun (res : Simulator.result) ->
+      Stats.add aur res.Simulator.aur;
+      Stats.add cmr res.Simulator.cmr;
+      let a = mean_access_ns res in
+      if not (Float.is_nan a) then Stats.add access a;
+      retries := !retries + res.Simulator.retries_total;
+      released := !released + res.Simulator.released;
+      overhead := !overhead + res.Simulator.sched_overhead;
+      Array.iter
+        (fun (tr : Simulator.task_result) ->
+          if tr.Simulator.max_retries > !max_retries then
+            max_retries := tr.Simulator.max_retries)
+        res.Simulator.per_task)
+    results;
+  {
+    aur = Stats.summary aur;
+    cmr = Stats.summary cmr;
+    access_ns = Stats.summary access;
+    retries_total = !retries;
+    max_retries = !max_retries;
+    released = !released;
+    sched_overhead_ns = !overhead;
+  }
+
+let repeat ~seeds ~run =
+  aggregate (List.map (fun seed -> run ~seed) seeds)

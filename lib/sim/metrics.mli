@@ -1,0 +1,30 @@
+(** Aggregation of simulation results across repeated seeded runs.
+
+    The paper reports each data point as an average over thousands of
+    arrivals with a 95 % confidence interval; we reproduce that by
+    running each configuration under several seeds and summarising. *)
+
+type point = {
+  aur : Rtlf_engine.Stats.summary;
+  cmr : Rtlf_engine.Stats.summary;
+  access_ns : Rtlf_engine.Stats.summary;
+      (** mean measured access time per run (the r or s of Fig. 8) *)
+  retries_total : int;
+  max_retries : int;  (** worst per-job retry count across runs *)
+  released : int;
+  sched_overhead_ns : int;
+}
+(** One experiment point aggregated over runs. *)
+
+val aggregate : Simulator.result list -> point
+(** [aggregate results] summarises repeated runs of one
+    configuration. *)
+
+val repeat :
+  seeds:int list -> run:(seed:int -> Simulator.result) -> point
+(** [repeat ~seeds ~run] runs one configuration under each seed and
+    aggregates. *)
+
+val mean_access_ns : Simulator.result -> float
+(** [mean_access_ns res] is the run's mean measured access duration
+    ([nan] if no access completed). *)

@@ -1,0 +1,674 @@
+module Event_queue = Rtlf_engine.Event_queue
+module Prng = Rtlf_engine.Prng
+module Stats = Rtlf_engine.Stats
+module Task = Rtlf_model.Task
+module Job = Rtlf_model.Job
+module Segment = Rtlf_model.Segment
+module Uam = Rtlf_model.Uam
+module Resource = Rtlf_model.Resource
+module Lock_manager = Rtlf_model.Lock_manager
+module Scheduler = Rtlf_core.Scheduler
+
+type sched_kind = Edf | Edf_pip | Rua
+
+type config = {
+  tasks : Task.t list;
+  sync : Sync.t;
+  sched : sched_kind;
+  n_objects : int;
+  horizon : int;
+  seed : int;
+  sched_base : int;
+  sched_per_op : int;
+  retry_on_any_preemption : bool;
+  trace : bool;
+}
+
+let infer_objects tasks =
+  let scan = List.fold_left (fun acc (obj, _) -> max acc (obj + 1)) in
+  List.fold_left
+    (fun acc t ->
+      let acc = scan acc t.Task.accesses in
+      let acc = scan acc t.Task.reads in
+      (* Explicit profiles (nested sections) name objects directly. *)
+      match t.Task.profile with
+      | None -> acc
+      | Some profile ->
+        List.fold_left
+          (fun acc seg ->
+            match seg with
+            | Segment.Access { obj; _ } | Segment.Lock obj
+            | Segment.Unlock obj ->
+              max acc (obj + 1)
+            | Segment.Compute _ -> acc)
+          acc profile)
+    0 tasks
+
+let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
+    ?(sched_base = 200) ?(sched_per_op = 25)
+    ?(retry_on_any_preemption = false) ?(trace = false) () =
+  let n_objects =
+    match n_objects with Some n -> n | None -> infer_objects tasks
+  in
+  {
+    tasks;
+    sync;
+    sched;
+    n_objects;
+    horizon;
+    seed;
+    sched_base;
+    sched_per_op;
+    retry_on_any_preemption;
+    trace;
+  }
+
+type task_result = {
+  task_id : int;
+  released : int;
+  completed : int;
+  met : int;
+  aborted : int;
+  accrued : float;
+  max_possible : float;
+  total_retries : int;
+  max_retries : int;
+  sojourn : Stats.summary;
+}
+
+type result = {
+  sync_name : string;
+  sched_name : string;
+  final_time : int;
+  released : int;
+  completed : int;
+  met : int;
+  aborted : int;
+  in_flight : int;
+  accrued : float;
+  max_possible : float;
+  aur : float;
+  cmr : float;
+  retries_total : int;
+  preemptions : int;
+  blocked_events : int;
+  sched_invocations : int;
+  sched_overhead : int;
+  busy : int;
+  access_samples : Stats.summary;
+  per_task : task_result array;
+  trace : Trace.t;
+}
+
+type event = Arrival of Task.t | Expiry of int
+
+type state = {
+  cfg : config;
+  queue : event Event_queue.t;
+  objects : Resource.t;
+  locks : Lock_manager.t;
+  scheduler : Scheduler.t;
+  trace : Trace.t;
+  mutable now : int;
+  mutable running : Job.t option;
+  mutable next_jid : int;
+  live : (int, Job.t) Hashtbl.t;
+  mutable resolved : Job.t list;
+  mutable sched_invocations : int;
+  mutable sched_overhead : int;
+  mutable busy : int;
+  mutable blocked_events : int;
+  access_samples : Stats.t;
+}
+
+let validate cfg =
+  if cfg.horizon <= 0 then invalid_arg "Simulator: horizon must be positive";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.Task.id then
+        invalid_arg "Simulator: duplicate task id";
+      Hashtbl.replace seen t.Task.id ();
+      List.iter
+        (fun (obj, _) ->
+          if obj < 0 || obj >= cfg.n_objects then
+            invalid_arg "Simulator: access references unknown object")
+        t.Task.accesses)
+    cfg.tasks
+
+let make_scheduler cfg locks =
+  match cfg.sched with
+  | Edf -> Rtlf_core.Edf.make ()
+  | Edf_pip -> Rtlf_core.Edf_pip.make ~locks
+  | Rua -> (
+    match cfg.sync with
+    | Sync.Lock_based _ -> Rtlf_core.Rua_lock_based.make ~locks
+    | Sync.Lock_free _ | Sync.Ideal -> Rtlf_core.Rua_lock_free.make ())
+
+let scheduler_name cfg =
+  (* Mirrors [make_scheduler] without building the lock table. *)
+  match cfg.sched with
+  | Edf -> "edf"
+  | Edf_pip -> "edf-pip"
+  | Rua -> (
+    match cfg.sync with
+    | Sync.Lock_based _ -> "rua-lock-based"
+    | Sync.Lock_free _ | Sync.Ideal -> "rua-lock-free")
+
+(* Remaining CPU demand of a job including nominal sync overheads —
+   what the scheduler uses for PUD and feasibility. *)
+let remaining_cost st job =
+  let sync = st.cfg.sync in
+  let seg_cost = function
+    | Segment.Compute s -> s
+    | Segment.Access { work; _ } -> Sync.nominal_access_cost sync ~work
+    | Segment.Lock _ | Segment.Unlock _ -> (
+      match sync with
+      | Sync.Lock_based { overhead } -> overhead
+      | Sync.Lock_free _ | Sync.Ideal -> 0)
+  in
+  match job.Job.segments with
+  | [] -> 0
+  | head :: tail ->
+    let head_left = max 0 (seg_cost head - job.Job.seg_progress) in
+    List.fold_left (fun acc s -> acc + seg_cost s) head_left tail
+
+let live_jobs st =
+  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) st.live [] in
+  List.sort (fun a b -> compare a.Job.jid b.Job.jid) jobs
+
+(* --- job lifecycle ------------------------------------------------- *)
+
+let resolve st job =
+  Hashtbl.remove st.live job.Job.jid;
+  st.resolved <- job :: st.resolved
+
+let complete_job st job =
+  job.Job.state <- Job.Completed;
+  job.Job.completion <- Some st.now;
+  job.Job.accrued <- Job.utility_at job ~now:st.now;
+  Trace.record st.trace ~time:st.now (Trace.Complete job.Job.jid);
+  if st.running = Some job then st.running <- None;
+  resolve st job
+
+(* Grant chains after a release: the lock manager hands the object to
+   the head waiter; wake it. *)
+let wake_new_owner st obj = function
+  | None -> ()
+  | Some jid -> (
+    match Hashtbl.find_opt st.live jid with
+    | None -> ()
+    | Some waiter ->
+      waiter.Job.state <- Job.Ready;
+      waiter.Job.holding <- obj :: waiter.Job.holding;
+      Trace.record st.trace ~time:st.now (Trace.Wake (waiter.Job.jid, obj));
+      Trace.record st.trace ~time:st.now
+        (Trace.Acquire (waiter.Job.jid, obj)))
+
+let abort_job st job =
+  (match st.cfg.sync with
+  | Sync.Lock_based _ ->
+    let released = Lock_manager.release_all st.locks ~jid:job.Job.jid in
+    List.iter
+      (fun (obj, new_owner) ->
+        Trace.record st.trace ~time:st.now (Trace.Release (job.Job.jid, obj));
+        wake_new_owner st obj new_owner)
+      released;
+    job.Job.holding <- []
+  | Sync.Lock_free _ | Sync.Ideal -> ());
+  job.Job.state <- Job.Aborted;
+  Trace.record st.trace ~time:st.now (Trace.Abort job.Job.jid);
+  if st.running = Some job then st.running <- None;
+  (* The exception handler runs immediately on the CPU (§3.5). *)
+  let handler = job.Job.task.Task.abort_cost in
+  if handler > 0 then begin
+    st.now <- st.now + handler;
+    st.busy <- st.busy + handler
+  end;
+  resolve st job
+
+let preempt st job =
+  job.Job.state <- Job.Ready;
+  job.Job.preemptions <- job.Job.preemptions + 1;
+  Trace.record st.trace ~time:st.now (Trace.Preempt job.Job.jid);
+  (match (st.cfg.sync, job.Job.segments) with
+  | Sync.Lock_free _, Segment.Access { obj; _ } :: _
+    when st.cfg.retry_on_any_preemption && job.Job.seg_progress > 0 ->
+    Job.restart_access job;
+    Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj))
+  | _ -> ());
+  st.running <- None
+
+let set_running st job =
+  job.Job.state <- Job.Running;
+  Trace.record st.trace ~time:st.now (Trace.Start job.Job.jid);
+  st.running <- Some job
+
+(* --- scheduler invocation ------------------------------------------ *)
+
+let invoke_scheduler st =
+  let jobs = live_jobs st in
+  let decision =
+    st.scheduler.Scheduler.decide ~now:st.now ~jobs
+      ~remaining:(remaining_cost st)
+  in
+  st.sched_invocations <- st.sched_invocations + 1;
+  Trace.record st.trace ~time:st.now (Trace.Sched decision.Scheduler.ops);
+  let cost =
+    st.cfg.sched_base + (st.cfg.sched_per_op * decision.Scheduler.ops)
+  in
+  st.now <- st.now + cost;
+  st.sched_overhead <- st.sched_overhead + cost;
+  (* Deadlock victims (only possible with nested sections). *)
+  List.iter
+    (fun victim -> if Job.is_live victim then abort_job st victim)
+    decision.Scheduler.aborts;
+  let target =
+    match decision.Scheduler.dispatch with
+    | Some j when Job.is_runnable j && Hashtbl.mem st.live j.Job.jid ->
+      Some j
+    | Some _ | None -> None
+  in
+  match (st.running, target) with
+  | Some cur, Some j when cur.Job.jid = j.Job.jid -> ()
+  | Some cur, Some j ->
+    preempt st cur;
+    set_running st j
+  | Some cur, None -> preempt st cur
+  | None, Some j -> set_running st j
+  | None, None -> ()
+
+(* --- event handling ------------------------------------------------- *)
+
+let handle_event st time ev =
+  match ev with
+  | Arrival task ->
+    let jid = st.next_jid in
+    st.next_jid <- st.next_jid + 1;
+    let job = Job.create ~task ~jid ~arrival:time in
+    Hashtbl.replace st.live jid job;
+    Event_queue.add st.queue
+      ~time:(Job.absolute_critical_time job)
+      (Expiry jid);
+    Trace.record st.trace ~time:st.now (Trace.Arrive jid)
+  | Expiry jid -> (
+    match Hashtbl.find_opt st.live jid with
+    | None -> () (* already resolved *)
+    | Some job -> abort_job st job)
+
+(* Pop and handle every event due at or before [st.now] (and within the
+   horizon). Returns the number handled. *)
+let process_due_events st =
+  let rec go n =
+    match Event_queue.peek st.queue with
+    | Some (t, _) when t <= st.now && t < st.cfg.horizon ->
+      let t, ev = Event_queue.pop_exn st.queue in
+      handle_event st t ev;
+      go (n + 1)
+    | Some _ | None -> n
+  in
+  go 0
+
+(* --- running-job execution ------------------------------------------ *)
+
+(* Set up per-attempt bookkeeping before executing a slice. *)
+let prepare_attempt st job =
+  match job.Job.segments with
+  | Segment.Access { obj; _ } :: _ -> (
+    if job.Job.access_enter = None then job.Job.access_enter <- Some st.now;
+    match st.cfg.sync with
+    | Sync.Lock_free _ ->
+      if job.Job.seg_progress = 0 && job.Job.attempt_snapshot = None then
+        job.Job.attempt_snapshot <- Some (Resource.version st.objects obj)
+    | Sync.Lock_based _ | Sync.Ideal -> ())
+  | (Segment.Lock _ | Segment.Unlock _) :: _
+  | Segment.Compute _ :: _
+  | [] ->
+    ()
+
+(* Nanoseconds until the running job's next boundary action. *)
+let next_step st job =
+  match job.Job.segments with
+  | [] -> 0
+  | Segment.Compute s :: _ -> max 0 (s - job.Job.seg_progress)
+  | Segment.Access { work; _ } :: _ -> (
+    match st.cfg.sync with
+    | Sync.Ideal -> 0
+    | Sync.Lock_free { overhead } ->
+      max 0 (overhead + work - job.Job.seg_progress)
+    | Sync.Lock_based { overhead } ->
+      if not job.Job.lock_pending then max 0 (overhead - job.Job.seg_progress)
+      else max 0 ((2 * overhead) + work - job.Job.seg_progress))
+  | (Segment.Lock _ | Segment.Unlock _) :: _ -> (
+    match st.cfg.sync with
+    | Sync.Lock_based { overhead } ->
+      max 0 (overhead - job.Job.seg_progress)
+    | Sync.Lock_free _ | Sync.Ideal -> 0)
+
+let record_access_sample st job =
+  match job.Job.access_enter with
+  | Some enter ->
+    Stats.add st.access_samples (float_of_int (st.now - enter))
+  | None -> Stats.add st.access_samples 0.0
+
+(* Complete the head segment; returns [`Sched_event] when the boundary
+   is a scheduling event (job departure or lock/unlock request). *)
+let boundary st job =
+  match job.Job.segments with
+  | [] ->
+    complete_job st job;
+    `Sched_event
+  | Segment.Compute _ :: _ ->
+    Job.finish_segment job;
+    if job.Job.segments = [] then begin
+      complete_job st job;
+      `Sched_event
+    end
+    else `Continue
+  | Segment.Lock obj :: _ -> (
+    match st.cfg.sync with
+    | Sync.Lock_free _ | Sync.Ideal ->
+      (* The lock-free model excludes nested sections (§3.3): lock
+         markers are skipped at zero cost. *)
+      Job.finish_segment job;
+      if job.Job.segments = [] then begin
+        complete_job st job;
+        `Sched_event
+      end
+      else `Continue
+    | Sync.Lock_based _ ->
+      if job.Job.lock_pending then begin
+        (* Woken after blocking: the lock manager already granted the
+           object on release (see [wake_new_owner]). *)
+        assert (List.mem obj job.Job.holding);
+        Job.finish_segment job;
+        `Continue
+      end
+      else begin
+        job.Job.lock_pending <- true;
+        match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
+        | Lock_manager.Granted ->
+          job.Job.holding <- obj :: job.Job.holding;
+          Trace.record st.trace ~time:st.now
+            (Trace.Acquire (job.Job.jid, obj));
+          Job.finish_segment job;
+          if job.Job.segments = [] then complete_job st job;
+          `Sched_event
+        | Lock_manager.Blocked_on _ ->
+          job.Job.state <- Job.Blocked obj;
+          job.Job.blocked_count <- job.Job.blocked_count + 1;
+          st.blocked_events <- st.blocked_events + 1;
+          Trace.record st.trace ~time:st.now
+            (Trace.Block (job.Job.jid, obj));
+          st.running <- None;
+          `Sched_event
+      end)
+  | Segment.Unlock obj :: _ -> (
+    match st.cfg.sync with
+    | Sync.Lock_free _ | Sync.Ideal ->
+      Job.finish_segment job;
+      if job.Job.segments = [] then begin
+        complete_job st job;
+        `Sched_event
+      end
+      else `Continue
+    | Sync.Lock_based _ ->
+      let new_owner = Lock_manager.release st.locks ~jid:job.Job.jid ~obj in
+      job.Job.holding <- List.filter (fun o -> o <> obj) job.Job.holding;
+      Trace.record st.trace ~time:st.now (Trace.Release (job.Job.jid, obj));
+      wake_new_owner st obj new_owner;
+      Resource.bump st.objects obj;
+      Resource.record_access st.objects obj;
+      Job.finish_segment job;
+      if job.Job.segments = [] then complete_job st job;
+      `Sched_event)
+  | Segment.Access { obj; work = _; write } :: _ -> (
+    match st.cfg.sync with
+    | Sync.Ideal ->
+      Resource.record_access st.objects obj;
+      if write then Resource.bump st.objects obj;
+      record_access_sample st job;
+      Trace.record st.trace ~time:st.now
+        (Trace.Access_done (job.Job.jid, obj));
+      Job.finish_segment job;
+      if job.Job.segments = [] then begin
+        complete_job st job;
+        `Sched_event
+      end
+      else `Continue
+    | Sync.Lock_free _ -> (
+      (* Attempt finished: validate against the object version. *)
+      let current = Resource.version st.objects obj in
+      match job.Job.attempt_snapshot with
+      | Some snap when snap <> current ->
+        Job.restart_access job;
+        Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj));
+        `Continue
+      | Some _ | None ->
+        (* Only writers invalidate peers' in-flight attempts. *)
+        if write then Resource.bump st.objects obj;
+        Resource.record_access st.objects obj;
+        record_access_sample st job;
+        Trace.record st.trace ~time:st.now
+          (Trace.Access_done (job.Job.jid, obj));
+        Job.finish_segment job;
+        if job.Job.segments = [] then begin
+          complete_job st job;
+          `Sched_event
+        end
+        else `Continue)
+    | Sync.Lock_based _ ->
+      if not job.Job.lock_pending then begin
+        (* Lock request point. *)
+        job.Job.lock_pending <- true;
+        match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
+        | Lock_manager.Granted ->
+          job.Job.holding <- obj :: job.Job.holding;
+          Trace.record st.trace ~time:st.now
+            (Trace.Acquire (job.Job.jid, obj));
+          `Sched_event
+        | Lock_manager.Blocked_on _ ->
+          job.Job.state <- Job.Blocked obj;
+          job.Job.blocked_count <- job.Job.blocked_count + 1;
+          st.blocked_events <- st.blocked_events + 1;
+          Trace.record st.trace ~time:st.now
+            (Trace.Block (job.Job.jid, obj));
+          st.running <- None;
+          `Sched_event
+      end
+      else begin
+        (* Unlock point. *)
+        let new_owner = Lock_manager.release st.locks ~jid:job.Job.jid ~obj in
+        job.Job.holding <-
+          List.filter (fun o -> o <> obj) job.Job.holding;
+        Trace.record st.trace ~time:st.now
+          (Trace.Release (job.Job.jid, obj));
+        wake_new_owner st obj new_owner;
+        if write then Resource.bump st.objects obj;
+        Resource.record_access st.objects obj;
+        record_access_sample st job;
+        Trace.record st.trace ~time:st.now
+          (Trace.Access_done (job.Job.jid, obj));
+        Job.finish_segment job;
+        if job.Job.segments = [] then complete_job st job;
+        `Sched_event
+      end)
+
+let run_slice st job =
+  prepare_attempt st job;
+  let step = next_step st job in
+  let next_ev =
+    match Event_queue.peek_time st.queue with
+    | Some t -> min t st.cfg.horizon
+    | None -> st.cfg.horizon
+  in
+  let finish = st.now + step in
+  if finish <= next_ev then begin
+    job.Job.seg_progress <- job.Job.seg_progress + step;
+    st.busy <- st.busy + step;
+    st.now <- finish;
+    match boundary st job with
+    | `Sched_event -> invoke_scheduler st
+    | `Continue -> ()
+  end
+  else begin
+    let delta = next_ev - st.now in
+    job.Job.seg_progress <- job.Job.seg_progress + delta;
+    st.busy <- st.busy + delta;
+    st.now <- next_ev
+  end
+
+(* --- main loop ------------------------------------------------------ *)
+
+let rec main_loop st =
+  if st.now < st.cfg.horizon then begin
+    if process_due_events st > 0 then begin
+      invoke_scheduler st;
+      main_loop st
+    end
+    else
+      match st.running with
+      | Some job ->
+        run_slice st job;
+        main_loop st
+      | None -> (
+        match Event_queue.peek_time st.queue with
+        | None -> () (* no events, nothing running: done *)
+        | Some t when t >= st.cfg.horizon -> ()
+        | Some t ->
+          st.now <- max st.now t;
+          main_loop st)
+  end
+
+(* --- result assembly ------------------------------------------------ *)
+
+let summarise st =
+  let cfg = st.cfg in
+  let jobs = st.resolved in
+  let max_id =
+    List.fold_left (fun acc t -> max acc t.Task.id) (-1) cfg.tasks
+  in
+  let n_tasks = max_id + 1 in
+  let released = Array.make n_tasks 0 in
+  let completed = Array.make n_tasks 0 in
+  let met = Array.make n_tasks 0 in
+  let aborted = Array.make n_tasks 0 in
+  let accrued = Array.make n_tasks 0.0 in
+  let max_possible = Array.make n_tasks 0.0 in
+  let total_retries = Array.make n_tasks 0 in
+  let max_retries = Array.make n_tasks 0 in
+  let sojourns = Array.init n_tasks (fun _ -> Stats.create ()) in
+  let preempt_total = ref 0 in
+  List.iter
+    (fun (job : Job.t) ->
+      let i = job.Job.task.Task.id in
+      released.(i) <- released.(i) + 1;
+      preempt_total := !preempt_total + job.Job.preemptions;
+      max_possible.(i) <-
+        max_possible.(i)
+        (* The supremum of the TUF, not U(0): increasing piecewise
+           shapes (Fig. 1(c)) peak after arrival, and AUR must stay
+           within [0, 1]. *)
+        +. Rtlf_model.Tuf.max_utility job.Job.task.Task.tuf;
+      total_retries.(i) <- total_retries.(i) + job.Job.retries;
+      if job.Job.retries > max_retries.(i) then
+        max_retries.(i) <- job.Job.retries;
+      match job.Job.state with
+      | Job.Completed ->
+        completed.(i) <- completed.(i) + 1;
+        accrued.(i) <- accrued.(i) +. job.Job.accrued;
+        (match Job.sojourn job with
+        | Some s ->
+          Stats.add sojourns.(i) (float_of_int s);
+          if s < Task.critical_time job.Job.task then
+            met.(i) <- met.(i) + 1
+        | None -> ())
+      | Job.Aborted -> aborted.(i) <- aborted.(i) + 1
+      | Job.Ready | Job.Running | Job.Blocked _ -> assert false)
+    jobs;
+  let per_task =
+    Array.init n_tasks (fun i ->
+        {
+          task_id = i;
+          released = released.(i);
+          completed = completed.(i);
+          met = met.(i);
+          aborted = aborted.(i);
+          accrued = accrued.(i);
+          max_possible = max_possible.(i);
+          total_retries = total_retries.(i);
+          max_retries = max_retries.(i);
+          sojourn = Stats.summary sojourns.(i);
+        })
+  in
+  let sum f = Array.fold_left (fun acc tr -> acc + f tr) 0 per_task in
+  let sumf f = Array.fold_left (fun acc tr -> acc +. f tr) 0.0 per_task in
+  let released_all = sum (fun tr -> tr.released) in
+  let completed_all = sum (fun tr -> tr.completed) in
+  let met_all = sum (fun tr -> tr.met) in
+  let accrued_all = sumf (fun tr -> tr.accrued) in
+  let possible_all = sumf (fun tr -> tr.max_possible) in
+  {
+    sync_name = Sync.name cfg.sync;
+    sched_name = st.scheduler.Scheduler.name;
+    final_time = st.now;
+    released = released_all;
+    completed = completed_all;
+    met = met_all;
+    aborted = sum (fun tr -> tr.aborted);
+    in_flight = Hashtbl.length st.live;
+    accrued = accrued_all;
+    max_possible = possible_all;
+    aur = (if possible_all > 0.0 then accrued_all /. possible_all else 0.0);
+    cmr =
+      (if released_all > 0 then
+         float_of_int met_all /. float_of_int released_all
+       else 0.0);
+    retries_total = sum (fun tr -> tr.total_retries);
+    preemptions = !preempt_total;
+    blocked_events = st.blocked_events;
+    sched_invocations = st.sched_invocations;
+    sched_overhead = st.sched_overhead;
+    busy = st.busy;
+    access_samples = Stats.summary st.access_samples;
+    per_task;
+    trace = st.trace;
+  }
+
+let run cfg =
+  validate cfg;
+  let objects = Resource.create ~n:cfg.n_objects in
+  let locks = Lock_manager.create ~objects in
+  let st =
+    {
+      cfg;
+      queue = Event_queue.create ();
+      objects;
+      locks;
+      scheduler = make_scheduler cfg locks;
+      trace = Trace.create ~enabled:cfg.trace;
+      now = 0;
+      running = None;
+      next_jid = 0;
+      live = Hashtbl.create 64;
+      resolved = [];
+      sched_invocations = 0;
+      sched_overhead = 0;
+      busy = 0;
+      blocked_events = 0;
+      access_samples = Stats.create ();
+    }
+  in
+  let root = Prng.create ~seed:cfg.seed in
+  List.iter
+    (fun task ->
+      let g = Prng.split root in
+      let arrivals =
+        Uam.generate task.Task.arrival g ~start:0 ~horizon:cfg.horizon
+      in
+      List.iter
+        (fun t -> Event_queue.add st.queue ~time:t (Arrival task))
+        arrivals)
+    cfg.tasks;
+  main_loop st;
+  summarise st

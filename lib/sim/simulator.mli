@@ -1,0 +1,102 @@
+(** Preemptive single-CPU RTOS simulator.
+
+    Substitutes for the paper's QNX/Pentium-III testbed (§6). Virtual
+    time is integer nanoseconds. The simulator:
+
+    - releases jobs according to each task's UAM law (seeded,
+      deterministic);
+    - invokes the configured scheduler at every scheduling event — job
+      arrival, departure, critical-time expiry, and, for lock-based
+      sharing, lock/unlock requests — charging
+      [sched_base + sched_per_op × ops] ns of CPU per invocation, where
+      [ops] is the algorithm's own abstract operation count (§3.6);
+    - executes the dispatched job's compute/access segments, charging
+      blocking (lock-based) or optimistic retries (lock-free) at access
+      boundaries;
+    - aborts jobs whose critical time expires, running their exception
+      handlers and releasing their locks (§3.5). *)
+
+type sched_kind =
+  | Edf      (** deadline baseline (no lock awareness) *)
+  | Edf_pip  (** EDF with priority inheritance (Sha et al. [23]) *)
+  | Rua      (** RUA, specialised by the sync discipline *)
+
+type config = {
+  tasks : Rtlf_model.Task.t list;  (** unique ids [0 .. n−1] expected *)
+  sync : Sync.t;
+  sched : sched_kind;
+  n_objects : int;
+  horizon : int;                   (** stop at this virtual time, ns *)
+  seed : int;
+  sched_base : int;                (** fixed ns per scheduler invocation *)
+  sched_per_op : int;              (** ns per abstract scheduler op *)
+  retry_on_any_preemption : bool;
+      (** ablation: Lemma 1's adversary — any preemption inside a
+          lock-free attempt forces a retry, not just real conflicts *)
+  trace : bool;                    (** record a {!Trace.t} *)
+}
+
+val config :
+  tasks:Rtlf_model.Task.t list ->
+  sync:Sync.t ->
+  ?sched:sched_kind ->
+  ?n_objects:int ->
+  horizon:int ->
+  ?seed:int ->
+  ?sched_base:int ->
+  ?sched_per_op:int ->
+  ?retry_on_any_preemption:bool ->
+  ?trace:bool ->
+  unit ->
+  config
+(** [config ~tasks ~sync ~horizon ()] fills in defaults: RUA
+    scheduling, object count inferred from the tasks' accesses, seed 1,
+    [sched_base = 200] ns, [sched_per_op = 25] ns, realistic conflict
+    detection, no trace. *)
+
+type task_result = {
+  task_id : int;
+  released : int;   (** jobs resolved (completed + aborted) *)
+  completed : int;
+  met : int;        (** completed strictly before the critical time *)
+  aborted : int;
+  accrued : float;
+  max_possible : float;  (** Σ Uᵢ(0) over resolved jobs *)
+  total_retries : int;
+  max_retries : int;     (** worst per-job retry count (Theorem 2) *)
+  sojourn : Rtlf_engine.Stats.summary;  (** of completed jobs, ns *)
+}
+
+type result = {
+  sync_name : string;
+  sched_name : string;
+  final_time : int;
+  released : int;
+  completed : int;
+  met : int;
+  aborted : int;
+  in_flight : int;        (** unresolved at the horizon *)
+  accrued : float;
+  max_possible : float;
+  aur : float;            (** accrued / max_possible *)
+  cmr : float;            (** met / released *)
+  retries_total : int;
+  preemptions : int;
+  blocked_events : int;
+  sched_invocations : int;
+  sched_overhead : int;   (** total ns charged to scheduling *)
+  busy : int;             (** total ns executing job code *)
+  access_samples : Rtlf_engine.Stats.summary;
+      (** per-access wall durations — the measured r or s (§6.1) *)
+  per_task : task_result array;  (** indexed by task id *)
+  trace : Trace.t;
+}
+
+val run : config -> result
+(** [run cfg] executes the simulation to the horizon and summarises.
+    Raises [Invalid_argument] on inconsistent configs (duplicate task
+    ids, out-of-range object references, non-positive horizon). *)
+
+val scheduler_name : config -> string
+(** [scheduler_name cfg] is the name of the scheduler [run] would
+    instantiate. *)

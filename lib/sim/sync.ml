@@ -1,0 +1,26 @@
+type t =
+  | Lock_based of { overhead : int }
+  | Lock_free of { overhead : int }
+  | Ideal
+
+let name = function
+  | Lock_based _ -> "lock-based"
+  | Lock_free _ -> "lock-free"
+  | Ideal -> "ideal"
+
+let nominal_access_cost sync ~work =
+  match sync with
+  | Lock_based { overhead } -> (2 * overhead) + work
+  | Lock_free { overhead } -> overhead + work
+  | Ideal -> 0
+
+let uses_lock_events = function
+  | Lock_based _ -> true
+  | Lock_free _ | Ideal -> false
+
+let pp fmt sync =
+  match sync with
+  | Lock_based { overhead } ->
+    Format.fprintf fmt "lock-based(ov=%dns)" overhead
+  | Lock_free { overhead } -> Format.fprintf fmt "lock-free(ov=%dns)" overhead
+  | Ideal -> Format.pp_print_string fmt "ideal"

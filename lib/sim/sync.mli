@@ -1,0 +1,42 @@
+(** Object-sharing disciplines (§1.1, §5).
+
+    The simulator charges shared-object accesses according to one of
+    three disciplines:
+
+    - {b Lock-based}: each access is lock-request / critical-section /
+      unlock. The request and the release each cost [overhead] ns of
+      CPU and each is a {e scheduling event} (RUA is re-invoked — the
+      paper's main source of lock-based cost). A request on a held
+      object blocks the job.
+    - {b Lock-free}: each access is an optimistic attempt of
+      [overhead + work] ns. If the object was modified by another job
+      between the start and the end of the attempt, the attempt retries
+      (compare-and-swap discipline). Lock and unlock scheduling events
+      do not exist.
+    - {b Ideal}: accesses are free — the paper's reference point for
+      isolating scheduler overhead (§6.1). *)
+
+type t =
+  | Lock_based of { overhead : int }
+      (** [overhead]: lock-management CPU cost (ns) charged at request
+          and again at release. *)
+  | Lock_free of { overhead : int }
+      (** [overhead]: per-attempt CAS/validation CPU cost (ns) added to
+          the access work. *)
+  | Ideal  (** zero-cost accesses *)
+
+val name : t -> string
+(** [name sync] is ["lock-based" | "lock-free" | "ideal"]. *)
+
+val nominal_access_cost : t -> work:int -> int
+(** [nominal_access_cost sync ~work] is the conflict- and blocking-free
+    CPU cost of one access: [2·overhead + work] (lock-based),
+    [overhead + work] (lock-free), [0] (ideal). This is the paper's
+    per-access [t_acc] used in remaining-cost estimates. *)
+
+val uses_lock_events : t -> bool
+(** [uses_lock_events sync] is [true] iff lock/unlock requests are
+    scheduling events under [sync] (lock-based only, §4.1). *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt sync] prints the name and overhead. *)

@@ -1,0 +1,122 @@
+type cell = Idle | Run | Blocked | Retried | Done | Killed
+
+type row = { jid : int; label : string; cells : cell array }
+
+type t = { bucket_ns : int; origin : int; rows : row list }
+
+(* Priority when several events land in one bucket: terminal states
+   beat retries beat blocking beats running. *)
+let rank = function
+  | Idle -> 0
+  | Run -> 1
+  | Blocked -> 2
+  | Retried -> 3
+  | Done -> 4
+  | Killed -> 5
+
+let merge a b = if rank b > rank a then b else a
+
+let build ?(buckets = 72) ?(max_jobs = 20) trace =
+  if buckets <= 0 then invalid_arg "Timeline.build: buckets must be positive";
+  if max_jobs <= 0 then invalid_arg "Timeline.build: max_jobs must be positive";
+  let entries = Trace.entries trace in
+  (match entries with
+  | [] -> invalid_arg "Timeline.build: empty trace"
+  | _ -> ());
+  let times = List.map (fun e -> e.Trace.time) entries in
+  let origin = List.fold_left min max_int times in
+  let finish = List.fold_left max min_int times in
+  let span = max 1 (finish - origin) in
+  let bucket_ns = max 1 ((span + buckets - 1) / buckets) in
+  let col time = min (buckets - 1) ((time - origin) / bucket_ns) in
+  (* Collect jobs in arrival order. *)
+  let jobs = Hashtbl.create 32 in
+  let order = ref [] in
+  let touch jid =
+    if not (Hashtbl.mem jobs jid) then begin
+      Hashtbl.replace jobs jid (Array.make buckets Idle);
+      order := jid :: !order
+    end;
+    Hashtbl.find jobs jid
+  in
+  let mark jid time cell =
+    let cells = touch jid in
+    let c = col time in
+    cells.(c) <- merge cells.(c) cell
+  in
+  (* Running intervals: remember dispatch time per jid; close on the
+     next preempt/block/complete/abort or another job's start. *)
+  let running = ref None in
+  let close_run time =
+    match !running with
+    | None -> ()
+    | Some (jid, since) ->
+      let cells = touch jid in
+      for c = col since to col time do
+        cells.(c) <- merge cells.(c) Run
+      done;
+      running := None
+  in
+  List.iter
+    (fun { Trace.time; kind } ->
+      match kind with
+      | Trace.Arrive jid -> ignore (touch jid)
+      | Trace.Start jid ->
+        close_run time;
+        running := Some (jid, time)
+      | Trace.Preempt jid ->
+        close_run time;
+        ignore jid
+      | Trace.Block (jid, _) ->
+        close_run time;
+        mark jid time Blocked
+      | Trace.Wake (jid, _) -> ignore (touch jid)
+      | Trace.Retry (jid, _) -> mark jid time Retried
+      | Trace.Complete jid ->
+        close_run time;
+        mark jid time Done
+      | Trace.Abort jid ->
+        close_run time;
+        mark jid time Killed
+      | Trace.Acquire _ | Trace.Release _ | Trace.Access_done _
+      | Trace.Sched _ ->
+        ())
+    entries;
+  close_run finish;
+  let rows =
+    !order |> List.rev
+    |> List.filteri (fun i _ -> i < max_jobs)
+    |> List.map (fun jid ->
+           {
+             jid;
+             label = Printf.sprintf "J%-4d" jid;
+             cells = Hashtbl.find jobs jid;
+           })
+  in
+  { bucket_ns; origin; rows }
+
+let cell_char = function
+  | Idle -> '.'
+  | Run -> '#'
+  | Blocked -> 'b'
+  | Retried -> 'r'
+  | Done -> 'C'
+  | Killed -> 'X'
+
+let render timeline =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "timeline: origin=%dns bucket=%dns  (#=run b=blocked r=retry \
+        C=complete X=abort)\n"
+       timeline.origin timeline.bucket_ns);
+  List.iter
+    (fun row ->
+      Buffer.add_string buf row.label;
+      Buffer.add_char buf ' ';
+      Array.iter (fun c -> Buffer.add_char buf (cell_char c)) row.cells;
+      Buffer.add_char buf '\n')
+    timeline.rows;
+  Buffer.contents buf
+
+let pp fmt timeline = Format.pp_print_string fmt (render timeline)

@@ -1,0 +1,112 @@
+type kind =
+  | Arrive of int
+  | Start of int
+  | Preempt of int
+  | Block of int * int
+  | Wake of int * int
+  | Acquire of int * int
+  | Release of int * int
+  | Retry of int * int
+  | Access_done of int * int
+  | Complete of int
+  | Abort of int
+  | Sched of int
+
+type entry = { time : int; kind : kind }
+
+type t = { enabled : bool; mutable rev_entries : entry list }
+
+let create ~enabled = { enabled; rev_entries = [] }
+
+let record tr ~time kind =
+  if tr.enabled then tr.rev_entries <- { time; kind } :: tr.rev_entries
+
+let entries tr = List.rev tr.rev_entries
+
+let check_mutual_exclusion tr =
+  let owners = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> Ok ()
+    | { time; kind } :: rest -> (
+      match kind with
+      | Acquire (jid, obj) -> (
+        match Hashtbl.find_opt owners obj with
+        | Some holder when holder <> jid ->
+          Error
+            (Printf.sprintf
+               "t=%d: J%d acquired object %d already held by J%d" time jid
+               obj holder)
+        | _ ->
+          Hashtbl.replace owners obj jid;
+          go rest)
+      | Release (jid, obj) -> (
+        match Hashtbl.find_opt owners obj with
+        | Some holder when holder = jid ->
+          Hashtbl.remove owners obj;
+          go rest
+        | _ ->
+          Error
+            (Printf.sprintf "t=%d: J%d released object %d it did not hold"
+               time jid obj))
+      | Arrive _ | Start _ | Preempt _ | Block _ | Wake _ | Retry _
+      | Access_done _ | Complete _ | Abort _ | Sched _ ->
+        go rest)
+  in
+  go (entries tr)
+
+let check_abort_releases tr =
+  let held = Hashtbl.create 8 in
+  (* jid -> obj list *)
+  let holding jid =
+    match Hashtbl.find_opt held jid with Some objs -> objs | None -> []
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | { time; kind } :: rest -> (
+      match kind with
+      | Acquire (jid, obj) ->
+        Hashtbl.replace held jid (obj :: holding jid);
+        go rest
+      | Release (jid, obj) ->
+        Hashtbl.replace held jid (List.filter (( <> ) obj) (holding jid));
+        go rest
+      | Complete jid | Abort jid ->
+        if holding jid <> [] then
+          Error
+            (Printf.sprintf "t=%d: J%d ended while holding %d object(s)"
+               time jid
+               (List.length (holding jid)))
+        else go rest
+      | Arrive _ | Start _ | Preempt _ | Block _ | Wake _ | Retry _
+      | Access_done _ | Sched _ ->
+        go rest)
+  in
+  go (entries tr)
+
+let count tr pred =
+  List.fold_left
+    (fun acc e -> if pred e.kind then acc + 1 else acc)
+    0 (entries tr)
+
+let preemptions tr =
+  count tr (function Preempt _ -> true | _ -> false)
+
+let scheduler_invocations tr =
+  count tr (function Sched _ -> true | _ -> false)
+
+let pp_kind fmt = function
+  | Arrive jid -> Format.fprintf fmt "arrive J%d" jid
+  | Start jid -> Format.fprintf fmt "start J%d" jid
+  | Preempt jid -> Format.fprintf fmt "preempt J%d" jid
+  | Block (jid, obj) -> Format.fprintf fmt "block J%d on o%d" jid obj
+  | Wake (jid, obj) -> Format.fprintf fmt "wake J%d with o%d" jid obj
+  | Acquire (jid, obj) -> Format.fprintf fmt "acquire J%d o%d" jid obj
+  | Release (jid, obj) -> Format.fprintf fmt "release J%d o%d" jid obj
+  | Retry (jid, obj) -> Format.fprintf fmt "retry J%d o%d" jid obj
+  | Access_done (jid, obj) -> Format.fprintf fmt "access J%d o%d" jid obj
+  | Complete jid -> Format.fprintf fmt "complete J%d" jid
+  | Abort jid -> Format.fprintf fmt "abort J%d" jid
+  | Sched ops -> Format.fprintf fmt "sched(ops=%d)" ops
+
+let pp_entry fmt e =
+  Format.fprintf fmt "t=%d %a" e.time pp_kind e.kind

@@ -1,0 +1,59 @@
+(** Simulation event traces and invariant checkers.
+
+    When tracing is enabled, the simulator records every externally
+    meaningful transition. Tests use the checkers to validate
+    system-wide invariants end-to-end (mutual exclusion, abort-implies-
+    release, Lemma 1's preemption/event inequality). *)
+
+type kind =
+  | Arrive of int            (** jid arrived *)
+  | Start of int             (** jid dispatched onto the CPU *)
+  | Preempt of int           (** jid lost the CPU to another job *)
+  | Block of int * int       (** jid blocked on object *)
+  | Wake of int * int        (** jid granted object after waiting *)
+  | Acquire of int * int     (** jid locked object *)
+  | Release of int * int     (** jid unlocked object *)
+  | Retry of int * int       (** jid retried its access to object *)
+  | Access_done of int * int (** jid completed an access to object *)
+  | Complete of int          (** jid finished *)
+  | Abort of int             (** jid aborted at its critical time *)
+  | Sched of int             (** scheduler invoked; payload = ops *)
+
+type entry = { time : int; kind : kind }
+
+type t
+(** A mutable trace recorder. *)
+
+val create : enabled:bool -> t
+(** [create ~enabled] records nothing when [enabled] is [false]. *)
+
+val record : t -> time:int -> kind -> unit
+(** [record tr ~time kind] appends one entry (O(1)). *)
+
+val entries : t -> entry list
+(** [entries tr] is the recorded history in chronological order. *)
+
+val check_mutual_exclusion : t -> (unit, string) result
+(** [check_mutual_exclusion tr] verifies that between a job's [Acquire]
+    of an object and the matching [Release], no other job acquires the
+    same object. *)
+
+val check_abort_releases : t -> (unit, string) result
+(** [check_abort_releases tr] verifies no job holds a lock after its
+    [Abort] or [Complete] entry (every [Acquire] is matched by a
+    [Release] before the job ends). *)
+
+val preemptions : t -> int
+(** [preemptions tr] counts [Preempt] entries. *)
+
+val scheduler_invocations : t -> int
+(** [scheduler_invocations tr] counts [Sched] entries. *)
+
+val count : t -> (kind -> bool) -> int
+(** [count tr pred] counts entries whose kind satisfies [pred]. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+(** [pp_kind fmt k] prints one kind. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** [pp_entry fmt e] prints ["t=<ns> <kind>"]. *)

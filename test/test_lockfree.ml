@@ -1,0 +1,230 @@
+(* Native lock-free structure tests: sequential semantics against model
+   queues/stacks (qcheck), multi-domain conservation, backoff. *)
+
+module Ms_queue = Rtlf_lockfree.Ms_queue
+module Treiber_stack = Rtlf_lockfree.Treiber_stack
+module Lock_queue = Rtlf_lockfree.Lock_queue
+module Lock_stack = Rtlf_lockfree.Lock_stack
+module Backoff = Rtlf_lockfree.Backoff
+module Stress = Rtlf_lockfree.Stress
+
+(* --- sequential semantics ------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let q = Ms_queue.create () in
+  Alcotest.(check bool) "fresh empty" true (Ms_queue.is_empty q);
+  Alcotest.(check bool) "dequeue empty" true (Ms_queue.dequeue q = None);
+  List.iter (Ms_queue.enqueue q) [ 1; 2; 3 ];
+  Alcotest.(check bool) "peek head" true (Ms_queue.peek q = Some 1);
+  Alcotest.(check int) "length" 3 (Ms_queue.length q);
+  Alcotest.(check (list int)) "snapshot" [ 1; 2; 3 ] (Ms_queue.to_list q);
+  Alcotest.(check bool) "fifo 1" true (Ms_queue.dequeue q = Some 1);
+  Alcotest.(check bool) "fifo 2" true (Ms_queue.dequeue q = Some 2);
+  Ms_queue.enqueue q 4;
+  Alcotest.(check bool) "fifo 3" true (Ms_queue.dequeue q = Some 3);
+  Alcotest.(check bool) "fifo 4" true (Ms_queue.dequeue q = Some 4);
+  Alcotest.(check bool) "drained" true (Ms_queue.is_empty q)
+
+let test_stack_lifo () =
+  let st = Treiber_stack.create () in
+  Alcotest.(check bool) "fresh empty" true (Treiber_stack.is_empty st);
+  List.iter (Treiber_stack.push st) [ 1; 2; 3 ];
+  Alcotest.(check bool) "peek top" true (Treiber_stack.peek st = Some 3);
+  Alcotest.(check (list int)) "snapshot" [ 3; 2; 1 ]
+    (Treiber_stack.to_list st);
+  Alcotest.(check bool) "lifo" true (Treiber_stack.pop st = Some 3);
+  Alcotest.(check bool) "lifo" true (Treiber_stack.pop st = Some 2);
+  Alcotest.(check bool) "lifo" true (Treiber_stack.pop st = Some 1);
+  Alcotest.(check bool) "empty pop" true (Treiber_stack.pop st = None)
+
+let test_lock_queue_fifo () =
+  let q = Lock_queue.create () in
+  List.iter (Lock_queue.enqueue q) [ 10; 20 ];
+  Alcotest.(check bool) "peek" true (Lock_queue.peek q = Some 10);
+  Alcotest.(check int) "length" 2 (Lock_queue.length q);
+  Alcotest.(check (list int)) "to_list" [ 10; 20 ] (Lock_queue.to_list q);
+  Alcotest.(check bool) "fifo" true (Lock_queue.dequeue q = Some 10);
+  Alcotest.(check bool) "acquisitions counted" true
+    (Lock_queue.acquisitions q > 0)
+
+let test_lock_stack_lifo () =
+  let st = Lock_stack.create () in
+  List.iter (Lock_stack.push st) [ 1; 2 ];
+  Alcotest.(check bool) "peek" true (Lock_stack.peek st = Some 2);
+  Alcotest.(check int) "length" 2 (Lock_stack.length st);
+  Alcotest.(check bool) "lifo" true (Lock_stack.pop st = Some 2);
+  Alcotest.(check bool) "lifo" true (Lock_stack.pop st = Some 1);
+  Alcotest.(check bool) "empty" true (Lock_stack.pop st = None)
+
+(* qcheck: an arbitrary op sequence on the MS queue behaves exactly like
+   the stdlib Queue (the sequential specification). *)
+let prop_queue_matches_model =
+  QCheck.Test.make ~name:"ms_queue = stdlib Queue on any op sequence"
+    ~count:500
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let q = Ms_queue.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+            Ms_queue.enqueue q v;
+            Queue.push v model;
+            true
+          | None -> Ms_queue.dequeue q = Queue.take_opt model)
+        ops
+      && Ms_queue.to_list q = List.of_seq (Queue.to_seq model))
+
+let prop_stack_matches_model =
+  QCheck.Test.make ~name:"treiber = list stack on any op sequence"
+    ~count:500
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let st = Treiber_stack.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+            Treiber_stack.push st v;
+            model := v :: !model;
+            true
+          | None -> (
+            let got = Treiber_stack.pop st in
+            match !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := rest;
+              got = Some x))
+        ops
+      && Treiber_stack.to_list st = !model)
+
+(* --- multi-domain conservation ------------------------------------------------ *)
+
+let test_queue_stress_conserves () =
+  let q = Ms_queue.create () in
+  let report =
+    Stress.run ~domains:4 ~ops:5_000
+      ~push:(fun v -> Ms_queue.enqueue q v)
+      ~pop:(fun () -> Ms_queue.dequeue q)
+      ~drain:(fun () -> Ms_queue.to_list q)
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report);
+  Alcotest.(check int) "expected pushes" 10_000 report.Stress.pushed
+
+let test_stack_stress_conserves () =
+  let st = Treiber_stack.create () in
+  let report =
+    Stress.run ~domains:4 ~ops:5_000
+      ~push:(fun v -> Treiber_stack.push st v)
+      ~pop:(fun () -> Treiber_stack.pop st)
+      ~drain:(fun () -> Treiber_stack.to_list st)
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report)
+
+let test_stress_no_duplicates () =
+  (* Elements are tagged uniquely per domain; nothing is delivered or
+     left behind twice. *)
+  let q = Ms_queue.create () in
+  let seen = Array.make (4 * 2_000) 0 in
+  let mutex = Mutex.create () in
+  let record v =
+    Mutex.lock mutex;
+    seen.(v) <- seen.(v) + 1;
+    Mutex.unlock mutex
+  in
+  let report =
+    Stress.run ~domains:4 ~ops:2_000
+      ~push:(fun v -> Ms_queue.enqueue q v)
+      ~pop:(fun () ->
+        match Ms_queue.dequeue q with
+        | Some v ->
+          record v;
+          Some v
+        | None -> None)
+      ~drain:(fun () ->
+        let rest = Ms_queue.to_list q in
+        List.iter record rest;
+        rest)
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report);
+  Array.iteri
+    (fun v count ->
+      if count > 1 then Alcotest.failf "value %d delivered %d times" v count)
+    seen
+
+let test_stress_lock_queue_too () =
+  let q = Lock_queue.create () in
+  let report =
+    Stress.run ~domains:2 ~ops:5_000
+      ~push:(fun v -> Lock_queue.enqueue q v)
+      ~pop:(fun () -> Lock_queue.dequeue q)
+      ~drain:(fun () -> Lock_queue.to_list q)
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report)
+
+let test_stress_validation () =
+  Alcotest.check_raises "domains >= 1"
+    (Invalid_argument "Stress.run: domains must be >= 1") (fun () ->
+      ignore
+        (Stress.run ~domains:0 ~ops:1
+           ~push:(fun _ -> ())
+           ~pop:(fun () -> None)
+           ~drain:(fun () -> [])))
+
+(* --- backoff -------------------------------------------------------------------- *)
+
+let test_backoff_terminates () =
+  let b = Backoff.create ~min_spins:1 ~max_spins:8 () in
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Backoff.reset b;
+  Backoff.once b
+
+let test_backoff_validation () =
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Backoff.create: need 1 <= min_spins <= max_spins")
+    (fun () -> ignore (Backoff.create ~min_spins:8 ~max_spins:2 ()))
+
+(* --- retries counter -------------------------------------------------------------- *)
+
+let test_retry_counters_start_zero () =
+  Alcotest.(check int) "queue" 0 (Ms_queue.retries (Ms_queue.create ()));
+  Alcotest.(check int) "stack" 0
+    (Treiber_stack.retries (Treiber_stack.create ()))
+
+let () =
+  Alcotest.run "lockfree"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "ms_queue FIFO" `Quick test_queue_fifo;
+          Alcotest.test_case "treiber LIFO" `Quick test_stack_lifo;
+          Alcotest.test_case "lock_queue FIFO" `Quick test_lock_queue_fifo;
+          Alcotest.test_case "lock_stack LIFO" `Quick test_lock_stack_lifo;
+          QCheck_alcotest.to_alcotest prop_queue_matches_model;
+          QCheck_alcotest.to_alcotest prop_stack_matches_model;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "queue conservation (4 domains)" `Quick
+            test_queue_stress_conserves;
+          Alcotest.test_case "stack conservation (4 domains)" `Quick
+            test_stack_stress_conserves;
+          Alcotest.test_case "no duplicate delivery" `Quick
+            test_stress_no_duplicates;
+          Alcotest.test_case "mutex queue conservation" `Quick
+            test_stress_lock_queue_too;
+          Alcotest.test_case "stress validation" `Quick test_stress_validation;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "saturates and resets" `Quick
+            test_backoff_terminates;
+          Alcotest.test_case "validation" `Quick test_backoff_validation;
+          Alcotest.test_case "retry counters start at zero" `Quick
+            test_retry_counters_start_zero;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the extended lock-free structures: bounded MPMC ring,
+   Harris–Michael sorted set, atomic snapshot. *)
+
+module Ring = Rtlf_lockfree.Ring_buffer
+module Lf_set = Rtlf_lockfree.Lf_set
+module Snapshot = Rtlf_lockfree.Snapshot
+module Stress = Rtlf_lockfree.Stress
+
+(* --- ring buffer: sequential ---------------------------------------------- *)
+
+let test_ring_basic () =
+  let q = Ring.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity q);
+  Alcotest.(check bool) "empty" true (Ring.is_empty q);
+  Alcotest.(check bool) "pop empty" true (Ring.try_pop q = None);
+  Alcotest.(check bool) "push" true (Ring.try_push q 1);
+  Alcotest.(check bool) "push" true (Ring.try_push q 2);
+  Alcotest.(check int) "length" 2 (Ring.length q);
+  Alcotest.(check bool) "fifo" true (Ring.try_pop q = Some 1);
+  Alcotest.(check bool) "fifo" true (Ring.try_pop q = Some 2)
+
+let test_ring_full () =
+  let q = Ring.create ~capacity:2 in
+  Alcotest.(check bool) "1" true (Ring.try_push q 1);
+  Alcotest.(check bool) "2" true (Ring.try_push q 2);
+  Alcotest.(check bool) "full" false (Ring.try_push q 3);
+  Alcotest.(check bool) "drain one" true (Ring.try_pop q = Some 1);
+  Alcotest.(check bool) "space again" true (Ring.try_push q 3);
+  Alcotest.(check bool) "order" true (Ring.try_pop q = Some 2);
+  Alcotest.(check bool) "order" true (Ring.try_pop q = Some 3)
+
+let test_ring_wraparound () =
+  let q = Ring.create ~capacity:4 in
+  (* Push/pop far more than capacity to exercise index wrap. *)
+  for i = 1 to 1000 do
+    Alcotest.(check bool) "push" true (Ring.try_push q i);
+    Alcotest.(check bool) "pop" true (Ring.try_pop q = Some i)
+  done
+
+let test_ring_capacity_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Ring_buffer.create: capacity must be a power of two")
+    (fun () -> ignore (Ring.create ~capacity:3));
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Ring_buffer.create: capacity must be a power of two")
+    (fun () -> ignore (Ring.create ~capacity:0))
+
+let prop_ring_matches_model =
+  QCheck.Test.make ~name:"ring = bounded Queue on any op sequence"
+    ~count:300
+    QCheck.(list (option (int_bound 50)))
+    (fun ops ->
+      let cap = 8 in
+      let q = Ring.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+            let pushed = Ring.try_push q v in
+            let expected = Queue.length model < cap in
+            if expected then Queue.push v model;
+            pushed = expected
+          | None -> Ring.try_pop q = Queue.take_opt model)
+        ops)
+
+let test_ring_concurrent_conservation () =
+  let q = Ring.create ~capacity:64 in
+  let report =
+    Stress.run ~domains:4 ~ops:5_000
+      ~push:(fun v -> ignore (Ring.try_push q v))
+      ~pop:(fun () -> Ring.try_pop q)
+      ~drain:(fun () ->
+        let rec go acc =
+          match Ring.try_pop q with
+          | Some v -> go (v :: acc)
+          | None -> acc
+        in
+        go [])
+  in
+  (* Pushes may fail when full; conservation is popped + drained <=
+     attempted pushes and nothing invented. *)
+  Alcotest.(check bool) "nothing invented" true
+    (report.Stress.popped + report.Stress.drained <= report.Stress.pushed)
+
+(* --- sorted set: sequential ------------------------------------------------- *)
+
+let test_set_basic () =
+  let s = Lf_set.create () in
+  Alcotest.(check bool) "empty mem" false (Lf_set.mem s 5);
+  Alcotest.(check bool) "add" true (Lf_set.add s 5);
+  Alcotest.(check bool) "duplicate" false (Lf_set.add s 5);
+  Alcotest.(check bool) "mem" true (Lf_set.mem s 5);
+  Alcotest.(check bool) "remove" true (Lf_set.remove s 5);
+  Alcotest.(check bool) "remove again" false (Lf_set.remove s 5);
+  Alcotest.(check bool) "gone" false (Lf_set.mem s 5)
+
+let test_set_sorted_snapshot () =
+  let s = Lf_set.create () in
+  List.iter (fun k -> ignore (Lf_set.add s k)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (Lf_set.to_list s);
+  ignore (Lf_set.remove s 5);
+  Alcotest.(check (list int)) "after removal" [ 1; 3; 7; 9 ]
+    (Lf_set.to_list s);
+  Alcotest.(check int) "length" 4 (Lf_set.length s)
+
+let test_set_negative_keys () =
+  let s = Lf_set.create () in
+  ignore (Lf_set.add s (-10));
+  ignore (Lf_set.add s 0);
+  ignore (Lf_set.add s 10);
+  Alcotest.(check (list int)) "ordering with negatives" [ -10; 0; 10 ]
+    (Lf_set.to_list s)
+
+let test_set_sentinel_keys_rejected () =
+  let s = Lf_set.create () in
+  Alcotest.check_raises "max_int"
+    (Invalid_argument "Lf_set.add: reserved sentinel key") (fun () ->
+      ignore (Lf_set.add s max_int))
+
+let prop_set_matches_model =
+  QCheck.Test.make ~name:"lf_set = Set.Make(Int) on any op sequence"
+    ~count:300
+    QCheck.(list (pair bool (int_range (-20) 20)))
+    (fun ops ->
+      let module IntSet = Set.Make (Int) in
+      let s = Lf_set.create () in
+      let model = ref IntSet.empty in
+      List.for_all
+        (fun (is_add, k) ->
+          if is_add then begin
+            let expected = not (IntSet.mem k !model) in
+            model := IntSet.add k !model;
+            Lf_set.add s k = expected
+          end
+          else begin
+            let expected = IntSet.mem k !model in
+            model := IntSet.remove k !model;
+            Lf_set.remove s k = expected
+          end)
+        ops
+      && Lf_set.to_list s = IntSet.elements !model)
+
+let test_set_concurrent_disjoint_domains () =
+  (* Each domain owns a disjoint key range; after the storm the set
+     must hold exactly the keys each domain left in. *)
+  let s = Lf_set.create () in
+  let domains = 4 and per = 200 in
+  let worker d () =
+    let base = d * 1000 in
+    for k = base to base + per - 1 do
+      ignore (Lf_set.add s k)
+    done;
+    (* remove odd keys again *)
+    for k = base to base + per - 1 do
+      if k land 1 = 1 then ignore (Lf_set.remove s k)
+    done
+  in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let expected =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun k ->
+            let key = (d * 1000) + k in
+            if key land 1 = 0 then Some key else None)
+          (List.init per (fun i -> i)))
+      (List.init domains (fun d -> d))
+  in
+  Alcotest.(check (list int)) "exact final contents"
+    (List.sort compare expected) (Lf_set.to_list s)
+
+let test_set_concurrent_same_keys () =
+  (* All domains fight over the same small key space; invariant: the
+     final snapshot is a subset of the key space and sorted. *)
+  let s = Lf_set.create () in
+  let worker seed () =
+    let g = Rtlf_engine.Prng.create ~seed in
+    for _ = 1 to 2_000 do
+      let k = Rtlf_engine.Prng.int g ~bound:16 in
+      if Rtlf_engine.Prng.bool g then ignore (Lf_set.add s k)
+      else ignore (Lf_set.remove s k)
+    done
+  in
+  let spawned = List.init 3 (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let final = Lf_set.to_list s in
+  Alcotest.(check bool) "sorted" true (final = List.sort compare final);
+  Alcotest.(check bool) "within key space" true
+    (List.for_all (fun k -> k >= 0 && k < 16) final)
+
+(* --- snapshot ----------------------------------------------------------------- *)
+
+let test_snapshot_sequential () =
+  let snap = Snapshot.create ~n:3 ~init:0 in
+  Alcotest.(check int) "size" 3 (Snapshot.size snap);
+  Alcotest.(check bool) "initial" true (Snapshot.scan snap = [| 0; 0; 0 |]);
+  Snapshot.update snap ~i:1 42;
+  Alcotest.(check bool) "after update" true
+    (Snapshot.scan snap = [| 0; 42; 0 |]);
+  let _, retries = Snapshot.scan_with_retries snap in
+  Alcotest.(check int) "quiescent scan, no retries" 0 retries
+
+let test_snapshot_validation () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Snapshot.create: n must be positive") (fun () ->
+      ignore (Snapshot.create ~n:0 ~init:()));
+  let snap = Snapshot.create ~n:2 ~init:0 in
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Snapshot: component index out of range") (fun () ->
+      Snapshot.update snap ~i:2 1)
+
+let test_snapshot_consistent_cut () =
+  (* Writer publishes matched pairs across two components; a scan must
+     never observe components more than one step apart (the writer
+     updates them back to back). *)
+  let snap = Snapshot.create ~n:2 ~init:0 in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let scanner =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let view = Snapshot.scan snap in
+          if abs (view.(0) - view.(1)) > 1 then Atomic.incr bad
+        done)
+  in
+  for i = 1 to 30_000 do
+    Snapshot.update snap ~i:0 i;
+    Snapshot.update snap ~i:1 i
+  done;
+  Atomic.set stop true;
+  Domain.join scanner;
+  Alcotest.(check int) "no inconsistent cut" 0 (Atomic.get bad)
+
+let () =
+  Alcotest.run "lockfree_extra"
+    [
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "full behaviour" `Quick test_ring_full;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "capacity validation" `Quick
+            test_ring_capacity_validation;
+          QCheck_alcotest.to_alcotest prop_ring_matches_model;
+          Alcotest.test_case "concurrent conservation" `Quick
+            test_ring_concurrent_conservation;
+        ] );
+      ( "lf_set",
+        [
+          Alcotest.test_case "basic" `Quick test_set_basic;
+          Alcotest.test_case "sorted snapshot" `Quick test_set_sorted_snapshot;
+          Alcotest.test_case "negative keys" `Quick test_set_negative_keys;
+          Alcotest.test_case "sentinel keys rejected" `Quick
+            test_set_sentinel_keys_rejected;
+          QCheck_alcotest.to_alcotest prop_set_matches_model;
+          Alcotest.test_case "concurrent disjoint domains" `Quick
+            test_set_concurrent_disjoint_domains;
+          Alcotest.test_case "concurrent same keys" `Quick
+            test_set_concurrent_same_keys;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "sequential" `Quick test_snapshot_sequential;
+          Alcotest.test_case "validation" `Quick test_snapshot_validation;
+          Alcotest.test_case "consistent cut" `Quick
+            test_snapshot_consistent_cut;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for supporting modules: trace invariant checkers, report
+   tables, metrics aggregation, sync cost model. *)
+
+module Stats = Rtlf_engine.Stats
+module Trace = Rtlf_sim.Trace
+module Sync = Rtlf_sim.Sync
+module Metrics = Rtlf_sim.Metrics
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+module Report = Rtlf_experiments.Report
+module Task = Rtlf_model.Task
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+module Segment = Rtlf_model.Segment
+
+(* --- trace checkers --------------------------------------------------------- *)
+
+let tr entries =
+  let t = Trace.create ~enabled:true in
+  List.iteri (fun i kind -> Trace.record t ~time:i kind) entries;
+  t
+
+let test_trace_disabled_records_nothing () =
+  let t = Trace.create ~enabled:false in
+  Trace.record t ~time:0 (Trace.Arrive 1);
+  Alcotest.(check int) "empty" 0 (List.length (Trace.entries t))
+
+let test_mutual_exclusion_ok () =
+  let t =
+    tr
+      [ Trace.Acquire (1, 0); Trace.Release (1, 0); Trace.Acquire (2, 0);
+        Trace.Release (2, 0) ]
+  in
+  Alcotest.(check bool) "ok" true (Trace.check_mutual_exclusion t = Ok ())
+
+let test_mutual_exclusion_violation () =
+  let t = tr [ Trace.Acquire (1, 0); Trace.Acquire (2, 0) ] in
+  match Trace.check_mutual_exclusion t with
+  | Ok () -> Alcotest.fail "violation not caught"
+  | Error _ -> ()
+
+let test_release_without_acquire () =
+  let t = tr [ Trace.Release (1, 0) ] in
+  match Trace.check_mutual_exclusion t with
+  | Ok () -> Alcotest.fail "bogus release not caught"
+  | Error _ -> ()
+
+let test_abort_releases_ok () =
+  let t =
+    tr [ Trace.Acquire (1, 0); Trace.Release (1, 0); Trace.Abort 1 ]
+  in
+  Alcotest.(check bool) "ok" true (Trace.check_abort_releases t = Ok ())
+
+let test_abort_holding_violation () =
+  let t = tr [ Trace.Acquire (1, 0); Trace.Abort 1 ] in
+  match Trace.check_abort_releases t with
+  | Ok () -> Alcotest.fail "held lock at abort not caught"
+  | Error _ -> ()
+
+let test_trace_counters () =
+  let t =
+    tr [ Trace.Preempt 1; Trace.Preempt 2; Trace.Sched 10; Trace.Arrive 3 ]
+  in
+  Alcotest.(check int) "preemptions" 2 (Trace.preemptions t);
+  Alcotest.(check int) "sched" 1 (Trace.scheduler_invocations t)
+
+(* --- report ------------------------------------------------------------------ *)
+
+let render f =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_table_alignment () =
+  let out =
+    render (fun fmt ->
+        Report.table fmt ~header:[ "a"; "bee" ]
+          ~rows:[ [ "xx"; "y" ]; [ "z"; "wwww" ] ])
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines equally wide (trailing spaces trimmed may differ; check
+     the rule covers both columns). *)
+  Alcotest.(check bool) "rule present" true
+    (String.length (List.nth lines 1) >= 7)
+
+let test_table_pads_short_rows () =
+  let out =
+    render (fun fmt ->
+        Report.table fmt ~header:[ "a"; "b"; "c" ] ~rows:[ [ "1" ] ])
+  in
+  Alcotest.(check bool) "no exception, row padded" true
+    (String.length out > 0)
+
+let test_formatters () =
+  Alcotest.(check string) "f2" "3.14" (Report.f2 3.14159);
+  Alcotest.(check string) "pct" "42.0%" (Report.pct 0.42);
+  Alcotest.(check string) "ns_us" "1.50us" (Report.ns_us 1500.0)
+
+let test_with_ci () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0 ] in
+  let str = Report.with_ci s Report.f2 in
+  Alcotest.(check bool) "has +/-" true
+    (String.length str > 4 && String.contains str '+');
+  let empty = Stats.of_list [] in
+  Alcotest.(check string) "empty dash" "-" (Report.with_ci empty Report.f2)
+
+(* --- sync cost model ----------------------------------------------------------- *)
+
+let test_sync_costs () =
+  Alcotest.(check int) "lock-based = 2ov + work" 4_500
+    (Sync.nominal_access_cost (Sync.Lock_based { overhead = 2_000 })
+       ~work:500);
+  Alcotest.(check int) "lock-free = ov + work" 650
+    (Sync.nominal_access_cost (Sync.Lock_free { overhead = 150 }) ~work:500);
+  Alcotest.(check int) "ideal = 0" 0
+    (Sync.nominal_access_cost Sync.Ideal ~work:500)
+
+let test_sync_lock_events () =
+  Alcotest.(check bool) "lock-based has lock events" true
+    (Sync.uses_lock_events (Sync.Lock_based { overhead = 1 }));
+  Alcotest.(check bool) "lock-free has none" false
+    (Sync.uses_lock_events (Sync.Lock_free { overhead = 1 }));
+  Alcotest.(check bool) "ideal has none" false
+    (Sync.uses_lock_events Sync.Ideal)
+
+let test_sync_names () =
+  Alcotest.(check string) "lb" "lock-based"
+    (Sync.name (Sync.Lock_based { overhead = 1 }));
+  Alcotest.(check string) "lf" "lock-free"
+    (Sync.name (Sync.Lock_free { overhead = 1 }));
+  Alcotest.(check string) "ideal" "ideal" (Sync.name Sync.Ideal)
+
+(* --- metrics aggregation --------------------------------------------------------- *)
+
+let test_metrics_repeat () =
+  let tasks =
+    [
+      Task.make ~id:0
+        ~tuf:(Tuf.step ~height:10.0 ~c:900_000)
+        ~arrival:(Uam.periodic ~period:1_000_000)
+        ~exec:100_000 ()
+    ]
+  in
+  let run ~seed =
+    Simulator.run
+      (Simulator.config ~tasks ~sync:Sync.Ideal ~horizon:50_000_000 ~seed ())
+  in
+  let point = Metrics.repeat ~seeds:[ 1; 2; 3 ] ~run in
+  Alcotest.(check int) "three runs" 3 point.Metrics.aur.Stats.n;
+  Alcotest.(check (float 1e-9)) "aur 1.0" 1.0 point.Metrics.aur.Stats.mean;
+  Alcotest.(check bool) "released accumulated" true
+    (point.Metrics.released > 100)
+
+(* --- simulator config inference ---------------------------------------------------- *)
+
+let test_infer_objects_includes_reads_and_profiles () =
+  let reader =
+    Task.make ~id:0
+      ~tuf:(Tuf.step ~height:1.0 ~c:900)
+      ~arrival:(Uam.periodic ~period:1_000)
+      ~exec:10 ~reads:[ (4, 1) ] ()
+  in
+  let nested =
+    Task.make_nested ~id:1
+      ~tuf:(Tuf.step ~height:1.0 ~c:900)
+      ~arrival:(Uam.periodic ~period:1_000)
+      ~profile:[ Segment.Lock 7; Segment.Compute 5; Segment.Unlock 7 ]
+      ()
+  in
+  let cfg =
+    Simulator.config ~tasks:[ reader; nested ] ~sync:Sync.Ideal
+      ~horizon:10_000 ()
+  in
+  Alcotest.(check int) "inferred from reads and profile" 8
+    cfg.Simulator.n_objects
+
+let test_workload_readers_split () =
+  let spec =
+    { Workload.default with Workload.n_tasks = 4; readers = 2;
+      accesses_per_job = 3 }
+  in
+  let tasks = Workload.make spec in
+  let writers, readers =
+    List.partition (fun t -> t.Task.accesses <> []) tasks
+  in
+  Alcotest.(check int) "2 writers" 2 (List.length writers);
+  Alcotest.(check int) "2 readers" 2 (List.length readers);
+  List.iter
+    (fun t -> Alcotest.(check int) "reader m" 3 (List.length t.Task.reads))
+    readers
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "mutual exclusion ok" `Quick
+            test_mutual_exclusion_ok;
+          Alcotest.test_case "mutual exclusion violation" `Quick
+            test_mutual_exclusion_violation;
+          Alcotest.test_case "release without acquire" `Quick
+            test_release_without_acquire;
+          Alcotest.test_case "abort releases ok" `Quick test_abort_releases_ok;
+          Alcotest.test_case "abort holding violation" `Quick
+            test_abort_holding_violation;
+          Alcotest.test_case "counters" `Quick test_trace_counters;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "pads short rows" `Quick
+            test_table_pads_short_rows;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+          Alcotest.test_case "with_ci" `Quick test_with_ci;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "nominal costs" `Quick test_sync_costs;
+          Alcotest.test_case "lock events" `Quick test_sync_lock_events;
+          Alcotest.test_case "names" `Quick test_sync_names;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "repeat aggregates" `Quick test_metrics_repeat ] );
+      ( "config",
+        [
+          Alcotest.test_case "infer objects (reads, profiles)" `Quick
+            test_infer_objects_includes_reads_and_profiles;
+          Alcotest.test_case "workload readers split" `Quick
+            test_workload_readers_split;
+        ] );
+    ]

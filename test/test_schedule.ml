@@ -1,0 +1,267 @@
+(* Tentative-schedule tests: ECF order, feasibility, and the paper's
+   §3.4.1 insertion scenarios (Figures 4 and 5). *)
+
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+module Task = Rtlf_model.Task
+module Job = Rtlf_model.Job
+module Ts = Rtlf_core.Tentative_schedule
+
+(* A job with a given absolute critical time [ct] and remaining work
+   [rem] (arrival 0, critical time = ct). *)
+let job ~jid ~ct ~rem =
+  let task =
+    Task.make ~id:jid
+      ~tuf:(Tuf.step ~height:1.0 ~c:ct)
+      ~arrival:(Uam.periodic ~period:(2 * ct))
+      ~exec:rem ()
+  in
+  Job.create ~task ~jid ~arrival:0
+
+let remaining job = Job.remaining_nominal job
+
+let mk ?(now = 0) () =
+  let ops = ref 0 in
+  (Ts.create ~ops ~now ~remaining, ops)
+
+let jids sched = List.map (fun j -> j.Job.jid) (Ts.jobs sched)
+
+(* --- plain ECF insertion ---------------------------------------------- *)
+
+let test_ecf_order () =
+  let sched, _ = mk () in
+  Ts.insert_job sched (job ~jid:0 ~ct:300 ~rem:10);
+  Ts.insert_job sched (job ~jid:1 ~ct:100 ~rem:10);
+  Ts.insert_job sched (job ~jid:2 ~ct:200 ~rem:10);
+  Alcotest.(check (list int)) "ECF order" [ 1; 2; 0 ] (jids sched)
+
+let test_insert_idempotent () =
+  let sched, _ = mk () in
+  let j = job ~jid:0 ~ct:100 ~rem:10 in
+  Ts.insert_job sched j;
+  Ts.insert_job sched j;
+  Alcotest.(check int) "single entry" 1 (Ts.length sched)
+
+let test_mem_and_head () =
+  let sched, _ = mk () in
+  Alcotest.(check bool) "head empty" true (Ts.head sched = None);
+  let j = job ~jid:3 ~ct:50 ~rem:5 in
+  Ts.insert_job sched j;
+  Alcotest.(check bool) "mem" true (Ts.mem sched ~jid:3);
+  Alcotest.(check bool) "not mem" false (Ts.mem sched ~jid:4);
+  Alcotest.(check bool) "head" true
+    (match Ts.head sched with Some h -> h.Job.jid = 3 | None -> false)
+
+let test_copy_is_independent () =
+  let sched, _ = mk () in
+  Ts.insert_job sched (job ~jid:0 ~ct:100 ~rem:10);
+  let copy = Ts.copy sched in
+  Ts.insert_job copy (job ~jid:1 ~ct:50 ~rem:10);
+  Alcotest.(check int) "original untouched" 1 (Ts.length sched);
+  Alcotest.(check int) "copy extended" 2 (Ts.length copy)
+
+(* --- feasibility -------------------------------------------------------- *)
+
+let test_feasible_simple () =
+  let sched, _ = mk () in
+  Ts.insert_job sched (job ~jid:0 ~ct:100 ~rem:50);
+  Ts.insert_job sched (job ~jid:1 ~ct:200 ~rem:50);
+  Alcotest.(check bool) "feasible" true (Ts.feasible sched)
+
+let test_infeasible_cumulative () =
+  let sched, _ = mk () in
+  Ts.insert_job sched (job ~jid:0 ~ct:100 ~rem:80);
+  Ts.insert_job sched (job ~jid:1 ~ct:150 ~rem:80);
+  (* Job 1 finishes at 160 > 150. *)
+  Alcotest.(check bool) "infeasible" false (Ts.feasible sched)
+
+let test_feasibility_uses_now () =
+  let sched, _ = mk ~now:90 () in
+  Ts.insert_job sched (job ~jid:0 ~ct:100 ~rem:20);
+  (* 90 + 20 = 110 > 100. *)
+  Alcotest.(check bool) "accounts for current time" false
+    (Ts.feasible sched)
+
+let test_feasible_empty () =
+  let sched, _ = mk () in
+  Alcotest.(check bool) "empty schedule feasible" true (Ts.feasible sched)
+
+(* --- Figure 4: critical-time vs dependency order -------------------------- *)
+
+(* T1 depends on T2 (chain <T2, T1>). Case 1: C2 < C1 — natural order.
+   Case 2: C2 > C1 — T2 must still precede T1, with C2 clamped to C1. *)
+
+let test_fig4_case1 () =
+  let sched, _ = mk () in
+  let t1 = job ~jid:1 ~ct:500 ~rem:10 in
+  let t2 = job ~jid:2 ~ct:200 ~rem:10 in
+  Ts.insert_chain sched [ t2; t1 ];
+  Alcotest.(check (list int)) "dependency respected" [ 2; 1 ] (jids sched);
+  Alcotest.(check bool) "no clamping needed" true
+    (List.assoc 2
+       (List.map (fun (j, ct) -> (j.Job.jid, ct)) (Ts.entries sched))
+    = 200)
+
+let test_fig4_case2 () =
+  let sched, _ = mk () in
+  let t1 = job ~jid:1 ~ct:200 ~rem:10 in
+  let t2 = job ~jid:2 ~ct:500 ~rem:10 in
+  Ts.insert_chain sched [ t2; t1 ];
+  Alcotest.(check (list int)) "T2 inserted before T1 despite later ct"
+    [ 2; 1 ] (jids sched);
+  let eff = List.map (fun (j, ct) -> (j.Job.jid, ct)) (Ts.entries sched) in
+  Alcotest.(check int) "C2 clamped to C1" 200 (List.assoc 2 eff);
+  Alcotest.(check int) "C1 unchanged" 200 (List.assoc 1 eff)
+
+(* --- Figure 5: removal and reinsertion -------------------------------------- *)
+
+(* Chains: T1 -> <T1>, T2 -> <T1, T2>, T3 -> <T1, T3>; PUD order
+   T2, T1, T3. After inserting T2's aggregate the schedule is
+   <T1, T2>. Inserting T3's aggregate must keep T1 before T3; if
+   C1 > C3 (Case 2), T1 is removed and reinserted before T3 with
+   C1 := C3. *)
+
+let test_fig5_case1 () =
+  (* C1 < C3: T1 already precedes T3 naturally. *)
+  let t1 = job ~jid:1 ~ct:100 ~rem:10 in
+  let t2 = job ~jid:2 ~ct:300 ~rem:10 in
+  let t3 = job ~jid:3 ~ct:200 ~rem:10 in
+  let sched, _ = mk () in
+  Ts.insert_chain sched [ t1; t2 ];
+  Alcotest.(check (list int)) "after T2 aggregate" [ 1; 2 ] (jids sched);
+  Ts.insert_chain sched [ t1; t3 ];
+  Alcotest.(check (list int)) "T1 before T3 and T2" [ 1; 3; 2 ] (jids sched)
+
+let test_fig5_case2 () =
+  (* C1 > C3: reinsertion with clamping. *)
+  let t1 = job ~jid:1 ~ct:250 ~rem:10 in
+  let t2 = job ~jid:2 ~ct:300 ~rem:10 in
+  let t3 = job ~jid:3 ~ct:200 ~rem:10 in
+  let sched, _ = mk () in
+  Ts.insert_chain sched [ t1; t2 ];
+  Alcotest.(check (list int)) "after T2 aggregate" [ 1; 2 ] (jids sched);
+  Ts.insert_chain sched [ t1; t3 ];
+  Alcotest.(check (list int)) "T1 removed and reinserted before T3"
+    [ 1; 3; 2 ] (jids sched);
+  let eff = List.map (fun (j, ct) -> (j.Job.jid, ct)) (Ts.entries sched) in
+  Alcotest.(check int) "C1 clamped to C3" 200 (List.assoc 1 eff)
+
+let test_long_chain_order () =
+  (* A 4-deep chain with thoroughly shuffled critical times must end up
+     in dependency order. *)
+  let a = job ~jid:0 ~ct:900 ~rem:5 in
+  let b = job ~jid:1 ~ct:100 ~rem:5 in
+  let c = job ~jid:2 ~ct:700 ~rem:5 in
+  let d = job ~jid:3 ~ct:300 ~rem:5 in
+  let sched, _ = mk () in
+  Ts.insert_chain sched [ a; b; c; d ];
+  let pos jid =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = jid then i else go (i + 1) rest
+    in
+    go 0 (jids sched)
+  in
+  Alcotest.(check bool) "a before b" true (pos 0 < pos 1);
+  Alcotest.(check bool) "b before c" true (pos 1 < pos 2);
+  Alcotest.(check bool) "c before d" true (pos 2 < pos 3)
+
+let test_chain_with_unrelated_entries () =
+  (* Unrelated ECF entries must not break dependency placement. *)
+  let sched, _ = mk () in
+  Ts.insert_job sched (job ~jid:10 ~ct:150 ~rem:5);
+  Ts.insert_job sched (job ~jid:11 ~ct:400 ~rem:5);
+  let t1 = job ~jid:1 ~ct:200 ~rem:5 in
+  let t2 = job ~jid:2 ~ct:600 ~rem:5 in
+  Ts.insert_chain sched [ t2; t1 ];
+  let order = jids sched in
+  let pos jid =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = jid then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "dependency respected" true (pos 2 < pos 1);
+  Alcotest.(check int) "all present" 4 (Ts.length sched)
+
+let test_ops_counter_charged () =
+  let sched, ops = mk () in
+  let before = !ops in
+  Ts.insert_job sched (job ~jid:0 ~ct:100 ~rem:10);
+  ignore (Ts.feasible sched);
+  Alcotest.(check bool) "ops grew" true (!ops > before)
+
+(* --- property: insert_chain always respects dependency order -------------- *)
+
+let prop_chain_order =
+  QCheck.Test.make ~name:"insert_chain respects dependency order" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 8) (int_range 1 1_000))
+    (fun cts ->
+      let chain =
+        List.mapi (fun i ct -> job ~jid:i ~ct:(ct * 10) ~rem:1) cts
+      in
+      let ops = ref 0 in
+      let sched = Ts.create ~ops ~now:0 ~remaining in
+      Ts.insert_chain sched chain;
+      let order = List.map (fun j -> j.Job.jid) (Ts.jobs sched) in
+      (* The chain was head-first [0; 1; ...]; schedule order must list
+         them in increasing jid. *)
+      order = List.sort compare order
+      && List.length order = List.length chain)
+
+let prop_ecf_sorted =
+  QCheck.Test.make ~name:"entries sorted by effective critical time"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 10) (int_range 1 1_000))
+    (fun cts ->
+      let ops = ref 0 in
+      let sched = Ts.create ~ops ~now:0 ~remaining in
+      List.iteri
+        (fun i ct -> Ts.insert_job sched (job ~jid:i ~ct:(ct * 10) ~rem:1))
+        cts;
+      let effs = List.map snd (Ts.entries sched) in
+      effs = List.sort compare effs)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "ecf",
+        [
+          Alcotest.test_case "ECF order" `Quick test_ecf_order;
+          Alcotest.test_case "idempotent insert" `Quick test_insert_idempotent;
+          Alcotest.test_case "mem and head" `Quick test_mem_and_head;
+          Alcotest.test_case "copy independence" `Quick
+            test_copy_is_independent;
+          QCheck_alcotest.to_alcotest prop_ecf_sorted;
+        ] );
+      ( "feasibility",
+        [
+          Alcotest.test_case "feasible simple" `Quick test_feasible_simple;
+          Alcotest.test_case "cumulative infeasibility" `Quick
+            test_infeasible_cumulative;
+          Alcotest.test_case "uses current time" `Quick
+            test_feasibility_uses_now;
+          Alcotest.test_case "empty feasible" `Quick test_feasible_empty;
+        ] );
+      ( "figure4",
+        [
+          Alcotest.test_case "case 1: consistent orders" `Quick
+            test_fig4_case1;
+          Alcotest.test_case "case 2: clamp and precede" `Quick
+            test_fig4_case2;
+        ] );
+      ( "figure5",
+        [
+          Alcotest.test_case "case 1: already before" `Quick test_fig5_case1;
+          Alcotest.test_case "case 2: removal and reinsertion" `Quick
+            test_fig5_case2;
+          Alcotest.test_case "long shuffled chain" `Quick
+            test_long_chain_order;
+          Alcotest.test_case "chain among unrelated entries" `Quick
+            test_chain_with_unrelated_entries;
+          Alcotest.test_case "ops counter charged" `Quick
+            test_ops_counter_charged;
+          QCheck_alcotest.to_alcotest prop_chain_order;
+        ] );
+    ]

@@ -1,0 +1,392 @@
+(* End-to-end simulator tests: paper behaviours (Figures 6/7 dynamics,
+   §3.5 abort model, Lemma 1, Theorem 2) and conservation invariants. *)
+
+module Task = Rtlf_model.Task
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+module Job = Rtlf_model.Job
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+module Trace = Rtlf_sim.Trace
+module Workload = Rtlf_workload.Workload
+
+let us n = n * 1_000
+let ms n = n * 1_000_000
+
+(* A simple periodic task: period = window = [period], critical time
+   [c], compute [exec]. *)
+let periodic_task ~id ?(height = 10.0) ~period ~c ~exec ?(accesses = [])
+    ?(abort_cost = 0) () =
+  Task.make ~id ~tuf:(Tuf.step ~height ~c) ~arrival:(Uam.periodic ~period)
+    ~exec ~accesses ~abort_cost ()
+
+let run ?(sync = Sync.Ideal) ?(sched = Simulator.Rua) ?(horizon = ms 100)
+    ?(seed = 7) ?(sched_base = 0) ?(sched_per_op = 0) ?n_objects
+    ?(retry_on_any_preemption = false) ?(trace = false) tasks =
+  Simulator.run
+    (Simulator.config ~tasks ~sync ~sched ?n_objects ~horizon ~seed
+       ~sched_base ~sched_per_op ~retry_on_any_preemption ~trace ())
+
+(* --- basic conservation --------------------------------------------- *)
+
+let test_conservation () =
+  let tasks =
+    [
+      periodic_task ~id:0 ~period:(us 1000) ~c:(us 800) ~exec:(us 100) ();
+      periodic_task ~id:1 ~period:(us 700) ~c:(us 500) ~exec:(us 80) ();
+      periodic_task ~id:2 ~period:(us 1300) ~c:(us 900) ~exec:(us 120) ();
+    ]
+  in
+  let res = run tasks in
+  Alcotest.(check bool) "some jobs released" true (res.Simulator.released > 0);
+  Alcotest.(check int) "released = completed + aborted"
+    res.Simulator.released
+    (res.Simulator.completed + res.Simulator.aborted)
+
+let test_underload_meets_all () =
+  (* Underloaded periodic step-TUF set without sharing: RUA must meet
+     every critical time (it defaults to EDF, which is optimal). *)
+  let tasks =
+    [
+      periodic_task ~id:0 ~period:(us 1000) ~c:(us 900) ~exec:(us 150) ();
+      periodic_task ~id:1 ~period:(us 1500) ~c:(us 1200) ~exec:(us 200) ();
+      periodic_task ~id:2 ~period:(us 2000) ~c:(us 1800) ~exec:(us 250) ();
+    ]
+  in
+  let res = run tasks in
+  Alcotest.(check int) "no aborts" 0 res.Simulator.aborted;
+  Alcotest.(check (float 1e-9)) "cmr = 1" 1.0 res.Simulator.cmr;
+  Alcotest.(check (float 1e-9)) "aur = 1" 1.0 res.Simulator.aur
+
+let test_overload_sheds () =
+  (* Load ~2.0: roughly half the work cannot complete; RUA must shed
+     (abort) rather than let everything miss. *)
+  let tasks =
+    [
+      periodic_task ~id:0 ~height:100.0 ~period:(us 1000) ~c:(us 1000)
+        ~exec:(us 900) ();
+      periodic_task ~id:1 ~height:10.0 ~period:(us 1000) ~c:(us 1000)
+        ~exec:(us 900) ();
+    ]
+  in
+  let res = run tasks in
+  Alcotest.(check bool) "aborts happen" true (res.Simulator.aborted > 0);
+  Alcotest.(check bool) "some jobs still complete" true
+    (res.Simulator.completed > 0);
+  (* The high-utility task should dominate completions. *)
+  let t0 = res.Simulator.per_task.(0) and t1 = res.Simulator.per_task.(1) in
+  Alcotest.(check bool) "high-utility task favoured" true
+    (t0.Simulator.completed > t1.Simulator.completed)
+
+let test_edf_equals_rua_underload () =
+  (* §3.4: during step-TUF underloads with no sharing, RUA's output
+     coincides with EDF — same completions, same total utility. *)
+  let tasks =
+    List.init 5 (fun i ->
+        periodic_task ~id:i
+          ~period:(us (900 + (i * 350)))
+          ~c:(us (700 + (i * 300)))
+          ~exec:(us (60 + (i * 25)))
+          ())
+  in
+  let rua = run ~sched:Simulator.Rua tasks in
+  let edf = run ~sched:Simulator.Edf tasks in
+  Alcotest.(check int) "same releases" rua.Simulator.released
+    edf.Simulator.released;
+  Alcotest.(check int) "same completions" rua.Simulator.completed
+    edf.Simulator.completed;
+  Alcotest.(check (float 1e-6)) "same utility" rua.Simulator.accrued
+    edf.Simulator.accrued
+
+(* --- abort model (§3.5) --------------------------------------------- *)
+
+let test_abort_at_critical_time () =
+  (* One task whose jobs can never finish: exec > c. Every job must be
+     aborted exactly at its critical time. *)
+  let tasks =
+    [ periodic_task ~id:0 ~period:(us 1000) ~c:(us 300) ~exec:(us 500) () ]
+  in
+  let res = run ~trace:true tasks in
+  Alcotest.(check int) "nothing completes" 0 res.Simulator.completed;
+  Alcotest.(check bool) "all resolved jobs aborted" true
+    (res.Simulator.aborted = res.Simulator.released);
+  let aborts =
+    Trace.count res.Simulator.trace (function
+      | Trace.Abort _ -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "trace records each abort" res.Simulator.aborted
+    aborts
+
+let test_abort_releases_locks () =
+  (* Lock-based: a job aborted inside its critical section must release
+     the lock so its peers can proceed. Task 0 holds the object for
+     longer than its critical time allows; task 1 needs the same
+     object and must still make progress. *)
+  let obj = 0 in
+  let tasks =
+    [
+      periodic_task ~id:0 ~period:(us 2000) ~c:(us 200) ~exec:(us 50)
+        ~accesses:[ (obj, us 400) ] ();
+      periodic_task ~id:1 ~period:(us 2000) ~c:(us 1800) ~exec:(us 50)
+        ~accesses:[ (obj, us 20) ] ();
+    ]
+  in
+  let res =
+    run ~sync:(Sync.Lock_based { overhead = 100 }) ~n_objects:1 ~trace:true
+      tasks
+  in
+  (match Trace.check_abort_releases res.Simulator.trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Trace.check_mutual_exclusion res.Simulator.trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let t1 = res.Simulator.per_task.(1) in
+  Alcotest.(check bool) "task 1 completes jobs" true
+    (t1.Simulator.completed > 0)
+
+(* --- Lemma 1: preemptions bounded by scheduling events --------------- *)
+
+let test_lemma1_preemptions_le_events () =
+  let spec =
+    {
+      Workload.default with
+      Workload.target_al = 0.9;
+      n_tasks = 6;
+      mean_exec = us 150;
+      seed = 21;
+    }
+  in
+  let tasks = Workload.make spec in
+  let res = run ~sync:(Sync.Lock_free { overhead = 50 }) tasks in
+  Alcotest.(check bool) "preemptions <= scheduler invocations" true
+    (res.Simulator.preemptions <= res.Simulator.sched_invocations)
+
+(* --- Theorem 2: retries within the analytic bound -------------------- *)
+
+let check_retry_bound ~retry_on_any_preemption () =
+  let spec =
+    {
+      Workload.default with
+      Workload.target_al = 1.1;
+      n_tasks = 8;
+      mean_exec = us 100;
+      accesses_per_job = 6;
+      burst = 3;
+      seed = 5;
+    }
+  in
+  let tasks = Workload.make spec in
+  let res =
+    run
+      ~sync:(Sync.Lock_free { overhead = 100 })
+      ~retry_on_any_preemption ~horizon:(ms 200) tasks
+  in
+  Alcotest.(check bool) "jobs were released" true
+    (res.Simulator.released > 0);
+  Array.iter
+    (fun (tr : Simulator.task_result) ->
+      let bound =
+        Rtlf_core.Retry_bound.bound ~tasks ~i:tr.Simulator.task_id
+      in
+      if tr.Simulator.max_retries > bound then
+        Alcotest.failf "task %d: max retries %d exceeds Theorem 2 bound %d"
+          tr.Simulator.task_id tr.Simulator.max_retries bound)
+    res.Simulator.per_task
+
+let test_retry_bound_realistic () =
+  check_retry_bound ~retry_on_any_preemption:false ()
+
+let test_retry_bound_adversarial () =
+  check_retry_bound ~retry_on_any_preemption:true ()
+
+let test_readers_never_conflict () =
+  (* Multi-reader semantics: jobs that only READ a shared object never
+     invalidate each other's lock-free attempts, so a pure-reader
+     workload has zero retries no matter the contention. *)
+  let spec =
+    {
+      Workload.default with
+      Workload.target_al = 1.2;
+      n_tasks = 8;
+      n_objects = 1;
+      accesses_per_job = 8;
+      access_work = us 2;
+      mean_exec = us 50;
+      readers = 8; (* everyone reads *)
+      seed = 3;
+    }
+  in
+  let tasks = Workload.make spec in
+  let res =
+    run ~sync:(Sync.Lock_free { overhead = 100 }) ~horizon:(ms 200) tasks
+  in
+  Alcotest.(check int) "no retries among readers" 0
+    res.Simulator.retries_total
+
+let test_retries_happen_under_contention () =
+  (* Sanity: the retry machinery actually fires under heavy sharing. *)
+  let spec =
+    {
+      Workload.default with
+      Workload.target_al = 1.2;
+      n_tasks = 8;
+      n_objects = 1;
+      accesses_per_job = 8;
+      access_work = us 2;
+      mean_exec = us 50;
+      seed = 3;
+    }
+  in
+  let tasks = Workload.make spec in
+  let res =
+    run ~sync:(Sync.Lock_free { overhead = 100 }) ~horizon:(ms 200) tasks
+  in
+  Alcotest.(check bool) "some retries observed" true
+    (res.Simulator.retries_total > 0)
+
+(* --- mutual preemption (Figure 6) ------------------------------------ *)
+
+let test_mutual_preemption () =
+  (* Two jobs whose relative PUD flips as their TUFs decay can preempt
+     each other repeatedly under a UA scheduler. We check the weaker,
+     robust property: with decaying TUFs and interleaved arrivals, at
+     least one job is preempted more than once. *)
+  let t0 =
+    Task.make ~id:0
+      ~tuf:(Tuf.linear ~u0:100.0 ~c:(us 5000))
+      ~arrival:(Uam.periodic ~period:(us 5000))
+      ~exec:(us 1500) ()
+  in
+  let t1 =
+    Task.make ~id:1
+      ~tuf:(Tuf.parabolic ~u0:90.0 ~c:(us 4000))
+      ~arrival:(Uam.periodic ~period:(us 4100))
+      ~exec:(us 1200) ()
+  in
+  let res = run ~horizon:(ms 60) ~trace:true [ t0; t1 ] in
+  Alcotest.(check bool) "preemptions occur" true
+    (res.Simulator.preemptions > 0)
+
+(* --- determinism ------------------------------------------------------ *)
+
+let test_determinism () =
+  let spec = { Workload.default with Workload.seed = 11 } in
+  let tasks = Workload.make spec in
+  let r1 = run ~sync:(Sync.Lock_free { overhead = 80 }) tasks in
+  let r2 = run ~sync:(Sync.Lock_free { overhead = 80 }) tasks in
+  Alcotest.(check int) "released" r1.Simulator.released
+    r2.Simulator.released;
+  Alcotest.(check (float 0.0)) "aur" r1.Simulator.aur r2.Simulator.aur;
+  Alcotest.(check int) "retries" r1.Simulator.retries_total
+    r2.Simulator.retries_total;
+  Alcotest.(check int) "final time" r1.Simulator.final_time
+    r2.Simulator.final_time
+
+(* --- lock-based blocking actually occurs ------------------------------ *)
+
+let test_blocking_under_lock_based () =
+  let spec =
+    {
+      Workload.default with
+      Workload.n_objects = 1;
+      accesses_per_job = 6;
+      access_work = us 5;
+      target_al = 0.9;
+      mean_exec = us 100;
+      seed = 9;
+    }
+  in
+  let tasks = Workload.make spec in
+  let res =
+    run
+      ~sync:(Sync.Lock_based { overhead = 200 })
+      ~n_objects:1 ~horizon:(ms 200) tasks
+  in
+  Alcotest.(check bool) "blocking observed" true
+    (res.Simulator.blocked_events > 0);
+  Alcotest.(check bool) "no lock-free retries under locks" true
+    (res.Simulator.retries_total = 0)
+
+(* --- scheduler overhead accounting ------------------------------------ *)
+
+let test_overhead_charged () =
+  let tasks =
+    [ periodic_task ~id:0 ~period:(us 1000) ~c:(us 900) ~exec:(us 100) () ]
+  in
+  let res = run ~sched_base:1000 ~sched_per_op:10 tasks in
+  Alcotest.(check bool) "overhead accumulates" true
+    (res.Simulator.sched_overhead
+    >= res.Simulator.sched_invocations * 1000)
+
+let test_overhead_causes_misses_for_short_jobs () =
+  (* With large scheduling overhead and very short jobs, even a light
+     load misses critical times — the Figure 9 mechanism. *)
+  let mk ~sched_base =
+    let spec =
+      {
+        Workload.default with
+        Workload.mean_exec = us 10;
+        target_al = 0.5;
+        accesses_per_job = 0;
+        seed = 13;
+      }
+    in
+    let tasks = Workload.make spec in
+    run ~sched_base ~sched_per_op:20 ~horizon:(ms 50) tasks
+  in
+  let light = mk ~sched_base:0 in
+  let heavy = mk ~sched_base:20_000 in
+  Alcotest.(check bool) "heavy overhead lowers cmr" true
+    (heavy.Simulator.cmr < light.Simulator.cmr)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "released = completed + aborted" `Quick
+            test_conservation;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "underload meets all" `Quick
+            test_underload_meets_all;
+          Alcotest.test_case "overload sheds low utility" `Quick
+            test_overload_sheds;
+          Alcotest.test_case "RUA = EDF in step underload" `Quick
+            test_edf_equals_rua_underload;
+          Alcotest.test_case "mutual preemption occurs" `Quick
+            test_mutual_preemption;
+        ] );
+      ( "aborts",
+        [
+          Alcotest.test_case "abort at critical time" `Quick
+            test_abort_at_critical_time;
+          Alcotest.test_case "abort releases locks" `Quick
+            test_abort_releases_locks;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "Lemma 1: preemptions <= events" `Quick
+            test_lemma1_preemptions_le_events;
+          Alcotest.test_case "Theorem 2 bound (realistic)" `Quick
+            test_retry_bound_realistic;
+          Alcotest.test_case "Theorem 2 bound (adversarial)" `Quick
+            test_retry_bound_adversarial;
+          Alcotest.test_case "retries occur under contention" `Quick
+            test_retries_happen_under_contention;
+          Alcotest.test_case "readers never conflict" `Quick
+            test_readers_never_conflict;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "blocking under lock-based" `Quick
+            test_blocking_under_lock_based;
+          Alcotest.test_case "overhead charged" `Quick test_overhead_charged;
+          Alcotest.test_case "overhead causes short-job misses" `Quick
+            test_overhead_causes_misses_for_short_jobs;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Randomised whole-simulation properties: for arbitrary seeded
+   workloads and sharing disciplines, structural invariants must hold —
+   conservation, metric ranges, Theorem 2, Lemma 1, time accounting,
+   and cross-discipline sanity. *)
+
+module Stats = Rtlf_engine.Stats
+module Task = Rtlf_model.Task
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+module Workload = Rtlf_workload.Workload
+module Retry_bound = Rtlf_core.Retry_bound
+
+(* Generator for small random workload specifications. *)
+let spec_gen =
+  QCheck.Gen.(
+    let* n_tasks = int_range 2 8 in
+    let* n_objects = int_range 1 6 in
+    let* accesses = int_range 0 6 in
+    let* load10 = int_range 2 14 in
+    let* burst = int_range 1 3 in
+    let* hetero = bool in
+    let* seed = int_range 1 10_000 in
+    return
+      {
+        Workload.default with
+        Workload.n_tasks;
+        n_objects;
+        accesses_per_job = accesses;
+        target_al = float_of_int load10 /. 10.0;
+        tuf_class =
+          (if hetero then Workload.Heterogeneous else Workload.Step_only);
+        mean_exec = 50_000;
+        access_work = 2_000;
+        burst;
+        seed;
+      })
+
+let spec_arb =
+  QCheck.make spec_gen ~print:(fun spec ->
+      Format.asprintf "%a (seed %d)" Workload.pp_spec spec
+        spec.Workload.seed)
+
+let sync_of_int = function
+  | 0 -> Sync.Ideal
+  | 1 -> Sync.Lock_free { overhead = 150 }
+  | _ -> Sync.Lock_based { overhead = 2_000 }
+
+let simulate ?(sync = 1) ?(retry_on_any_preemption = false) spec =
+  let tasks = Workload.make spec in
+  let horizon = 40 * 50_000 * spec.Workload.n_tasks in
+  ( tasks,
+    Simulator.run
+      (Simulator.config ~tasks ~sync:(sync_of_int sync) ~horizon ~seed:99
+         ~retry_on_any_preemption ()) )
+
+let prop name ?(count = 40) f =
+  QCheck.Test.make ~name ~count
+    QCheck.(pair spec_arb (int_bound 2))
+    (fun (spec, sync) ->
+      let tasks, res = simulate ~sync spec in
+      f tasks spec sync res)
+
+let conservation =
+  prop "released = completed + aborted" (fun _ _ _ res ->
+      res.Simulator.released
+      = res.Simulator.completed + res.Simulator.aborted)
+
+let metric_ranges =
+  prop "AUR and CMR within [0,1]" (fun _ _ _ res ->
+      res.Simulator.aur >= 0.0
+      && res.Simulator.aur <= 1.0 +. 1e-9
+      && res.Simulator.cmr >= 0.0
+      && res.Simulator.cmr <= 1.0 +. 1e-9)
+
+let accrued_bounded =
+  prop "accrued utility below maximum possible" (fun _ _ _ res ->
+      res.Simulator.accrued <= res.Simulator.max_possible +. 1e-6)
+
+let met_below_completed =
+  prop "met <= completed <= released" (fun _ _ _ res ->
+      res.Simulator.met <= res.Simulator.completed
+      && res.Simulator.completed <= res.Simulator.released)
+
+let busy_within_time =
+  prop "busy + overhead <= elapsed time" (fun _ _ _ res ->
+      res.Simulator.busy + res.Simulator.sched_overhead
+      <= res.Simulator.final_time)
+
+let lemma1 =
+  prop "Lemma 1: preemptions <= scheduler invocations" (fun _ _ _ res ->
+      res.Simulator.preemptions <= res.Simulator.sched_invocations)
+
+let theorem2 =
+  QCheck.Test.make ~name:"Theorem 2 bound holds on random workloads"
+    ~count:40 spec_arb
+    (fun spec ->
+      let tasks, res = simulate ~sync:1 spec in
+      Array.for_all
+        (fun (tr : Simulator.task_result) ->
+          tr.Simulator.max_retries
+          <= Retry_bound.bound ~tasks ~i:tr.Simulator.task_id)
+        res.Simulator.per_task)
+
+let theorem2_adversarial =
+  QCheck.Test.make
+    ~name:"Theorem 2 bound holds under the adversarial retry rule"
+    ~count:40 spec_arb
+    (fun spec ->
+      let tasks, res =
+        simulate ~sync:1 ~retry_on_any_preemption:true spec
+      in
+      Array.for_all
+        (fun (tr : Simulator.task_result) ->
+          tr.Simulator.max_retries
+          <= Retry_bound.bound ~tasks ~i:tr.Simulator.task_id)
+        res.Simulator.per_task)
+
+let no_retries_without_lockfree =
+  prop "retries only under lock-free" (fun _ _ sync res ->
+      sync = 1 || res.Simulator.retries_total = 0)
+
+let no_blocking_without_locks =
+  prop "blocking only under lock-based" (fun _ _ sync res ->
+      sync = 2 || res.Simulator.blocked_events = 0)
+
+let sojourns_exceed_work =
+  prop "sojourns of completed jobs >= private compute"
+    (fun tasks _ _ res ->
+      Array.for_all
+        (fun (tr : Simulator.task_result) ->
+          let s = tr.Simulator.sojourn in
+          s.Stats.n = 0
+          ||
+          let task = List.nth tasks tr.Simulator.task_id in
+          (* min sojourn can't be below the pure compute time *)
+          s.Stats.min >= float_of_int task.Task.exec -. 1e-6)
+        res.Simulator.per_task)
+
+let determinism =
+  QCheck.Test.make ~name:"identical configs give identical results"
+    ~count:20 spec_arb
+    (fun spec ->
+      let _, r1 = simulate ~sync:2 spec in
+      let _, r2 = simulate ~sync:2 spec in
+      r1.Simulator.released = r2.Simulator.released
+      && r1.Simulator.accrued = r2.Simulator.accrued
+      && r1.Simulator.final_time = r2.Simulator.final_time
+      && r1.Simulator.sched_invocations = r2.Simulator.sched_invocations)
+
+let ideal_at_least_as_good =
+  QCheck.Test.make
+    ~name:"ideal sharing accrues at least as much utility as lock-based"
+    ~count:25 spec_arb
+    (fun spec ->
+      (* Not a theorem per-run (different schedules), so compare with a
+         small tolerance relative to the maximum. *)
+      let _, ideal = simulate ~sync:0 spec in
+      let _, lb = simulate ~sync:2 spec in
+      ideal.Simulator.aur >= lb.Simulator.aur -. 0.12)
+
+let () =
+  Alcotest.run "sim_properties"
+    [
+      ( "invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            conservation;
+            metric_ranges;
+            accrued_bounded;
+            met_below_completed;
+            busy_within_time;
+            lemma1;
+            no_retries_without_lockfree;
+            no_blocking_without_locks;
+            sojourns_exceed_work;
+            determinism;
+          ] );
+      ( "bounds",
+        List.map QCheck_alcotest.to_alcotest
+          [ theorem2; theorem2_adversarial; ideal_at_least_as_good ] );
+    ]

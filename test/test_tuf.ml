@@ -1,0 +1,203 @@
+(* Time/utility function tests: shapes, critical times, monotonicity,
+   the Figure 1 examples. *)
+
+module Tuf = Rtlf_model.Tuf
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- step --------------------------------------------------------------- *)
+
+let test_step_values () =
+  let f = Tuf.step ~height:10.0 ~c:100 in
+  feq "at 0" 10.0 (Tuf.utility f ~at:0);
+  feq "mid" 10.0 (Tuf.utility f ~at:99);
+  feq "at c" 0.0 (Tuf.utility f ~at:100);
+  feq "past c" 0.0 (Tuf.utility f ~at:1000);
+  feq "negative clamps to 0" 10.0 (Tuf.utility f ~at:(-5))
+
+let test_step_is_deadline () =
+  (* A step TUF is exactly a deadline: binary-valued. *)
+  let f = Tuf.step ~height:1.0 ~c:50 in
+  for t = 0 to 200 do
+    let u = Tuf.utility f ~at:t in
+    if u <> 0.0 && u <> 1.0 then Alcotest.failf "non-binary at %d: %f" t u
+  done
+
+(* --- linear -------------------------------------------------------------- *)
+
+let test_linear_values () =
+  let f = Tuf.linear ~u0:100.0 ~c:100 in
+  feq "at 0" 100.0 (Tuf.utility f ~at:0);
+  feq "quarter" 75.0 (Tuf.utility f ~at:25);
+  feq "half" 50.0 (Tuf.utility f ~at:50);
+  feq "at c" 0.0 (Tuf.utility f ~at:100)
+
+(* --- parabolic ------------------------------------------------------------ *)
+
+let test_parabolic_values () =
+  let f = Tuf.parabolic ~u0:100.0 ~c:100 in
+  feq "at 0" 100.0 (Tuf.utility f ~at:0);
+  feq "half" 75.0 (Tuf.utility f ~at:50);
+  feq "at c" 0.0 (Tuf.utility f ~at:100);
+  (* Parabola is flatter than linear early, steeper late. *)
+  let lin = Tuf.linear ~u0:100.0 ~c:100 in
+  Alcotest.(check bool) "parabola above linear early" true
+    (Tuf.utility f ~at:20 > Tuf.utility lin ~at:20)
+
+(* --- piecewise ------------------------------------------------------------ *)
+
+let test_piecewise_interpolation () =
+  let f =
+    Tuf.piecewise ~points:[| (0, 0.0); (10, 100.0); (20, 40.0) |] ~c:30
+  in
+  feq "start" 0.0 (Tuf.utility f ~at:0);
+  feq "rising mid" 50.0 (Tuf.utility f ~at:5);
+  feq "peak" 100.0 (Tuf.utility f ~at:10);
+  feq "falling mid" 70.0 (Tuf.utility f ~at:15);
+  feq "holds flat after last point" 40.0 (Tuf.utility f ~at:25);
+  feq "zero at critical time" 0.0 (Tuf.utility f ~at:30)
+
+let test_piecewise_validation () =
+  let inv name f = Alcotest.check_raises name (Invalid_argument f) in
+  inv "empty" "Tuf.piecewise: empty points" (fun () ->
+      ignore (Tuf.piecewise ~points:[||] ~c:10));
+  inv "not at 0" "Tuf.piecewise: first point must be at time 0" (fun () ->
+      ignore (Tuf.piecewise ~points:[| (5, 1.0) |] ~c:10));
+  inv "unsorted" "Tuf.piecewise: times must strictly increase" (fun () ->
+      ignore (Tuf.piecewise ~points:[| (0, 1.0); (5, 2.0); (5, 3.0) |] ~c:10));
+  inv "negative utility" "Tuf.piecewise: negative utility" (fun () ->
+      ignore (Tuf.piecewise ~points:[| (0, -1.0) |] ~c:10))
+
+(* --- shared properties ------------------------------------------------------ *)
+
+let all_shapes =
+  [
+    ("step", Tuf.step ~height:50.0 ~c:1000);
+    ("linear", Tuf.linear ~u0:50.0 ~c:1000);
+    ("parabolic", Tuf.parabolic ~u0:50.0 ~c:1000);
+    ( "piecewise",
+      Tuf.piecewise ~points:[| (0, 50.0); (500, 25.0) |] ~c:1000 );
+  ]
+
+let test_critical_time () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check int) (name ^ " critical time") 1000
+        (Tuf.critical_time f);
+      feq (name ^ " zero at c") 0.0 (Tuf.utility f ~at:1000);
+      feq (name ^ " zero after c") 0.0 (Tuf.utility f ~at:5000))
+    all_shapes
+
+let test_initial_utility () =
+  List.iter
+    (fun (name, f) -> feq (name ^ " U(0)") 50.0 (Tuf.initial_utility f))
+    all_shapes
+
+let test_non_increasing () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) (name ^ " non-increasing") true
+        (Tuf.is_non_increasing f))
+    all_shapes;
+  let rising = Tuf.piecewise ~points:[| (0, 1.0); (10, 5.0) |] ~c:20 in
+  Alcotest.(check bool) "rising is not non-increasing" false
+    (Tuf.is_non_increasing rising)
+
+let test_max_utility () =
+  List.iter
+    (fun (name, f) -> feq (name ^ " max") 50.0 (Tuf.max_utility f))
+    all_shapes;
+  let rising =
+    Tuf.piecewise ~points:[| (0, 30.0); (10, 100.0); (20, 10.0) |] ~c:30
+  in
+  feq "rising max is the peak" 100.0 (Tuf.max_utility rising);
+  (* A point at/after the critical time does not count. *)
+  let clipped = Tuf.piecewise ~points:[| (0, 5.0); (50, 99.0) |] ~c:40 in
+  feq "peak beyond c ignored" 5.0 (Tuf.max_utility clipped)
+
+let test_scale () =
+  let f = Tuf.linear ~u0:10.0 ~c:100 in
+  let g = Tuf.scale f 2.5 in
+  feq "scaled" 25.0 (Tuf.initial_utility g);
+  Alcotest.(check int) "critical time preserved" 100 (Tuf.critical_time g);
+  Alcotest.check_raises "negative factor"
+    (Invalid_argument "Tuf.scale: negative factor") (fun () ->
+      ignore (Tuf.scale f (-1.0)))
+
+let test_constructor_validation () =
+  Alcotest.check_raises "step c=0"
+    (Invalid_argument "Tuf.step: c must be positive") (fun () ->
+      ignore (Tuf.step ~height:1.0 ~c:0));
+  Alcotest.check_raises "negative height"
+    (Invalid_argument "Tuf.step: negative height") (fun () ->
+      ignore (Tuf.step ~height:(-1.0) ~c:10));
+  Alcotest.check_raises "linear c<0"
+    (Invalid_argument "Tuf.linear: c must be positive") (fun () ->
+      ignore (Tuf.linear ~u0:1.0 ~c:(-3)))
+
+let prop_non_negative =
+  QCheck.Test.make ~name:"utility is never negative" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 2_000_000))
+    (fun (c, t) ->
+      List.for_all
+        (fun f -> Tuf.utility f ~at:t >= 0.0)
+        [
+          Tuf.step ~height:7.0 ~c;
+          Tuf.linear ~u0:7.0 ~c;
+          Tuf.parabolic ~u0:7.0 ~c;
+        ])
+
+let prop_monotone_decreasing =
+  QCheck.Test.make ~name:"step/linear/parabolic never increase" ~count:500
+    QCheck.(triple (int_range 2 1_000_000) (int_range 0 999_999)
+              (int_range 0 999_999))
+    (fun (c, a, b) ->
+      let t1 = min a b and t2 = max a b in
+      List.for_all
+        (fun f -> Tuf.utility f ~at:t1 >= Tuf.utility f ~at:t2 -. 1e-9)
+        [
+          Tuf.step ~height:9.0 ~c;
+          Tuf.linear ~u0:9.0 ~c;
+          Tuf.parabolic ~u0:9.0 ~c;
+        ])
+
+let prop_bounded_by_max =
+  QCheck.Test.make ~name:"utility bounded by max_utility" ~count:300
+    QCheck.(pair (int_range 1 100_000) (int_range 0 200_000))
+    (fun (c, t) ->
+      let f =
+        Tuf.piecewise
+          ~points:[| (0, 3.0); (c / 2 + 1, 11.0) |]
+          ~c:(c + 2)
+      in
+      Tuf.utility f ~at:t <= Tuf.max_utility f +. 1e-9)
+
+let () =
+  Alcotest.run "tuf"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "step values" `Quick test_step_values;
+          Alcotest.test_case "step is a deadline" `Quick test_step_is_deadline;
+          Alcotest.test_case "linear values" `Quick test_linear_values;
+          Alcotest.test_case "parabolic values" `Quick test_parabolic_values;
+          Alcotest.test_case "piecewise interpolation" `Quick
+            test_piecewise_interpolation;
+          Alcotest.test_case "piecewise validation" `Quick
+            test_piecewise_validation;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "critical times" `Quick test_critical_time;
+          Alcotest.test_case "initial utility" `Quick test_initial_utility;
+          Alcotest.test_case "non-increasing predicate" `Quick
+            test_non_increasing;
+          Alcotest.test_case "max utility" `Quick test_max_utility;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "constructor validation" `Quick
+            test_constructor_validation;
+          QCheck_alcotest.to_alcotest prop_non_negative;
+          QCheck_alcotest.to_alcotest prop_monotone_decreasing;
+          QCheck_alcotest.to_alcotest prop_bounded_by_max;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* UAM arrival-model tests: constraints, generator/validator agreement,
+   special cases, window-counting bounds. *)
+
+module Uam = Rtlf_model.Uam
+module Prng = Rtlf_engine.Prng
+
+let gen law ~seed ~horizon =
+  Uam.generate law (Prng.create ~seed) ~start:0 ~horizon
+
+(* --- construction ------------------------------------------------------- *)
+
+let test_make_validation () =
+  let inv name msg f = Alcotest.check_raises name (Invalid_argument msg) f in
+  inv "w=0" "Uam.make: w must be positive" (fun () ->
+      ignore (Uam.make ~l:1 ~a:1 ~w:0));
+  inv "a=0" "Uam.make: a must be at least 1" (fun () ->
+      ignore (Uam.make ~l:0 ~a:0 ~w:10));
+  inv "l>a" "Uam.make: need 0 <= l <= a" (fun () ->
+      ignore (Uam.make ~l:3 ~a:2 ~w:10));
+  inv "l<0" "Uam.make: need 0 <= l <= a" (fun () ->
+      ignore (Uam.make ~l:(-1) ~a:2 ~w:10))
+
+let test_periodic_is_special_case () =
+  let law = Uam.periodic ~period:500 in
+  Alcotest.(check int) "l" 1 law.Uam.l;
+  Alcotest.(check int) "a" 1 law.Uam.a;
+  Alcotest.(check int) "w" 500 law.Uam.w
+
+(* --- generator ----------------------------------------------------------- *)
+
+let test_periodic_trace_is_periodic () =
+  let law = Uam.periodic ~period:1000 in
+  let trace = gen law ~seed:3 ~horizon:50_000 in
+  (match trace with
+  | [] | [ _ ] -> Alcotest.fail "expected several arrivals"
+  | first :: _ ->
+    Alcotest.(check bool) "first within one window" true (first < 1000));
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  List.iter
+    (fun g -> Alcotest.(check int) "gap = period" 1000 g)
+    (gaps trace)
+
+let test_generator_satisfies_validator () =
+  List.iter
+    (fun (l, a, w) ->
+      let law = Uam.make ~l ~a ~w in
+      List.iter
+        (fun seed ->
+          let trace = gen law ~seed ~horizon:(w * 100) in
+          match Uam.validate law trace with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.failf "law <%d,%d,%d> seed %d: %s" l a w seed msg)
+        [ 1; 2; 3; 4; 5 ])
+    [ (1, 1, 1000); (1, 2, 1000); (1, 3, 500); (1, 5, 2000); (2, 4, 1000) ]
+
+let test_generator_nonempty_and_in_horizon () =
+  let law = Uam.bursty ~a:3 ~w:1000 in
+  let trace = gen law ~seed:9 ~horizon:10_000 in
+  Alcotest.(check bool) "nonempty" true (trace <> []);
+  List.iter
+    (fun t ->
+      if t < 0 || t >= 10_000 then Alcotest.failf "out of horizon: %d" t)
+    trace
+
+let test_generator_allows_simultaneous () =
+  (* With a generous burst, simultaneous (equal-time) arrivals must be
+     possible across seeds. *)
+  let law = Uam.bursty ~a:5 ~w:100 in
+  let found = ref false in
+  for seed = 1 to 30 do
+    let trace = gen law ~seed ~horizon:10_000 in
+    let rec has_dup = function
+      | a :: (b :: _ as rest) -> a = b || has_dup rest
+      | _ -> false
+    in
+    if has_dup trace then found := true
+  done;
+  Alcotest.(check bool) "simultaneous arrivals occur" true !found
+
+let test_worst_burst () =
+  let law = Uam.bursty ~a:3 ~w:1000 in
+  let trace = Uam.generate_worst_burst law ~start:0 ~horizon:3500 in
+  Alcotest.(check (list int)) "bursts at window fronts"
+    [ 0; 0; 0; 1000; 1000; 1000; 2000; 2000; 2000; 3000; 3000; 3000 ]
+    trace;
+  (match Uam.validate law trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "worst burst invalid: %s" msg)
+
+(* --- validator ------------------------------------------------------------ *)
+
+let test_validate_rejects_overdense () =
+  let law = Uam.make ~l:1 ~a:2 ~w:1000 in
+  (* Three arrivals within one window violate the max side. *)
+  match Uam.validate law [ 0; 100; 200; 5000 ] with
+  | Ok () -> Alcotest.fail "expected max-side violation"
+  | Error msg ->
+    Alcotest.(check bool) "mentions max side" true
+      (String.length msg > 0)
+
+let test_validate_rejects_sparse () =
+  let law = Uam.make ~l:1 ~a:2 ~w:1000 in
+  (* Gap of 5000 > w violates the min side. *)
+  match Uam.validate law [ 0; 5000 ] with
+  | Ok () -> Alcotest.fail "expected min-side violation"
+  | Error _ -> ()
+
+let test_validate_rejects_unsorted () =
+  let law = Uam.periodic ~period:10 in
+  match Uam.validate law [ 5; 3 ] with
+  | Ok () -> Alcotest.fail "expected sort error"
+  | Error msg -> Alcotest.(check string) "message" "trace is not sorted" msg
+
+let test_validate_empty_and_singleton () =
+  let law = Uam.bursty ~a:2 ~w:100 in
+  Alcotest.(check bool) "empty ok" true (Uam.validate law [] = Ok ());
+  Alcotest.(check bool) "singleton ok" true (Uam.validate law [ 42 ] = Ok ())
+
+(* --- window-counting bounds ------------------------------------------------ *)
+
+let test_max_arrivals_in () =
+  let law = Uam.make ~l:1 ~a:2 ~w:1000 in
+  (* a * (ceil(span/w) + 1) *)
+  Alcotest.(check int) "span=w" 4 (Uam.max_arrivals_in law ~span:1000);
+  Alcotest.(check int) "span=2.5w" 8 (Uam.max_arrivals_in law ~span:2500);
+  Alcotest.(check int) "span < w" 4 (Uam.max_arrivals_in law ~span:500);
+  Alcotest.(check int) "span 0" 2 (Uam.max_arrivals_in law ~span:0)
+
+let test_min_arrivals_in () =
+  let law = Uam.make ~l:2 ~a:3 ~w:1000 in
+  Alcotest.(check int) "span=2w" 4 (Uam.min_arrivals_in law ~span:2000);
+  Alcotest.(check int) "span<w" 0 (Uam.min_arrivals_in law ~span:999)
+
+let prop_trace_within_count_bounds =
+  (* Any generated trace's count over the whole horizon respects the
+     window-counting bound. *)
+  QCheck.Test.make ~name:"generated counts below max_arrivals_in" ~count:100
+    QCheck.(triple (int_range 1 4) (int_range 100 5_000) (int_range 1 1000))
+    (fun (a, w, seed) ->
+      let law = Uam.make ~l:1 ~a ~w in
+      let horizon = w * 20 in
+      let trace = gen law ~seed ~horizon in
+      List.length trace <= Uam.max_arrivals_in law ~span:horizon)
+
+let prop_generated_valid =
+  QCheck.Test.make ~name:"generate |> validate" ~count:200
+    QCheck.(triple (int_range 1 5) (int_range 50 2_000) (int_range 1 10_000))
+    (fun (a, w, seed) ->
+      let law = Uam.make ~l:1 ~a ~w in
+      let trace = gen law ~seed ~horizon:(w * 50) in
+      Uam.validate law trace = Ok ())
+
+let () =
+  Alcotest.run "uam"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "periodic special case" `Quick
+            test_periodic_is_special_case;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "periodic trace" `Quick
+            test_periodic_trace_is_periodic;
+          Alcotest.test_case "generator satisfies validator" `Quick
+            test_generator_satisfies_validator;
+          Alcotest.test_case "in-horizon, nonempty" `Quick
+            test_generator_nonempty_and_in_horizon;
+          Alcotest.test_case "simultaneous arrivals possible" `Quick
+            test_generator_allows_simultaneous;
+          Alcotest.test_case "worst burst trace" `Quick test_worst_burst;
+          QCheck_alcotest.to_alcotest prop_generated_valid;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "rejects over-dense" `Quick
+            test_validate_rejects_overdense;
+          Alcotest.test_case "rejects sparse" `Quick test_validate_rejects_sparse;
+          Alcotest.test_case "rejects unsorted" `Quick
+            test_validate_rejects_unsorted;
+          Alcotest.test_case "empty/singleton ok" `Quick
+            test_validate_empty_and_singleton;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "max_arrivals_in" `Quick test_max_arrivals_in;
+          Alcotest.test_case "min_arrivals_in" `Quick test_min_arrivals_in;
+          QCheck_alcotest.to_alcotest prop_trace_within_count_bounds;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Wait-free register tests: NBW (writer wait-free, readers retry) and
+   Simpson's four-slot (both sides wait-free). Coherence checks under
+   real domain concurrency. *)
+
+module Nbw = Rtlf_lockfree.Nbw_register
+module Four_slot = Rtlf_lockfree.Four_slot
+
+(* --- NBW sequential ------------------------------------------------------ *)
+
+let test_nbw_sequential () =
+  let reg = Nbw.create 0 in
+  Alcotest.(check int) "initial" 0 (Nbw.read reg);
+  Nbw.write reg 42;
+  Alcotest.(check int) "after write" 42 (Nbw.read reg);
+  Nbw.write reg 7;
+  Nbw.write reg 9;
+  Alcotest.(check int) "latest wins" 9 (Nbw.read reg)
+
+let test_nbw_version_parity () =
+  let reg = Nbw.create 0 in
+  Alcotest.(check int) "even at rest" 0 (Nbw.version reg mod 2);
+  Nbw.write reg 1;
+  Alcotest.(check int) "still even after write" 0 (Nbw.version reg mod 2);
+  Alcotest.(check int) "two bumps per write" 2 (Nbw.version reg)
+
+let test_nbw_read_reports_retries () =
+  let reg = Nbw.create 5 in
+  let v, retries = Nbw.read_with_retries reg in
+  Alcotest.(check int) "value" 5 v;
+  Alcotest.(check int) "no contention, no retries" 0 retries
+
+(* --- NBW concurrent -------------------------------------------------------- *)
+
+let test_nbw_concurrent_coherence () =
+  (* Writer publishes (i, 2*i) pairs; readers must never observe a torn
+     pair. *)
+  let reg = Nbw.create (0, 0) in
+  let iterations = 50_000 in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let reader () =
+    while not (Atomic.get stop) do
+      let a, b = Nbw.read reg in
+      if b <> 2 * a then Atomic.incr bad
+    done
+  in
+  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+  for i = 1 to iterations do
+    Nbw.write reg (i, 2 * i)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get bad);
+  Alcotest.(check bool) "final value" true (Nbw.read reg = (iterations, 2 * iterations))
+
+let test_nbw_writer_never_waits () =
+  (* The writer performs a fixed number of atomic ops per write; with a
+     continuously-reading domain the writer still finishes promptly.
+     (A deadline here would be flaky; we assert completion.) *)
+  let reg = Nbw.create 0 in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (Nbw.read reg)
+        done)
+  in
+  for i = 1 to 100_000 do
+    Nbw.write reg i
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "all writes landed" 100_000 (Nbw.read reg)
+
+(* --- four-slot sequential ---------------------------------------------------- *)
+
+let test_four_slot_sequential () =
+  let reg = Four_slot.create 0 in
+  Alcotest.(check int) "initial" 0 (Four_slot.read reg);
+  Four_slot.write reg 1;
+  Alcotest.(check int) "after write" 1 (Four_slot.read reg);
+  Four_slot.write reg 2;
+  Four_slot.write reg 3;
+  Alcotest.(check int) "latest" 3 (Four_slot.read reg);
+  (* Repeated reads are stable. *)
+  Alcotest.(check int) "stable" 3 (Four_slot.read reg)
+
+let test_four_slot_freshness () =
+  (* After a quiescent write, the very next read returns it. *)
+  let reg = Four_slot.create "a" in
+  List.iter
+    (fun v ->
+      Four_slot.write reg v;
+      Alcotest.(check string) "fresh" v (Four_slot.read reg))
+    [ "b"; "c"; "d"; "e"; "f" ]
+
+(* --- four-slot concurrent ------------------------------------------------------ *)
+
+let test_four_slot_concurrent_coherence () =
+  (* Values are coherent pairs and reads are monotone: the reader never
+     goes back in time once it has seen a newer value. *)
+  let reg = Four_slot.create (0, 0) in
+  let iterations = 50_000 in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let regress = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let last = ref 0 in
+        while not (Atomic.get stop) do
+          let a, b = Four_slot.read reg in
+          if b <> 2 * a then Atomic.incr torn;
+          if a < !last then Atomic.incr regress;
+          last := max !last a
+        done)
+  in
+  for i = 1 to iterations do
+    Four_slot.write reg (i, 2 * i)
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "no torn pairs" 0 (Atomic.get torn);
+  Alcotest.(check int) "monotone reads" 0 (Atomic.get regress)
+
+let () =
+  Alcotest.run "waitfree"
+    [
+      ( "nbw",
+        [
+          Alcotest.test_case "sequential" `Quick test_nbw_sequential;
+          Alcotest.test_case "version parity" `Quick test_nbw_version_parity;
+          Alcotest.test_case "read reports retries" `Quick
+            test_nbw_read_reports_retries;
+          Alcotest.test_case "concurrent coherence" `Quick
+            test_nbw_concurrent_coherence;
+          Alcotest.test_case "writer never waits" `Quick
+            test_nbw_writer_never_waits;
+        ] );
+      ( "four_slot",
+        [
+          Alcotest.test_case "sequential" `Quick test_four_slot_sequential;
+          Alcotest.test_case "freshness" `Quick test_four_slot_freshness;
+          Alcotest.test_case "concurrent coherence" `Quick
+            test_four_slot_concurrent_coherence;
+        ] );
+    ]
