@@ -5,6 +5,8 @@
      rtlf run <name> [--fast]    run one experiment (fig8..fig14, thm2,
                                  thm3, lem45, all)
      rtlf sim [options]          run a single ad-hoc simulation
+                                 (--json, --trace-out, --csv-out)
+     rtlf trace [experiment]     record one traced run and export it
      rtlf bound [options]        print Theorem 2 bounds for a workload *)
 
 open Cmdliner
@@ -12,7 +14,10 @@ open Cmdliner
 module Workload = Rtlf_workload.Workload
 module Simulator = Rtlf_sim.Simulator
 module Sync = Rtlf_sim.Sync
+module Trace = Rtlf_sim.Trace
 module Experiments = Rtlf_experiments
+module Report = Rtlf_experiments.Report
+module Obs = Rtlf_obs
 
 let fmt = Format.std_formatter
 
@@ -121,38 +126,199 @@ let run_cmd =
 
 (* --- rtlf sim ----------------------------------------------------------- *)
 
+let json_flag =
+  let doc = "Emit the full result as machine-readable JSON on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event / Perfetto JSON trace of the run to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let csv_out_arg =
+  let doc = "Write the raw trace as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv-out" ] ~docv:"FILE" ~doc)
+
+let trace_capacity_arg =
+  let doc =
+    "Bound the in-memory trace to the newest $(docv) entries \
+     (drop-oldest ring buffer); unbounded by default."
+  in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some c when c > 0 -> Ok c
+      | Some _ -> Error (`Msg "trace capacity must be positive")
+      | None -> Error (`Msg (Printf.sprintf "invalid capacity %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some positive) None
+       & info [ "trace-capacity" ] ~docv:"N" ~doc)
+
+(* Notices go to [dst] so --json keeps stdout machine-readable. *)
+let export_trace ?(dst = fmt) ~trace_out ~csv_out trace =
+  Option.iter
+    (fun path ->
+      Obs.Chrome_trace.write_file ~path trace;
+      Format.fprintf dst "wrote Chrome trace to %s (open in ui.perfetto.dev)@."
+        path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      Obs.Csv_export.write_file ~path trace;
+      Format.fprintf dst "wrote CSV trace to %s@." path)
+    csv_out;
+  let dropped = Trace.dropped trace in
+  if dropped > 0 then
+    Format.fprintf dst "note: trace ring buffer dropped %d oldest entries@."
+      dropped
+
+let print_observability res =
+  Report.histogram fmt ~title:"sojourn"
+    res.Simulator.sojourn_hist;
+  if res.Simulator.blocking_hist.Rtlf_engine.Stats.n > 0 then
+    Report.histogram fmt ~title:"blocking span"
+      res.Simulator.blocking_hist;
+  Report.histogram fmt ~title:"sched cost" res.Simulator.sched_hist;
+  Format.fprintf fmt "contention profile:@.";
+  Report.contention fmt res.Simulator.contention
+
 let sim_cmd =
-  let run tasks objects load exec_us sync sched hetero seed fast =
+  let run tasks objects load exec_us sync sched hetero seed fast json
+      trace_out csv_out trace_capacity =
     let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
     let task_list = Workload.make spec in
     let mode = mode_of_fast fast in
+    let trace = Option.is_some trace_out || Option.is_some csv_out in
     let res =
-      Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~seed
-        task_list
+      Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~trace
+        ?trace_capacity ~seed task_list
     in
-    Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
-    Format.fprintf fmt
-      "scheduler=%s sync=%s horizon=%dns@." res.Simulator.sched_name
-      res.Simulator.sync_name res.Simulator.final_time;
-    Format.fprintf fmt
-      "released=%d completed=%d aborted=%d in-flight=%d@."
-      res.Simulator.released res.Simulator.completed res.Simulator.aborted
-      res.Simulator.in_flight;
-    Format.fprintf fmt "AUR=%.1f%% CMR=%.1f%%@."
-      (100.0 *. res.Simulator.aur)
-      (100.0 *. res.Simulator.cmr);
-    Format.fprintf fmt
-      "retries=%d preemptions=%d blockings=%d sched-invocations=%d@."
-      res.Simulator.retries_total res.Simulator.preemptions
-      res.Simulator.blocked_events res.Simulator.sched_invocations;
-    Format.fprintf fmt "mean access time: %a@."
-      Rtlf_engine.Stats.pp_summary res.Simulator.access_samples
+    if json then print_string (Obs.Result_json.to_string res)
+    else begin
+      Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
+      Format.fprintf fmt
+        "scheduler=%s sync=%s horizon=%dns@." res.Simulator.sched_name
+        res.Simulator.sync_name res.Simulator.final_time;
+      Format.fprintf fmt
+        "released=%d completed=%d aborted=%d in-flight=%d@."
+        res.Simulator.released res.Simulator.completed res.Simulator.aborted
+        res.Simulator.in_flight;
+      Format.fprintf fmt "AUR=%.1f%% CMR=%.1f%%@."
+        (100.0 *. res.Simulator.aur)
+        (100.0 *. res.Simulator.cmr);
+      Format.fprintf fmt
+        "retries=%d preemptions=%d blockings=%d sched-invocations=%d@."
+        res.Simulator.retries_total res.Simulator.preemptions
+        res.Simulator.blocked_events res.Simulator.sched_invocations;
+      Format.fprintf fmt "mean access time: %a@."
+        Rtlf_engine.Stats.pp_summary res.Simulator.access_samples;
+      print_observability res
+    end;
+    let dst = if json then Format.err_formatter else fmt in
+    export_trace ~dst ~trace_out ~csv_out res.Simulator.trace
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run one ad-hoc simulation and print a summary.")
     Term.(
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
-      $ sched_arg $ hetero_arg $ seed_arg $ fast_flag)
+      $ sched_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
+      $ trace_out_arg $ csv_out_arg $ trace_capacity_arg)
+
+(* --- rtlf trace ---------------------------------------------------------- *)
+
+(* Representative single-run corner for each experiment: the load /
+   TUF-class / discipline / scheduler point that figure or theorem is
+   really about, so `rtlf trace fig12` shows the regime the figure
+   measures. *)
+let representative =
+  [
+    ("fig1", (0.7, false, `Lock_free, Simulator.Rua));
+    ("fig8", (0.7, false, `Lock_free, Simulator.Rua));
+    ("fig9", (0.9, false, `Lock_based, Simulator.Rua));
+    ("fig10", (0.4, false, `Lock_free, Simulator.Rua));
+    ("fig11", (0.4, true, `Lock_free, Simulator.Rua));
+    ("fig12", (1.1, false, `Lock_free, Simulator.Rua));
+    ("fig13", (1.1, true, `Lock_free, Simulator.Rua));
+    ("fig14", (0.8, true, `Lock_free, Simulator.Rua));
+    ("thm2", (1.0, false, `Lock_free, Simulator.Rua));
+    ("thm3", (0.8, false, `Lock_based, Simulator.Rua));
+    ("lem45", (0.4, false, `Lock_free, Simulator.Rua));
+    ("ablation", (0.8, false, `Lock_free, Simulator.Edf));
+    ("baselines", (0.7, false, `Lock_based, Simulator.Edf_pip));
+  ]
+
+let trace_cmd =
+  let name_arg =
+    let doc =
+      "Experiment whose representative configuration to trace (see \
+       $(b,rtlf list)); defaults to the workload options."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let out_arg =
+    let doc = "Chrome trace-event output file." in
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run name tasks objects load exec_us sync sched hetero seed out csv_out
+      trace_capacity =
+    let picked =
+      match name with
+      | None -> Ok (load, hetero, sync, sched)
+      | Some n -> (
+          match List.assoc_opt n representative with
+          | Some r -> Ok r
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown experiment %S (see `rtlf list')" n))
+    in
+    match picked with
+    | Error msg -> `Error (false, msg)
+    | Ok (load, hetero, sync, sched) ->
+      let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
+      let task_list = Workload.make spec in
+      let horizon =
+        Experiments.Common.horizon_for Experiments.Common.Fast task_list / 4
+      in
+      let res =
+        Simulator.run
+          (Simulator.config ~tasks:task_list ~sync:(sync_of sync) ~sched
+             ~horizon ~seed
+             ~sched_base:Experiments.Common.sched_base
+             ~sched_per_op:Experiments.Common.sched_per_op ~trace:true
+             ?trace_capacity ())
+      in
+      Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
+      Format.fprintf fmt "scheduler=%s sync=%s AUR=%.1f%% CMR=%.1f%%@."
+        res.Simulator.sched_name res.Simulator.sync_name
+        (100.0 *. res.Simulator.aur)
+        (100.0 *. res.Simulator.cmr);
+      let spans = Obs.Spans.of_trace res.Simulator.trace in
+      Format.fprintf fmt
+        "spans: running=%d blocking=%d retry=%d access=%d sched=%d@."
+        (List.length spans.Obs.Spans.running)
+        (List.length spans.Obs.Spans.blocking)
+        (List.length spans.Obs.Spans.retries)
+        (List.length spans.Obs.Spans.accesses)
+        (List.length spans.Obs.Spans.sched);
+      print_observability res;
+      export_trace ~trace_out:(Some out) ~csv_out res.Simulator.trace;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record one traced run (of an experiment's representative \
+          configuration or an ad-hoc workload) and export it.")
+    Term.(
+      ret
+        (const run $ name_arg $ tasks_arg $ objects_arg $ load_arg $ exec_arg
+         $ sync_arg $ sched_arg $ hetero_arg $ seed_arg $ out_arg
+         $ csv_out_arg $ trace_capacity_arg))
 
 (* --- rtlf timeline -------------------------------------------------------- *)
 
@@ -212,6 +378,6 @@ let main =
   let doc = "Lock-free synchronization for dynamic embedded real-time systems" in
   Cmd.group
     (Cmd.info "rtlf" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sim_cmd; timeline_cmd; bound_cmd ]
+    [ list_cmd; run_cmd; sim_cmd; trace_cmd; timeline_cmd; bound_cmd ]
 
 let () = exit (Cmd.eval main)

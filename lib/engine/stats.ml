@@ -67,12 +67,95 @@ let percentile xs ~p =
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
+let percentile_opt xs ~p =
+  if Array.length xs = 0 then None else Some (percentile xs ~p)
+
 let mean xs =
   match xs with
   | [] -> nan
   | _ ->
     let total = List.fold_left ( +. ) 0.0 xs in
     total /. float_of_int (List.length xs)
+
+(* --- histograms ----------------------------------------------------- *)
+
+type histogram = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  bucket_lo : float;
+  bucket_width : float;
+  buckets : int array;
+}
+
+let empty_histogram =
+  {
+    n = 0;
+    mean = nan;
+    min = nan;
+    max = nan;
+    p50 = nan;
+    p90 = nan;
+    p99 = nan;
+    bucket_lo = nan;
+    bucket_width = nan;
+    buckets = [||];
+  }
+
+let histogram ?(bins = 10) xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let n = Array.length xs in
+  if n = 0 then empty_histogram
+  else
+    let s = of_array xs in
+    let q p = percentile xs ~p in
+    let lo = s.min in
+    let width =
+      let span = s.max -. lo in
+      if span <= 0.0 then 1.0 else span /. float_of_int bins
+    in
+    let buckets = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+        buckets.(i) <- buckets.(i) + 1)
+      xs;
+    {
+      n;
+      mean = s.mean;
+      min = lo;
+      max = s.max;
+      p50 = q 50.0;
+      p90 = q 90.0;
+      p99 = q 99.0;
+      bucket_lo = lo;
+      bucket_width = width;
+      buckets;
+    }
+
+(* The widest bucket always renders [bar_width] hashes; the others
+   scale linearly, so the plot's width is fixed regardless of counts. *)
+let bar_width = 32
+
+let pp_histogram fmt h =
+  if h.n = 0 then Format.pp_print_string fmt "(no samples)"
+  else begin
+    Format.fprintf fmt "n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g"
+      h.n h.mean h.p50 h.p90 h.p99 h.max;
+    let peak = Array.fold_left max 1 h.buckets in
+    Array.iteri
+      (fun i c ->
+        let lo = h.bucket_lo +. (float_of_int i *. h.bucket_width) in
+        Format.fprintf fmt "@.[%10.4g, %10.4g) %7d %s" lo
+          (lo +. h.bucket_width) c
+          (String.make (c * bar_width / peak) '#'))
+      h.buckets
+  end
 
 let pp_summary fmt (s : summary) =
   Format.fprintf fmt "%.4g ± %.2g (n=%d)" s.mean s.ci95 s.n

@@ -41,8 +41,46 @@ val percentile : float array -> p:float -> float
     linear interpolation between closest ranks. Sorts a copy; raises
     [Invalid_argument] on an empty array or out-of-range [p]. *)
 
+val percentile_opt : float array -> p:float -> float option
+(** [percentile_opt xs ~p] is the total variant of {!percentile}:
+    [None] on the empty array instead of raising, so report code can
+    chain calls without guarding. Still raises on out-of-range [p]. *)
+
 val mean : float list -> float
 (** [mean xs] is the arithmetic mean ([nan] on the empty list). *)
+
+type histogram = {
+  n : int;              (** sample count *)
+  mean : float;         (** arithmetic mean; [nan] when [n = 0] *)
+  min : float;          (** smallest sample; [nan] when [n = 0] *)
+  max : float;          (** largest sample; [nan] when [n = 0] *)
+  p50 : float;          (** median; [nan] when [n = 0] *)
+  p90 : float;          (** 90th percentile; [nan] when [n = 0] *)
+  p99 : float;          (** 99th percentile; [nan] when [n = 0] *)
+  bucket_lo : float;    (** lower edge of the first bucket *)
+  bucket_width : float; (** uniform bucket width *)
+  buckets : int array;  (** per-bucket counts; empty when [n = 0] *)
+}
+(** A latency distribution: tail percentiles plus uniform-width
+    buckets over [\[min, max\]]. *)
+
+val empty_histogram : histogram
+(** The histogram of no samples ([n = 0], percentiles [nan]). *)
+
+val histogram : ?bins:int -> float array -> histogram
+(** [histogram ~bins xs] buckets [xs] into [bins] (default 10)
+    uniform-width buckets and computes p50/p90/p99. Returns
+    {!empty_histogram} on the empty array; raises [Invalid_argument]
+    when [bins <= 0]. *)
+
+val bar_width : int
+(** Width in characters of the modal bucket's bar in
+    {!pp_histogram}. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** [pp_histogram fmt h] prints a one-line summary followed by a
+    fixed-width ASCII bar chart (the modal bucket spans the full bar
+    width). *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** [pp_summary fmt s] prints ["mean ± ci95 (n=..)"]. *)

@@ -30,11 +30,11 @@ let horizon_for mode tasks =
   windows * max_window
 
 let simulate ?(mode = Full) ?(sync = lock_free) ?(sched = Simulator.Rua)
-    ~seed tasks =
+    ?(trace = false) ?trace_capacity ~seed tasks =
   let horizon = horizon_for mode tasks in
   Simulator.run
     (Simulator.config ~tasks ~sync ~sched ~horizon ~seed ~sched_base
-       ~sched_per_op ())
+       ~sched_per_op ~trace ?trace_capacity ())
 
 let measure ?(mode = Full) ~sync tasks =
   Metrics.repeat ~seeds:(seeds mode) ~run:(fun ~seed ->

@@ -42,11 +42,14 @@ val simulate :
   ?mode:mode ->
   ?sync:Rtlf_sim.Sync.t ->
   ?sched:Rtlf_sim.Simulator.sched_kind ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
   seed:int ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Simulator.result
 (** [simulate ~seed tasks] runs one simulation with the shared cost
-    constants (defaults: [Full] mode, lock-free sync, RUA). *)
+    constants (defaults: [Full] mode, lock-free sync, RUA, no
+    trace). *)
 
 val measure :
   ?mode:mode ->

@@ -47,3 +47,31 @@ let with_ci (s : Stats.summary) fmt_mean =
   if s.Stats.n = 0 then "-"
   else if Float.is_nan s.Stats.ci95 || s.Stats.n < 2 then fmt_mean s.Stats.mean
   else Printf.sprintf "%s +/- %s" (fmt_mean s.Stats.mean) (fmt_mean s.Stats.ci95)
+
+let histogram fmt ~title (h : Stats.histogram) =
+  Format.fprintf fmt "%s: %a@." title Stats.pp_histogram h
+
+let contention fmt profile =
+  let module C = Rtlf_sim.Contention in
+  let active =
+    Array.to_list profile |> List.filter (fun c -> not (C.is_quiet c))
+  in
+  if active = [] then
+    Format.fprintf fmt "no shared-object activity recorded@."
+  else
+    table fmt
+      ~header:
+        [ "object"; "acquires"; "conflicts"; "retries"; "blocked";
+          "max-queue" ]
+      ~rows:
+        (List.map
+           (fun (c : C.t) ->
+             [
+               Printf.sprintf "o%d" c.C.obj;
+               string_of_int c.C.acquires;
+               string_of_int c.C.conflicts;
+               string_of_int c.C.retries;
+               ns_us (float_of_int c.C.blocked_ns);
+               string_of_int c.C.max_queue_depth;
+             ])
+           active)

@@ -31,3 +31,12 @@ val ns_us : float -> string
 val with_ci : Rtlf_engine.Stats.summary -> (float -> string) -> string
 (** [with_ci s fmt_mean] is ["mean ± ci"] using [fmt_mean] for both
     numbers. *)
+
+val histogram :
+  Format.formatter -> title:string -> Rtlf_engine.Stats.histogram -> unit
+(** [histogram fmt ~title h] prints a titled ASCII latency
+    histogram. *)
+
+val contention : Format.formatter -> Rtlf_sim.Contention.t array -> unit
+(** [contention fmt profile] prints the per-object contention table,
+    omitting objects with no recorded activity. *)

@@ -1,0 +1,137 @@
+module Trace = Rtlf_sim.Trace
+
+(* Chrome trace-event timestamps are microseconds (floats); the
+   simulator's clock is integer ns. *)
+let us ns = float_of_int ns /. 1000.0
+
+let pid = 0
+
+(* Lane (tid) assignment: one lane per task, plus a scheduler lane
+   numbered past the largest task id. Jobs whose arrival fell outside
+   a ring-buffered trace window have no task mapping; they share a
+   dedicated "unattributed" lane before the scheduler's. *)
+let lanes spans =
+  let max_task =
+    List.fold_left (fun acc (_, task) -> max acc task) (-1)
+      spans.Spans.task_of
+  in
+  let unattributed = max_task + 1 in
+  let scheduler = max_task + 2 in
+  let of_jid jid =
+    match Spans.task_of spans ~jid with
+    | Some task -> task
+    | None -> unattributed
+  in
+  (of_jid, unattributed, scheduler)
+
+let thread_meta ~tid ~name =
+  Json.Obj
+    [
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("name", Json.Str "thread_name");
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let complete_event ~tid ~name ~start ~stop ~args =
+  Json.Obj
+    [
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("name", Json.Str name);
+      ("ts", Json.Float (us start));
+      ("dur", Json.Float (us (stop - start)));
+      ("args", Json.Obj args);
+    ]
+
+let instant_event ~tid ~name ~time ~args =
+  Json.Obj
+    [
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("name", Json.Str name);
+      ("ts", Json.Float (us time));
+      ("args", Json.Obj args);
+    ]
+
+let span_name (s : Spans.span) =
+  match s.Spans.obj with
+  | Some obj -> Printf.sprintf "%s o%d" (Spans.kind_name s.Spans.kind) obj
+  | None -> Spans.kind_name s.Spans.kind
+
+let events trace =
+  let spans = Spans.of_trace trace in
+  let lane_of, unattributed, sched_lane = lanes spans in
+  let tasks =
+    List.sort_uniq compare (List.map snd spans.Spans.task_of)
+  in
+  let meta =
+    List.map
+      (fun task -> thread_meta ~tid:task ~name:(Printf.sprintf "task %d" task))
+      tasks
+    @ [ thread_meta ~tid:unattributed ~name:"unattributed" ]
+    @ [ thread_meta ~tid:sched_lane ~name:"scheduler" ]
+  in
+  let job_span (s : Spans.span) =
+    let args =
+      ("jid", Json.Int s.Spans.jid)
+      ::
+      (match s.Spans.obj with
+      | Some obj -> [ ("obj", Json.Int obj) ]
+      | None -> [])
+    in
+    complete_event ~tid:(lane_of s.Spans.jid) ~name:(span_name s)
+      ~start:s.Spans.start ~stop:s.Spans.stop ~args
+  in
+  let sched_span (s : Spans.span) =
+    complete_event ~tid:sched_lane ~name:"sched" ~start:s.Spans.start
+      ~stop:s.Spans.stop
+      ~args:
+        [
+          ("ops", Json.Int s.Spans.ops);
+          ("cost_ns", Json.Int (Spans.duration s));
+        ]
+  in
+  let durations =
+    List.concat
+      [
+        List.map job_span spans.Spans.running;
+        List.map job_span spans.Spans.blocking;
+        List.map job_span spans.Spans.retries;
+        List.map job_span spans.Spans.accesses;
+        List.map sched_span spans.Spans.sched;
+      ]
+  in
+  let instants =
+    List.filter_map
+      (fun { Trace.time; kind } ->
+        let inst jid name extra =
+          Some
+            (instant_event ~tid:(lane_of jid) ~name ~time
+               ~args:(("jid", Json.Int jid) :: extra))
+        in
+        match kind with
+        | Trace.Arrive (jid, task) ->
+          inst jid "arrive" [ ("task", Json.Int task) ]
+        | Trace.Preempt jid -> inst jid "preempt" []
+        | Trace.Wake (jid, obj) -> inst jid "wake" [ ("obj", Json.Int obj) ]
+        | Trace.Complete jid -> inst jid "complete" []
+        | Trace.Abort jid -> inst jid "abort" []
+        | Trace.Start _ | Trace.Block _ | Trace.Acquire _ | Trace.Release _
+        | Trace.Retry _ | Trace.Access_done _ | Trace.Sched _ ->
+          None)
+      (Trace.entries trace)
+  in
+  meta @ durations @ instants
+
+let to_string trace = Json.lines_to_string (events trace)
+
+let write_file ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))

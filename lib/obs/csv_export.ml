@@ -1,0 +1,41 @@
+module Trace = Rtlf_sim.Trace
+
+let header = "time_ns,event,jid,obj,extra"
+
+let row { Trace.time; kind } =
+  let r name ?jid ?obj ?(extra = "") () =
+    let cell = function Some v -> string_of_int v | None -> "" in
+    Printf.sprintf "%d,%s,%s,%s,%s" time name (cell jid) (cell obj) extra
+  in
+  match kind with
+  | Trace.Arrive (jid, task) ->
+    r "arrive" ~jid ~extra:(Printf.sprintf "task=%d" task) ()
+  | Trace.Start jid -> r "start" ~jid ()
+  | Trace.Preempt jid -> r "preempt" ~jid ()
+  | Trace.Block (jid, obj) -> r "block" ~jid ~obj ()
+  | Trace.Wake (jid, obj) -> r "wake" ~jid ~obj ()
+  | Trace.Acquire (jid, obj) -> r "acquire" ~jid ~obj ()
+  | Trace.Release (jid, obj) -> r "release" ~jid ~obj ()
+  | Trace.Retry (jid, obj) -> r "retry" ~jid ~obj ()
+  | Trace.Access_done (jid, obj) -> r "access_done" ~jid ~obj ()
+  | Trace.Complete jid -> r "complete" ~jid ()
+  | Trace.Abort jid -> r "abort" ~jid ()
+  | Trace.Sched (ops, cost) ->
+    r "sched" ~extra:(Printf.sprintf "ops=%d;cost=%d" ops cost) ()
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (row e);
+      Buffer.add_char buf '\n')
+    (Trace.entries trace);
+  Buffer.contents buf
+
+let write_file ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))

@@ -1,0 +1,20 @@
+(** Flat CSV exporter for simulator traces.
+
+    One row per trace entry, schema
+    [time_ns,event,jid,obj,extra]: [jid]/[obj] are empty when the
+    event has none, [extra] carries the remaining payload
+    ([task=<id>] for arrivals, [ops=<n>;cost=<ns>] for scheduler
+    invocations). Suited to spreadsheet / pandas post-processing. *)
+
+val header : string
+(** The column header row (no trailing newline). *)
+
+val row : Rtlf_sim.Trace.entry -> string
+(** [row e] is one CSV line (no trailing newline). *)
+
+val to_string : Rtlf_sim.Trace.t -> string
+(** [to_string trace] is the full document, header first, one entry
+    per line, trailing newline. *)
+
+val write_file : path:string -> Rtlf_sim.Trace.t -> unit
+(** [write_file ~path trace] writes {!to_string} to [path]. *)

@@ -1,0 +1,77 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf v =
+  (* JSON has no NaN/infinity; null is the conventional substitute. *)
+  if Float.is_nan v || v = infinity || v = neg_infinity then
+    Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.12g" v)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> add_float buf v
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 4096 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* One element per line keeps diffs of golden files readable while
+   staying valid JSON. *)
+let lines_to_string xs =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      to_buffer buf x)
+    xs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

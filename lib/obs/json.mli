@@ -1,0 +1,26 @@
+(** Minimal JSON emitter.
+
+    The repository deliberately has no JSON dependency; the exporters
+    and the CLI's [--json] mode need only serialisation, which this
+    covers. Strings are escaped per RFC 8259; non-finite floats are
+    emitted as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** [to_buffer buf j] appends the compact serialisation of [j]. *)
+
+val to_string : t -> string
+(** [to_string j] is the compact serialisation of [j]. *)
+
+val lines_to_string : t list -> string
+(** [lines_to_string xs] serialises [xs] as a JSON array with one
+    element per line (stable, diff-friendly output for golden
+    files). *)

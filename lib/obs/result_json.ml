@@ -1,0 +1,94 @@
+module Stats = Rtlf_engine.Stats
+module Simulator = Rtlf_sim.Simulator
+module Contention = Rtlf_sim.Contention
+module Trace = Rtlf_sim.Trace
+
+let summary (s : Stats.summary) =
+  Json.Obj
+    [
+      ("n", Json.Int s.Stats.n);
+      ("mean", Json.Float s.Stats.mean);
+      ("stddev", Json.Float s.Stats.stddev);
+      ("ci95", Json.Float s.Stats.ci95);
+      ("min", Json.Float s.Stats.min);
+      ("max", Json.Float s.Stats.max);
+    ]
+
+let histogram (h : Stats.histogram) =
+  Json.Obj
+    [
+      ("n", Json.Int h.Stats.n);
+      ("mean", Json.Float h.Stats.mean);
+      ("min", Json.Float h.Stats.min);
+      ("max", Json.Float h.Stats.max);
+      ("p50", Json.Float h.Stats.p50);
+      ("p90", Json.Float h.Stats.p90);
+      ("p99", Json.Float h.Stats.p99);
+      ("bucket_lo", Json.Float h.Stats.bucket_lo);
+      ("bucket_width", Json.Float h.Stats.bucket_width);
+      ( "buckets",
+        Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.Stats.buckets))
+      );
+    ]
+
+let contention (c : Contention.t) =
+  Json.Obj
+    [
+      ("obj", Json.Int c.Contention.obj);
+      ("acquires", Json.Int c.Contention.acquires);
+      ("conflicts", Json.Int c.Contention.conflicts);
+      ("retries", Json.Int c.Contention.retries);
+      ("blocked_ns", Json.Int c.Contention.blocked_ns);
+      ("max_queue_depth", Json.Int c.Contention.max_queue_depth);
+    ]
+
+let task_result (tr : Simulator.task_result) =
+  Json.Obj
+    [
+      ("task_id", Json.Int tr.Simulator.task_id);
+      ("released", Json.Int tr.Simulator.released);
+      ("completed", Json.Int tr.Simulator.completed);
+      ("met", Json.Int tr.Simulator.met);
+      ("aborted", Json.Int tr.Simulator.aborted);
+      ("accrued", Json.Float tr.Simulator.accrued);
+      ("max_possible", Json.Float tr.Simulator.max_possible);
+      ("total_retries", Json.Int tr.Simulator.total_retries);
+      ("max_retries", Json.Int tr.Simulator.max_retries);
+      ("sojourn_ns", summary tr.Simulator.sojourn);
+    ]
+
+let result (res : Simulator.result) =
+  Json.Obj
+    [
+      ("sync", Json.Str res.Simulator.sync_name);
+      ("scheduler", Json.Str res.Simulator.sched_name);
+      ("final_time_ns", Json.Int res.Simulator.final_time);
+      ("released", Json.Int res.Simulator.released);
+      ("completed", Json.Int res.Simulator.completed);
+      ("met", Json.Int res.Simulator.met);
+      ("aborted", Json.Int res.Simulator.aborted);
+      ("in_flight", Json.Int res.Simulator.in_flight);
+      ("accrued", Json.Float res.Simulator.accrued);
+      ("max_possible", Json.Float res.Simulator.max_possible);
+      ("aur", Json.Float res.Simulator.aur);
+      ("cmr", Json.Float res.Simulator.cmr);
+      ("retries_total", Json.Int res.Simulator.retries_total);
+      ("preemptions", Json.Int res.Simulator.preemptions);
+      ("blocked_events", Json.Int res.Simulator.blocked_events);
+      ("sched_invocations", Json.Int res.Simulator.sched_invocations);
+      ("sched_overhead_ns", Json.Int res.Simulator.sched_overhead);
+      ("busy_ns", Json.Int res.Simulator.busy);
+      ("access_ns", summary res.Simulator.access_samples);
+      ("sojourn_ns", histogram res.Simulator.sojourn_hist);
+      ("blocking_ns", histogram res.Simulator.blocking_hist);
+      ("sched_cost_ns", histogram res.Simulator.sched_hist);
+      ( "contention",
+        Json.List
+          (Array.to_list (Array.map contention res.Simulator.contention)) );
+      ( "per_task",
+        Json.List
+          (Array.to_list (Array.map task_result res.Simulator.per_task)) );
+      ("trace_dropped", Json.Int (Trace.dropped res.Simulator.trace));
+    ]
+
+let to_string res = Json.to_string (result res)

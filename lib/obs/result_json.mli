@@ -1,0 +1,25 @@
+(** Machine-readable serialisation of simulation results.
+
+    Backs [rtlf sim --json]: the full {!Rtlf_sim.Simulator.result} —
+    counters, AUR/CMR, sojourn/blocking/scheduler-cost histograms with
+    p50/p90/p99, per-object contention profile and per-task summaries
+    — as one JSON object, so benchmark sweeps can be scripted without
+    scraping the human-readable report. *)
+
+val summary : Rtlf_engine.Stats.summary -> Json.t
+(** Serialise a mean/CI summary. *)
+
+val histogram : Rtlf_engine.Stats.histogram -> Json.t
+(** Serialise a histogram with its percentiles and buckets. *)
+
+val contention : Rtlf_sim.Contention.t -> Json.t
+(** Serialise one object's contention counters. *)
+
+val task_result : Rtlf_sim.Simulator.task_result -> Json.t
+(** Serialise one task's per-run summary. *)
+
+val result : Rtlf_sim.Simulator.result -> Json.t
+(** Serialise a whole run. *)
+
+val to_string : Rtlf_sim.Simulator.result -> string
+(** [to_string res] is [result res] serialised compactly. *)

@@ -1,0 +1,140 @@
+module Trace = Rtlf_sim.Trace
+
+type kind = Running | Blocking | Retry | Access | Sched
+
+type span = {
+  kind : kind;
+  jid : int;
+  obj : int option;
+  start : int;
+  stop : int;
+  ops : int;
+}
+
+type t = {
+  running : span list;
+  blocking : span list;
+  retries : span list;
+  accesses : span list;
+  sched : span list;
+  task_of : (int * int) list;
+  last_time : int;
+}
+
+let kind_name = function
+  | Running -> "running"
+  | Blocking -> "blocked"
+  | Retry -> "retry"
+  | Access -> "access"
+  | Sched -> "sched"
+
+let duration s = s.stop - s.start
+
+let durations spans =
+  Array.of_list (List.map (fun s -> float_of_int (duration s)) spans)
+
+let of_trace trace =
+  let entries = Trace.entries trace in
+  let last_time =
+    List.fold_left (fun acc e -> max acc e.Trace.time) 0 entries
+  in
+  (* Open-interval bookkeeping. [anchor] is the per-job start of the
+     current access attempt: the last dispatch, wake, retry or segment
+     boundary — the point from which a Retry/Access_done span runs. *)
+  let running_since = ref None in
+  let block_since = Hashtbl.create 16 in
+  let anchor = Hashtbl.create 16 in
+  let tasks = Hashtbl.create 16 in
+  let running = ref []
+  and blocking = ref []
+  and retries = ref []
+  and accesses = ref []
+  and sched = ref [] in
+  let set_anchor jid time = Hashtbl.replace anchor jid time in
+  let attempt_span jid time =
+    match Hashtbl.find_opt anchor jid with
+    | Some since -> since
+    | None -> time
+  in
+  let close_running time =
+    match !running_since with
+    | None -> ()
+    | Some (jid, since) ->
+      running :=
+        { kind = Running; jid; obj = None; start = since; stop = time;
+          ops = 0 }
+        :: !running;
+      running_since := None
+  in
+  let close_block jid time =
+    match Hashtbl.find_opt block_since jid with
+    | None -> ()
+    | Some (obj, since) ->
+      blocking :=
+        { kind = Blocking; jid; obj = Some obj; start = since; stop = time;
+          ops = 0 }
+        :: !blocking;
+      Hashtbl.remove block_since jid
+  in
+  List.iter
+    (fun { Trace.time; kind } ->
+      match kind with
+      | Trace.Arrive (jid, task) ->
+        Hashtbl.replace tasks jid task;
+        set_anchor jid time
+      | Trace.Start jid ->
+        close_running time;
+        running_since := Some (jid, time);
+        set_anchor jid time
+      | Trace.Preempt jid ->
+        close_running time;
+        ignore jid
+      | Trace.Block (jid, obj) ->
+        close_running time;
+        Hashtbl.replace block_since jid (obj, time)
+      | Trace.Wake (jid, _) ->
+        close_block jid time;
+        set_anchor jid time
+      | Trace.Retry (jid, obj) ->
+        retries :=
+          { kind = Retry; jid; obj = Some obj;
+            start = attempt_span jid time; stop = time; ops = 0 }
+          :: !retries;
+        set_anchor jid time
+      | Trace.Access_done (jid, obj) ->
+        accesses :=
+          { kind = Access; jid; obj = Some obj;
+            start = attempt_span jid time; stop = time; ops = 0 }
+          :: !accesses;
+        set_anchor jid time
+      | Trace.Complete jid | Trace.Abort jid ->
+        close_running time;
+        close_block jid time
+      | Trace.Sched (ops, cost) ->
+        sched :=
+          { kind = Sched; jid = -1; obj = None; start = time;
+            stop = time + cost; ops }
+          :: !sched
+      | Trace.Acquire _ | Trace.Release _ -> ())
+    entries;
+  (* Close whatever the horizon cut off so exporters see no dangling
+     intervals. *)
+  close_running last_time;
+  Hashtbl.iter
+    (fun jid (obj, since) ->
+      blocking :=
+        { kind = Blocking; jid; obj = Some obj; start = since;
+          stop = last_time; ops = 0 }
+        :: !blocking)
+    block_since;
+  {
+    running = List.rev !running;
+    blocking = List.rev !blocking;
+    retries = List.rev !retries;
+    accesses = List.rev !accesses;
+    sched = List.rev !sched;
+    task_of = Hashtbl.fold (fun jid task acc -> (jid, task) :: acc) tasks [];
+    last_time;
+  }
+
+let task_of t ~jid = List.assoc_opt jid t.task_of

@@ -4,8 +4,13 @@ type point = {
   aur : Stats.summary;
   cmr : Stats.summary;
   access_ns : Stats.summary;
+  sojourn_p50_ns : Stats.summary;
+  sojourn_p90_ns : Stats.summary;
+  sojourn_p99_ns : Stats.summary;
   retries_total : int;
   max_retries : int;
+  conflicts_total : int;
+  blocked_ns_total : int;
   released : int;
   sched_overhead_ns : int;
 }
@@ -16,9 +21,14 @@ let mean_access_ns (res : Simulator.result) =
 let aggregate results =
   let aur = Stats.create ()
   and cmr = Stats.create ()
-  and access = Stats.create () in
+  and access = Stats.create ()
+  and p50 = Stats.create ()
+  and p90 = Stats.create ()
+  and p99 = Stats.create () in
   let retries = ref 0
   and max_retries = ref 0
+  and conflicts = ref 0
+  and blocked_ns = ref 0
   and released = ref 0
   and overhead = ref 0 in
   List.iter
@@ -27,7 +37,19 @@ let aggregate results =
       Stats.add cmr res.Simulator.cmr;
       let a = mean_access_ns res in
       if not (Float.is_nan a) then Stats.add access a;
+      let quantile acc p =
+        (* total: a run with no completions simply contributes nothing *)
+        match Stats.percentile_opt res.Simulator.sojourn_samples ~p with
+        | Some v -> Stats.add acc v
+        | None -> ()
+      in
+      quantile p50 50.0;
+      quantile p90 90.0;
+      quantile p99 99.0;
       retries := !retries + res.Simulator.retries_total;
+      let t = Contention.totals res.Simulator.contention in
+      conflicts := !conflicts + t.Contention.t_conflicts;
+      blocked_ns := !blocked_ns + t.Contention.t_blocked_ns;
       released := !released + res.Simulator.released;
       overhead := !overhead + res.Simulator.sched_overhead;
       Array.iter
@@ -40,8 +62,13 @@ let aggregate results =
     aur = Stats.summary aur;
     cmr = Stats.summary cmr;
     access_ns = Stats.summary access;
+    sojourn_p50_ns = Stats.summary p50;
+    sojourn_p90_ns = Stats.summary p90;
+    sojourn_p99_ns = Stats.summary p99;
     retries_total = !retries;
     max_retries = !max_retries;
+    conflicts_total = !conflicts;
+    blocked_ns_total = !blocked_ns;
     released = !released;
     sched_overhead_ns = !overhead;
   }

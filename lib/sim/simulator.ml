@@ -22,6 +22,7 @@ type config = {
   sched_per_op : int;
   retry_on_any_preemption : bool;
   trace : bool;
+  trace_capacity : int option;
 }
 
 let infer_objects tasks =
@@ -46,7 +47,7 @@ let infer_objects tasks =
 
 let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     ?(sched_base = 200) ?(sched_per_op = 25)
-    ?(retry_on_any_preemption = false) ?(trace = false) () =
+    ?(retry_on_any_preemption = false) ?(trace = false) ?trace_capacity () =
   let n_objects =
     match n_objects with Some n -> n | None -> infer_objects tasks
   in
@@ -61,6 +62,7 @@ let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     sched_per_op;
     retry_on_any_preemption;
     trace;
+    trace_capacity;
   }
 
 type task_result = {
@@ -96,6 +98,11 @@ type result = {
   sched_overhead : int;
   busy : int;
   access_samples : Stats.summary;
+  sojourn_samples : float array;
+  sojourn_hist : Stats.histogram;
+  blocking_hist : Stats.histogram;
+  sched_hist : Stats.histogram;
+  contention : Contention.t array;
   per_task : task_result array;
   trace : Trace.t;
 }
@@ -119,6 +126,11 @@ type state = {
   mutable busy : int;
   mutable blocked_events : int;
   access_samples : Stats.t;
+  contention : Contention.t array;
+  block_since : (int, int * int) Hashtbl.t;
+      (* jid -> (obj, block start ns) for open blocking spans *)
+  mutable blocking_spans : int list;
+  mutable sched_costs : int list;
 }
 
 let validate cfg =
@@ -191,6 +203,16 @@ let complete_job st job =
   if st.running = Some job then st.running <- None;
   resolve st job
 
+(* Close the open blocking span of [jid] (wake or abort of a waiter). *)
+let close_block_span st jid =
+  match Hashtbl.find_opt st.block_since jid with
+  | None -> ()
+  | Some (obj, since) ->
+    let span = st.now - since in
+    Contention.note_blocked st.contention.(obj) ~ns:span;
+    st.blocking_spans <- span :: st.blocking_spans;
+    Hashtbl.remove st.block_since jid
+
 (* Grant chains after a release: the lock manager hands the object to
    the head waiter; wake it. *)
 let wake_new_owner st obj = function
@@ -201,9 +223,26 @@ let wake_new_owner st obj = function
     | Some waiter ->
       waiter.Job.state <- Job.Ready;
       waiter.Job.holding <- obj :: waiter.Job.holding;
+      close_block_span st waiter.Job.jid;
+      Contention.note_acquire st.contention.(obj);
       Trace.record st.trace ~time:st.now (Trace.Wake (waiter.Job.jid, obj));
       Trace.record st.trace ~time:st.now
         (Trace.Acquire (waiter.Job.jid, obj)))
+
+(* A lock request was refused: park the job and profile the contention.
+   The requester is already enqueued in the lock manager, so the waiter
+   count is the current queue depth. *)
+let block_job st job obj =
+  job.Job.state <- Job.Blocked obj;
+  job.Job.blocked_count <- job.Job.blocked_count + 1;
+  st.blocked_events <- st.blocked_events + 1;
+  let c = st.contention.(obj) in
+  Contention.note_conflict c;
+  Contention.note_queue_depth c
+    ~depth:(List.length (Lock_manager.waiters st.locks ~obj));
+  Hashtbl.replace st.block_since job.Job.jid (obj, st.now);
+  Trace.record st.trace ~time:st.now (Trace.Block (job.Job.jid, obj));
+  st.running <- None
 
 let abort_job st job =
   (match st.cfg.sync with
@@ -216,6 +255,7 @@ let abort_job st job =
       released;
     job.Job.holding <- []
   | Sync.Lock_free _ | Sync.Ideal -> ());
+  close_block_span st job.Job.jid;
   job.Job.state <- Job.Aborted;
   Trace.record st.trace ~time:st.now (Trace.Abort job.Job.jid);
   if st.running = Some job then st.running <- None;
@@ -235,6 +275,7 @@ let preempt st job =
   | Sync.Lock_free _, Segment.Access { obj; _ } :: _
     when st.cfg.retry_on_any_preemption && job.Job.seg_progress > 0 ->
     Job.restart_access job;
+    Contention.note_retry st.contention.(obj);
     Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj))
   | _ -> ());
   st.running <- None
@@ -253,10 +294,12 @@ let invoke_scheduler st =
       ~remaining:(remaining_cost st)
   in
   st.sched_invocations <- st.sched_invocations + 1;
-  Trace.record st.trace ~time:st.now (Trace.Sched decision.Scheduler.ops);
   let cost =
     st.cfg.sched_base + (st.cfg.sched_per_op * decision.Scheduler.ops)
   in
+  Trace.record st.trace ~time:st.now
+    (Trace.Sched (decision.Scheduler.ops, cost));
+  st.sched_costs <- cost :: st.sched_costs;
   st.now <- st.now + cost;
   st.sched_overhead <- st.sched_overhead + cost;
   (* Deadlock victims (only possible with nested sections). *)
@@ -290,7 +333,7 @@ let handle_event st time ev =
     Event_queue.add st.queue
       ~time:(Job.absolute_critical_time job)
       (Expiry jid);
-    Trace.record st.trace ~time:st.now (Trace.Arrive jid)
+    Trace.record st.trace ~time:st.now (Trace.Arrive (jid, task.Task.id))
   | Expiry jid -> (
     match Hashtbl.find_opt st.live jid with
     | None -> () (* already resolved *)
@@ -389,18 +432,14 @@ let boundary st job =
         match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
         | Lock_manager.Granted ->
           job.Job.holding <- obj :: job.Job.holding;
+          Contention.note_acquire st.contention.(obj);
           Trace.record st.trace ~time:st.now
             (Trace.Acquire (job.Job.jid, obj));
           Job.finish_segment job;
           if job.Job.segments = [] then complete_job st job;
           `Sched_event
         | Lock_manager.Blocked_on _ ->
-          job.Job.state <- Job.Blocked obj;
-          job.Job.blocked_count <- job.Job.blocked_count + 1;
-          st.blocked_events <- st.blocked_events + 1;
-          Trace.record st.trace ~time:st.now
-            (Trace.Block (job.Job.jid, obj));
-          st.running <- None;
+          block_job st job obj;
           `Sched_event
       end)
   | Segment.Unlock obj :: _ -> (
@@ -427,6 +466,7 @@ let boundary st job =
     | Sync.Ideal ->
       Resource.record_access st.objects obj;
       if write then Resource.bump st.objects obj;
+      Contention.note_acquire st.contention.(obj);
       record_access_sample st job;
       Trace.record st.trace ~time:st.now
         (Trace.Access_done (job.Job.jid, obj));
@@ -442,12 +482,14 @@ let boundary st job =
       match job.Job.attempt_snapshot with
       | Some snap when snap <> current ->
         Job.restart_access job;
+        Contention.note_retry st.contention.(obj);
         Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj));
         `Continue
       | Some _ | None ->
         (* Only writers invalidate peers' in-flight attempts. *)
         if write then Resource.bump st.objects obj;
         Resource.record_access st.objects obj;
+        Contention.note_acquire st.contention.(obj);
         record_access_sample st job;
         Trace.record st.trace ~time:st.now
           (Trace.Access_done (job.Job.jid, obj));
@@ -464,16 +506,12 @@ let boundary st job =
         match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
         | Lock_manager.Granted ->
           job.Job.holding <- obj :: job.Job.holding;
+          Contention.note_acquire st.contention.(obj);
           Trace.record st.trace ~time:st.now
             (Trace.Acquire (job.Job.jid, obj));
           `Sched_event
         | Lock_manager.Blocked_on _ ->
-          job.Job.state <- Job.Blocked obj;
-          job.Job.blocked_count <- job.Job.blocked_count + 1;
-          st.blocked_events <- st.blocked_events + 1;
-          Trace.record st.trace ~time:st.now
-            (Trace.Block (job.Job.jid, obj));
-          st.running <- None;
+          block_job st job obj;
           `Sched_event
       end
       else begin
@@ -558,6 +596,7 @@ let summarise st =
   let total_retries = Array.make n_tasks 0 in
   let max_retries = Array.make n_tasks 0 in
   let sojourns = Array.init n_tasks (fun _ -> Stats.create ()) in
+  let all_sojourns = ref [] in
   let preempt_total = ref 0 in
   List.iter
     (fun (job : Job.t) ->
@@ -580,6 +619,7 @@ let summarise st =
         (match Job.sojourn job with
         | Some s ->
           Stats.add sojourns.(i) (float_of_int s);
+          all_sojourns := float_of_int s :: !all_sojourns;
           if s < Task.critical_time job.Job.task then
             met.(i) <- met.(i) + 1
         | None -> ())
@@ -608,6 +648,8 @@ let summarise st =
   let met_all = sum (fun tr -> tr.met) in
   let accrued_all = sumf (fun tr -> tr.accrued) in
   let possible_all = sumf (fun tr -> tr.max_possible) in
+  let floats xs = Array.of_list (List.rev_map float_of_int xs) in
+  let sojourn_samples = Array.of_list (List.rev !all_sojourns) in
   {
     sync_name = Sync.name cfg.sync;
     sched_name = st.scheduler.Scheduler.name;
@@ -631,6 +673,11 @@ let summarise st =
     sched_overhead = st.sched_overhead;
     busy = st.busy;
     access_samples = Stats.summary st.access_samples;
+    sojourn_samples;
+    sojourn_hist = Stats.histogram sojourn_samples;
+    blocking_hist = Stats.histogram (floats st.blocking_spans);
+    sched_hist = Stats.histogram (floats st.sched_costs);
+    contention = st.contention;
     per_task;
     trace = st.trace;
   }
@@ -646,7 +693,7 @@ let run cfg =
       objects;
       locks;
       scheduler = make_scheduler cfg locks;
-      trace = Trace.create ~enabled:cfg.trace;
+      trace = Trace.create ?capacity:cfg.trace_capacity ~enabled:cfg.trace ();
       now = 0;
       running = None;
       next_jid = 0;
@@ -657,6 +704,10 @@ let run cfg =
       busy = 0;
       blocked_events = 0;
       access_samples = Stats.create ();
+      contention = Contention.make_array ~n:cfg.n_objects;
+      block_since = Hashtbl.create 16;
+      blocking_spans = [];
+      sched_costs = [];
     }
   in
   let root = Prng.create ~seed:cfg.seed in

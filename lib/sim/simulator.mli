@@ -34,6 +34,9 @@ type config = {
       (** ablation: Lemma 1's adversary — any preemption inside a
           lock-free attempt forces a retry, not just real conflicts *)
   trace : bool;                    (** record a {!Trace.t} *)
+  trace_capacity : int option;
+      (** bound the trace to a drop-oldest ring buffer of this many
+          entries; [None] keeps the full history *)
 }
 
 val config :
@@ -47,12 +50,13 @@ val config :
   ?sched_per_op:int ->
   ?retry_on_any_preemption:bool ->
   ?trace:bool ->
+  ?trace_capacity:int ->
   unit ->
   config
 (** [config ~tasks ~sync ~horizon ()] fills in defaults: RUA
     scheduling, object count inferred from the tasks' accesses, seed 1,
     [sched_base = 200] ns, [sched_per_op = 25] ns, realistic conflict
-    detection, no trace. *)
+    detection, no trace (and, when tracing, an unbounded trace). *)
 
 type task_result = {
   task_id : int;
@@ -88,6 +92,15 @@ type result = {
   busy : int;             (** total ns executing job code *)
   access_samples : Rtlf_engine.Stats.summary;
       (** per-access wall durations — the measured r or s (§6.1) *)
+  sojourn_samples : float array;
+      (** sojourn of every completed job, ns (all tasks pooled) *)
+  sojourn_hist : Rtlf_engine.Stats.histogram;
+      (** distribution of {!result.sojourn_samples} *)
+  blocking_hist : Rtlf_engine.Stats.histogram;
+      (** distribution of per-wait blocking spans, ns (lock-based) *)
+  sched_hist : Rtlf_engine.Stats.histogram;
+      (** distribution of per-invocation scheduler costs, ns *)
+  contention : Contention.t array;  (** per-object profile, by index *)
   per_task : task_result array;  (** indexed by task id *)
   trace : Trace.t;
 }

@@ -60,7 +60,7 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
   List.iter
     (fun { Trace.time; kind } ->
       match kind with
-      | Trace.Arrive jid -> ignore (touch jid)
+      | Trace.Arrive (jid, _) -> ignore (touch jid)
       | Trace.Start jid ->
         close_run time;
         running := Some (jid, time)

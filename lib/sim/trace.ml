@@ -1,5 +1,5 @@
 type kind =
-  | Arrive of int
+  | Arrive of int * int
   | Start of int
   | Preempt of int
   | Block of int * int
@@ -10,18 +10,60 @@ type kind =
   | Access_done of int * int
   | Complete of int
   | Abort of int
-  | Sched of int
+  | Sched of int * int
 
 type entry = { time : int; kind : kind }
 
-type t = { enabled : bool; mutable rev_entries : entry list }
+type storage =
+  | Unbounded of { mutable rev : entry list }
+  | Ring of {
+      buf : entry option array;
+      mutable next : int; (* slot receiving the next write *)
+      mutable len : int;
+      mutable dropped : int;
+    }
 
-let create ~enabled = { enabled; rev_entries = [] }
+type t = { enabled : bool; storage : storage }
+
+let create ?capacity ~enabled () =
+  let storage =
+    match capacity with
+    | None -> Unbounded { rev = [] }
+    | Some c ->
+      if c <= 0 then invalid_arg "Trace.create: capacity must be positive";
+      Ring { buf = Array.make c None; next = 0; len = 0; dropped = 0 }
+  in
+  { enabled; storage }
 
 let record tr ~time kind =
-  if tr.enabled then tr.rev_entries <- { time; kind } :: tr.rev_entries
+  if tr.enabled then
+    match tr.storage with
+    | Unbounded u -> u.rev <- { time; kind } :: u.rev
+    | Ring r ->
+      let cap = Array.length r.buf in
+      r.buf.(r.next) <- Some { time; kind };
+      r.next <- (r.next + 1) mod cap;
+      if r.len < cap then r.len <- r.len + 1
+      else r.dropped <- r.dropped + 1
 
-let entries tr = List.rev tr.rev_entries
+let entries tr =
+  match tr.storage with
+  | Unbounded u -> List.rev u.rev
+  | Ring r ->
+    let cap = Array.length r.buf in
+    let start = (r.next - r.len + cap) mod cap in
+    List.init r.len (fun i ->
+        match r.buf.((start + i) mod cap) with
+        | Some e -> e
+        | None -> assert false)
+
+let dropped tr =
+  match tr.storage with Unbounded _ -> 0 | Ring r -> r.dropped
+
+let capacity tr =
+  match tr.storage with
+  | Unbounded _ -> None
+  | Ring r -> Some (Array.length r.buf)
 
 let check_mutual_exclusion tr =
   let owners = Hashtbl.create 8 in
@@ -83,6 +125,70 @@ let check_abort_releases tr =
   in
   go (entries tr)
 
+let check_block_only_lock_based ~lock_based tr =
+  if lock_based then Ok ()
+  else
+    let rec go = function
+      | [] -> Ok ()
+      | { time; kind } :: rest -> (
+        match kind with
+        | Block (jid, obj) ->
+          Error
+            (Printf.sprintf
+               "t=%d: J%d blocked on object %d under non-lock-based sync"
+               time jid obj)
+        | Wake (jid, obj) ->
+          Error
+            (Printf.sprintf
+               "t=%d: J%d woken with object %d under non-lock-based sync"
+               time jid obj)
+        | Arrive _ | Start _ | Preempt _ | Acquire _ | Release _ | Retry _
+        | Access_done _ | Complete _ | Abort _ | Sched _ ->
+          go rest)
+    in
+    go (entries tr)
+
+let check_wake_follows_block tr =
+  let blocked = Hashtbl.create 8 in
+  (* jid -> obj it is currently blocked on *)
+  let rec go = function
+    | [] -> Ok ()
+    | { time; kind } :: rest -> (
+      match kind with
+      | Block (jid, obj) ->
+        if Hashtbl.mem blocked jid then
+          Error
+            (Printf.sprintf "t=%d: J%d blocked while already blocked" time
+               jid)
+        else begin
+          Hashtbl.replace blocked jid obj;
+          go rest
+        end
+      | Wake (jid, obj) -> (
+        match Hashtbl.find_opt blocked jid with
+        | Some o when o = obj ->
+          Hashtbl.remove blocked jid;
+          go rest
+        | Some o ->
+          Error
+            (Printf.sprintf
+               "t=%d: J%d woken with object %d while blocked on %d" time
+               jid obj o)
+        | None ->
+          Error
+            (Printf.sprintf
+               "t=%d: J%d woken with object %d without a prior block" time
+               jid obj))
+      | Complete jid | Abort jid ->
+        (* Aborting a blocked job legitimately ends its wait. *)
+        Hashtbl.remove blocked jid;
+        go rest
+      | Arrive _ | Start _ | Preempt _ | Acquire _ | Release _ | Retry _
+      | Access_done _ | Sched _ ->
+        go rest)
+  in
+  go (entries tr)
+
 let count tr pred =
   List.fold_left
     (fun acc e -> if pred e.kind then acc + 1 else acc)
@@ -95,7 +201,7 @@ let scheduler_invocations tr =
   count tr (function Sched _ -> true | _ -> false)
 
 let pp_kind fmt = function
-  | Arrive jid -> Format.fprintf fmt "arrive J%d" jid
+  | Arrive (jid, task) -> Format.fprintf fmt "arrive J%d (task %d)" jid task
   | Start jid -> Format.fprintf fmt "start J%d" jid
   | Preempt jid -> Format.fprintf fmt "preempt J%d" jid
   | Block (jid, obj) -> Format.fprintf fmt "block J%d on o%d" jid obj
@@ -106,7 +212,8 @@ let pp_kind fmt = function
   | Access_done (jid, obj) -> Format.fprintf fmt "access J%d o%d" jid obj
   | Complete jid -> Format.fprintf fmt "complete J%d" jid
   | Abort jid -> Format.fprintf fmt "abort J%d" jid
-  | Sched ops -> Format.fprintf fmt "sched(ops=%d)" ops
+  | Sched (ops, cost) ->
+    Format.fprintf fmt "sched(ops=%d,cost=%dns)" ops cost
 
 let pp_entry fmt e =
   Format.fprintf fmt "t=%d %a" e.time pp_kind e.kind

@@ -3,10 +3,11 @@
     When tracing is enabled, the simulator records every externally
     meaningful transition. Tests use the checkers to validate
     system-wide invariants end-to-end (mutual exclusion, abort-implies-
-    release, Lemma 1's preemption/event inequality). *)
+    release, Lemma 1's preemption/event inequality), and the exporters
+    in [Rtlf_obs] turn a trace into Chrome trace-event JSON or CSV. *)
 
 type kind =
-  | Arrive of int            (** jid arrived *)
+  | Arrive of int * int      (** jid arrived (payload: jid, task id) *)
   | Start of int             (** jid dispatched onto the CPU *)
   | Preempt of int           (** jid lost the CPU to another job *)
   | Block of int * int       (** jid blocked on object *)
@@ -17,21 +18,36 @@ type kind =
   | Access_done of int * int (** jid completed an access to object *)
   | Complete of int          (** jid finished *)
   | Abort of int             (** jid aborted at its critical time *)
-  | Sched of int             (** scheduler invoked; payload = ops *)
+  | Sched of int * int       (** scheduler invoked (payload: ops, cost ns) *)
 
 type entry = { time : int; kind : kind }
 
 type t
 (** A mutable trace recorder. *)
 
-val create : enabled:bool -> t
-(** [create ~enabled] records nothing when [enabled] is [false]. *)
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [create ~enabled] records nothing when [enabled] is [false].
+    Without [capacity] the trace grows unboundedly (required by the
+    invariant checkers, which need full history). With [~capacity:c]
+    the trace is a drop-oldest ring buffer of at most [c] entries —
+    bounded memory for long-horizon simulations — and {!dropped}
+    counts the overwritten entries. Raises [Invalid_argument] when
+    [capacity <= 0]. *)
 
 val record : t -> time:int -> kind -> unit
 (** [record tr ~time kind] appends one entry (O(1)). *)
 
 val entries : t -> entry list
-(** [entries tr] is the recorded history in chronological order. *)
+(** [entries tr] is the recorded history in chronological order (the
+    retained suffix, in ring-buffer mode). *)
+
+val dropped : t -> int
+(** [dropped tr] is the number of entries overwritten in ring-buffer
+    mode (always [0] for unbounded traces). *)
+
+val capacity : t -> int option
+(** [capacity tr] is the ring-buffer capacity, or [None] when
+    unbounded. *)
 
 val check_mutual_exclusion : t -> (unit, string) result
 (** [check_mutual_exclusion tr] verifies that between a job's [Acquire]
@@ -42,6 +58,19 @@ val check_abort_releases : t -> (unit, string) result
 (** [check_abort_releases tr] verifies no job holds a lock after its
     [Abort] or [Complete] entry (every [Acquire] is matched by a
     [Release] before the job ends). *)
+
+val check_block_only_lock_based : lock_based:bool -> t -> (unit, string) result
+(** [check_block_only_lock_based ~lock_based tr] verifies that [Block]
+    and [Wake] events occur only under lock-based synchronization:
+    when [lock_based] is [false] (lock-free or ideal sharing), any
+    such event is an invariant violation. *)
+
+val check_wake_follows_block : t -> (unit, string) result
+(** [check_wake_follows_block tr] verifies wait-queue discipline:
+    every [Wake (jid, obj)] matches an open [Block (jid, obj)], no job
+    blocks twice without an intervening wake, and a job's terminal
+    event clears its pending wait (an aborted waiter needs no
+    [Wake]). *)
 
 val preemptions : t -> int
 (** [preemptions tr] counts [Preempt] entries. *)

@@ -16,13 +16,13 @@ module Segment = Rtlf_model.Segment
 (* --- trace checkers --------------------------------------------------------- *)
 
 let tr entries =
-  let t = Trace.create ~enabled:true in
+  let t = Trace.create ~enabled:true () in
   List.iteri (fun i kind -> Trace.record t ~time:i kind) entries;
   t
 
 let test_trace_disabled_records_nothing () =
-  let t = Trace.create ~enabled:false in
-  Trace.record t ~time:0 (Trace.Arrive 1);
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:0 (Trace.Arrive (1, 0));
   Alcotest.(check int) "empty" 0 (List.length (Trace.entries t))
 
 let test_mutual_exclusion_ok () =
@@ -59,7 +59,9 @@ let test_abort_holding_violation () =
 
 let test_trace_counters () =
   let t =
-    tr [ Trace.Preempt 1; Trace.Preempt 2; Trace.Sched 10; Trace.Arrive 3 ]
+    tr
+      [ Trace.Preempt 1; Trace.Preempt 2; Trace.Sched (10, 450);
+        Trace.Arrive (3, 0) ]
   in
   Alcotest.(check int) "preemptions" 2 (Trace.preemptions t);
   Alcotest.(check int) "sched" 1 (Trace.scheduler_invocations t)

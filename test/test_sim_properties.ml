@@ -7,6 +7,8 @@ module Stats = Rtlf_engine.Stats
 module Task = Rtlf_model.Task
 module Sync = Rtlf_sim.Sync
 module Simulator = Rtlf_sim.Simulator
+module Trace = Rtlf_sim.Trace
+module Contention = Rtlf_sim.Contention
 module Workload = Rtlf_workload.Workload
 module Retry_bound = Rtlf_core.Retry_bound
 
@@ -45,13 +47,14 @@ let sync_of_int = function
   | 1 -> Sync.Lock_free { overhead = 150 }
   | _ -> Sync.Lock_based { overhead = 2_000 }
 
-let simulate ?(sync = 1) ?(retry_on_any_preemption = false) spec =
+let simulate ?(sync = 1) ?(sched = Simulator.Rua) ?(trace = false)
+    ?(retry_on_any_preemption = false) spec =
   let tasks = Workload.make spec in
   let horizon = 40 * 50_000 * spec.Workload.n_tasks in
   ( tasks,
     Simulator.run
-      (Simulator.config ~tasks ~sync:(sync_of_int sync) ~horizon ~seed:99
-         ~retry_on_any_preemption ()) )
+      (Simulator.config ~tasks ~sync:(sync_of_int sync) ~sched ~horizon
+         ~seed:99 ~retry_on_any_preemption ~trace ()) )
 
 let prop name ?(count = 40) f =
   QCheck.Test.make ~name ~count
@@ -136,6 +139,50 @@ let sojourns_exceed_work =
           s.Stats.min >= float_of_int task.Task.exec -. 1e-6)
         res.Simulator.per_task)
 
+(* Run every trace checker on a traced run of every sync x sched
+   configuration. Smaller count: 9 simulations per case. *)
+let trace_checkers_all_configs =
+  QCheck.Test.make ~name:"trace checkers hold on every sync x sched"
+    ~count:8 spec_arb
+    (fun spec ->
+      List.for_all
+        (fun sync ->
+          List.for_all
+            (fun sched ->
+              let _, res = simulate ~sync ~sched ~trace:true spec in
+              let tr = res.Simulator.trace in
+              let checks =
+                [
+                  Trace.check_mutual_exclusion tr;
+                  Trace.check_abort_releases tr;
+                  Trace.check_block_only_lock_based
+                    ~lock_based:(sync = 2) tr;
+                  Trace.check_wake_follows_block tr;
+                ]
+              in
+              List.for_all
+                (function
+                  | Ok () -> true
+                  | Error msg -> QCheck.Test.fail_report msg)
+                checks)
+            [ Simulator.Rua; Simulator.Edf; Simulator.Edf_pip ])
+        [ 0; 1; 2 ])
+
+let observability_consistent =
+  prop "histograms and contention agree with counters" (fun _ _ _ res ->
+      let totals = Contention.totals res.Simulator.contention in
+      (* retries_total sums over released (finished) jobs only, while
+         the contention profile counts every event, including retries
+         of jobs still in flight at the horizon. *)
+      res.Simulator.sojourn_hist.Stats.n
+      = Array.length res.Simulator.sojourn_samples
+      && totals.Contention.t_retries >= res.Simulator.retries_total
+      && (res.Simulator.in_flight > 0
+         || totals.Contention.t_retries = res.Simulator.retries_total)
+      && totals.Contention.t_conflicts >= totals.Contention.t_retries
+      && res.Simulator.blocking_hist.Stats.n <= res.Simulator.blocked_events
+      && totals.Contention.t_blocked_ns >= 0)
+
 let determinism =
   QCheck.Test.make ~name:"identical configs give identical results"
     ~count:20 spec_arb
@@ -174,6 +221,8 @@ let () =
             no_blocking_without_locks;
             sojourns_exceed_work;
             determinism;
+            trace_checkers_all_configs;
+            observability_consistent;
           ] );
       ( "bounds",
         List.map QCheck_alcotest.to_alcotest

@@ -83,11 +83,11 @@ let test_timeline_render_shape () =
     (String.length (List.nth lines 0) > 10)
 
 let test_timeline_validation () =
-  let trace = Trace.create ~enabled:true in
+  let trace = Trace.create ~enabled:true () in
   Alcotest.check_raises "empty trace"
     (Invalid_argument "Timeline.build: empty trace") (fun () ->
       ignore (Timeline.build trace));
-  Trace.record trace ~time:0 (Trace.Arrive 0);
+  Trace.record trace ~time:0 (Trace.Arrive (0, 0));
   Alcotest.check_raises "bad buckets"
     (Invalid_argument "Timeline.build: buckets must be positive") (fun () ->
       ignore (Timeline.build ~buckets:0 trace))
