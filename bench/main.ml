@@ -277,9 +277,48 @@ let contention_sweep () =
     ~header:[ "domains"; "structure"; "Mops/s"; "CAS retries"; "conserved" ]
     ~rows:(List.concat_map point [ 1; 2; 4 ])
 
+(* --- parallel harness: jobs=1 vs jobs=N wall-clock -------------------- *)
+
+(* Times one full experiment sweep (Figure 8: the seed × object-count
+   grid) sequentially and through the domain pool. The speedup column
+   is the acceptance measure for the parallel engine; the sweeps
+   produce bit-identical rows by construction, which `dune runtest`
+   asserts separately. *)
+let parallel_sweep ~mode () =
+  let jobs = Rtlf_engine.Pool.default_jobs () in
+  E.Report.section fmt
+    (Printf.sprintf
+       "Parallel harness: Figure 8 sweep wall-clock, jobs=1 vs jobs=%d" jobs);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let seq = time (fun () -> E.Fig8.compute ~mode ~jobs:1 ()) in
+  let par = time (fun () -> E.Fig8.compute ~mode ~jobs ()) in
+  E.Report.table fmt
+    ~header:[ "jobs"; "wall-clock (s)"; "speedup" ]
+    ~rows:
+      [
+        [ "1"; Printf.sprintf "%.2f" seq; "1.00" ];
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.2f" par;
+          Printf.sprintf "%.2f" (seq /. par);
+        ];
+      ]
+
 let () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
   let mode = if fast then E.Common.Fast else E.Common.Full in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> int_of_string_opt v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   Format.fprintf fmt
     "rtlf bench harness: micro-benchmarks + full figure regeneration@.";
   run_group ~name:"Native shared objects (Figure 8, real hardware)"
@@ -288,5 +327,6 @@ let () =
     scheduler_tests;
   run_group ~name:"Per-figure simulation kernels" sim_tests;
   contention_sweep ();
-  E.All.run ~mode fmt;
+  parallel_sweep ~mode ();
+  E.All.run ~mode ?jobs fmt;
   Format.fprintf fmt "@.done.@."

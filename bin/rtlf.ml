@@ -3,7 +3,8 @@
    Subcommands:
      rtlf list                   enumerate experiments
      rtlf run <name> [--fast]    run one experiment (fig8..fig14, thm2,
-                                 thm3, lem45, all)
+                    [--jobs N]   thm3, lem45, all); sweeps fan out
+                                 across N domains, bit-identically
      rtlf sim [options]          run a single ad-hoc simulation
                                  (--json, --trace-out, --csv-out)
      rtlf trace [experiment]     record one traced run and export it
@@ -26,6 +27,26 @@ let fmt = Format.std_formatter
 let fast_flag =
   let doc = "Run a reduced sweep (fewer points, shorter horizons)." in
   Arg.(value & flag & info [ "fast" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for experiment sweeps: seeds and parameter points \
+     fan out across $(docv) cores with bit-identical results \
+     (1 = sequential). Defaults to the number of cores the runtime \
+     recommends."
+  in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | Some _ -> Error (`Msg "jobs must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value
+       & opt positive (Rtlf_engine.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let mode_of_fast fast =
   if fast then Experiments.Common.Fast else Experiments.Common.Full
@@ -107,22 +128,22 @@ let run_cmd =
     let doc = "Experiment name (see $(b,rtlf list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
-  let run name fast =
+  let run name fast jobs =
     let mode = mode_of_fast fast in
     if name = "all" then begin
-      Experiments.All.run ~mode fmt;
+      Experiments.All.run ~mode ~jobs fmt;
       `Ok ()
     end
     else
       match List.assoc_opt name Experiments.All.experiments with
       | Some f ->
-        f ?mode:(Some mode) fmt;
+        f ?mode:(Some mode) ?jobs:(Some jobs) fmt;
         `Ok ()
       | None -> `Error (false, Printf.sprintf "unknown experiment %S" name)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a named experiment (or `all').")
-    Term.(ret (const run $ name_arg $ fast_flag))
+    Term.(ret (const run $ name_arg $ fast_flag $ jobs_arg))
 
 (* --- rtlf sim ----------------------------------------------------------- *)
 

@@ -10,7 +10,16 @@ type 'a t = {
   mutable next_seq : int;
 }
 
-let dummy payload = { time = 0; seq = 0; payload }
+(* Slots at indices >= size must never keep user payloads reachable: a
+   popped event would otherwise stay live through the backing array for
+   the rest of the run, and long-horizon simulations pop millions of
+   them. All vacated/spare slots hold [sentinel], one statically
+   allocated cell whose payload is an immediate; the [Obj.magic] is
+   confined here and sound because every heap read is guarded by
+   [size] — sentinel payloads are never returned. *)
+let sentinel : Obj.t cell = { time = 0; seq = 0; payload = Obj.repr 0 }
+
+let dummy_cell () : 'a cell = Obj.magic sentinel
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
@@ -19,11 +28,11 @@ let length q = q.size
 
 let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow q c =
+let grow q =
   let cap = Array.length q.heap in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nheap = Array.make ncap (dummy c.payload) in
+    let nheap = Array.make ncap (dummy_cell ()) in
     Array.blit q.heap 0 nheap 0 q.size;
     q.heap <- nheap
   end
@@ -57,7 +66,7 @@ let rec sift_down q i =
 let add q ~time payload =
   let c = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  grow q c;
+  grow q;
   q.heap.(q.size) <- c;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -79,6 +88,7 @@ let pop q =
       q.heap.(0) <- q.heap.(q.size);
       sift_down q 0
     end;
+    q.heap.(q.size) <- dummy_cell ();
     Some (c.time, c.payload)
   end
 
@@ -87,7 +97,9 @@ let pop_exn q =
   | Some x -> x
   | None -> invalid_arg "Event_queue.pop_exn: empty queue"
 
-let clear q = q.size <- 0
+let clear q =
+  q.heap <- [||];
+  q.size <- 0
 
 let drain q =
   let rec loop acc =
@@ -107,5 +119,7 @@ let filter_in_place q keep =
   let survivors =
     List.filter (fun (t, e) -> keep t e) (to_list q)
   in
-  q.size <- 0;
+  (* [clear] drops the backing array, so removed events are not kept
+     alive by stale slots beyond the rebuilt heap's size. *)
+  clear q;
   List.iter (fun (t, e) -> add q ~time:t e) survivors

@@ -36,7 +36,10 @@ val pop_exn : 'a t -> int * 'a
     queue. *)
 
 val clear : 'a t -> unit
-(** [clear q] removes every event. *)
+(** [clear q] removes every event and drops the backing storage, so
+    cleared payloads become collectable immediately. The queue never
+    keeps more payloads reachable than {!length} reports: popped,
+    filtered and cleared events are released to the GC. *)
 
 val drain : 'a t -> (int * 'a) list
 (** [drain q] removes and returns all events in dequeue order. *)

@@ -1,0 +1,59 @@
+(* Work queue: the item array plus an atomic cursor. Each worker domain
+   repeatedly claims the next index; results land in a slot-per-item
+   array, so output order is input order no matter which domain ran
+   which item. A fetched item is always executed, even if another item
+   has already failed — cancellation only stops the *claiming* of new
+   items — which is what makes the re-raised exception deterministic:
+   the earliest raising item is always claimed (the cursor is
+   monotonic and no earlier item can set the failure flag), hence
+   always recorded. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type ('b, 'e) outcome = Done of 'b | Raised of 'e
+
+let map ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f items
+  | _ ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failed then continue := false
+        else begin
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i >= n then continue := false
+          else
+            match f arr.(i) with
+            | v -> results.(i) <- Some (Done v)
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              results.(i) <- Some (Raised (e, bt));
+              Atomic.set failed true
+        end
+      done
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    if Atomic.get failed then
+      Array.iter
+        (function
+          | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | _ -> ())
+        results;
+    Array.to_list
+      (Array.map
+         (function Some (Done v) -> v | Some (Raised _) | None -> assert false)
+         results)

@@ -1,0 +1,35 @@
+(** Fixed-size domain pool for parallel experiment sweeps.
+
+    Every simulation run is a pure function of its [(config, seed)]
+    pair — the simulator keeps all state per run and draws randomness
+    from its own {!Prng} stream — so repeated runs can fan out across
+    OCaml 5 domains without changing any result. [map] is the single
+    entry point: it drives a bounded work queue (the item array plus an
+    atomic cursor) with a fixed-size set of worker domains and returns
+    results in input order, which makes a parallel sweep
+    bit-indistinguishable from the sequential one. *)
+
+val default_jobs : unit -> int
+(** [default_jobs ()] is [Domain.recommended_domain_count ()] — one
+    worker per core the runtime believes it can use. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item using at most [jobs]
+    worker domains (never more than there are items) and returns the
+    results in input order. [jobs] defaults to {!default_jobs};
+    [jobs = 1] is exactly [List.map f items] — the sequential path, in
+    the caller's domain, with no domain spawned.
+
+    Items are handed out in input order. If some applications of [f]
+    raise, workers stop pulling new items and [map] re-raises the
+    exception of the earliest item that raised (with its original
+    backtrace) once every worker has joined — deterministic regardless
+    of interleaving, because items are started in input order and a
+    started item always records its outcome.
+
+    [f] must be safe to call from several domains at once (the
+    simulation entry points are: they share no mutable state). Nested
+    [map] calls are safe — inner calls simply spawn their own workers —
+    but multiply the live domain count, so keep nesting shallow.
+
+    Raises [Invalid_argument] if [jobs < 1]. *)

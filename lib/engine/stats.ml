@@ -53,12 +53,24 @@ let of_array xs =
   Array.iter (add acc) xs;
   summary acc
 
+(* NaN samples poison order statistics: polymorphic [compare] gives an
+   unspecified sort order in their presence, and any interpolation with
+   a NaN endpoint is NaN. Percentiles and histograms are therefore
+   computed over the non-NaN subset only, and sorting uses
+   [Float.compare], which is total. *)
+let drop_nans xs =
+  if Array.exists Float.is_nan xs then
+    Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs))
+  else xs
+
 let percentile xs ~p =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  let kept = drop_nans xs in
+  let n = Array.length kept in
+  if n = 0 then invalid_arg "Stats.percentile: no non-NaN samples";
+  let sorted = if kept == xs then Array.copy kept else kept in
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -68,7 +80,9 @@ let percentile xs ~p =
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let percentile_opt xs ~p =
-  if Array.length xs = 0 then None else Some (percentile xs ~p)
+  if Array.exists (fun x -> not (Float.is_nan x)) xs then
+    Some (percentile xs ~p)
+  else None
 
 let mean xs =
   match xs with
@@ -108,6 +122,7 @@ let empty_histogram =
 
 let histogram ?(bins = 10) xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let xs = drop_nans xs in
   let n = Array.length xs in
   if n = 0 then empty_histogram
   else

@@ -38,13 +38,17 @@ val of_array : float array -> summary
 
 val percentile : float array -> p:float -> float
 (** [percentile xs ~p] is the [p]-th percentile (0 ≤ p ≤ 100) using
-    linear interpolation between closest ranks. Sorts a copy; raises
-    [Invalid_argument] on an empty array or out-of-range [p]. *)
+    linear interpolation between closest ranks, over the non-NaN
+    samples only (a total [Float.compare] sort of a copy — NaN samples
+    are excluded rather than landing at an unspecified rank). Raises
+    [Invalid_argument] on an empty array, on an array with no non-NaN
+    sample, or on out-of-range [p]. *)
 
 val percentile_opt : float array -> p:float -> float option
 (** [percentile_opt xs ~p] is the total variant of {!percentile}:
-    [None] on the empty array instead of raising, so report code can
-    chain calls without guarding. Still raises on out-of-range [p]. *)
+    [None] when there is no usable (non-NaN) sample instead of
+    raising, so report code can chain calls without guarding. Still
+    raises on out-of-range [p]. *)
 
 val mean : float list -> float
 (** [mean xs] is the arithmetic mean ([nan] on the empty list). *)
@@ -69,9 +73,10 @@ val empty_histogram : histogram
 
 val histogram : ?bins:int -> float array -> histogram
 (** [histogram ~bins xs] buckets [xs] into [bins] (default 10)
-    uniform-width buckets and computes p50/p90/p99. Returns
-    {!empty_histogram} on the empty array; raises [Invalid_argument]
-    when [bins <= 0]. *)
+    uniform-width buckets and computes p50/p90/p99. NaN samples are
+    dropped first and do not count towards [n]. Returns
+    {!empty_histogram} when no non-NaN sample remains; raises
+    [Invalid_argument] when [bins <= 0]. *)
 
 val bar_width : int
 (** Width in characters of the modal bucket's bar in

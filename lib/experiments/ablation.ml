@@ -20,7 +20,7 @@ type burst_row = { burst : int; bound : int; measured : int }
 
 (* --- overhead charging ------------------------------------------------- *)
 
-let overhead ?(mode = Common.Full) () =
+let overhead ?(mode = Common.Full) ?jobs () =
   let cml ~sync ~per_op =
     let run ~al =
       let spec =
@@ -42,7 +42,7 @@ let overhead ?(mode = Common.Full) () =
     Cml.search ~iterations:(match mode with Common.Fast -> 5 | Common.Full -> 8)
       ~run ()
   in
-  List.map
+  Common.map_points ?jobs
     (fun per_op_ns ->
       {
         per_op_ns;
@@ -55,7 +55,7 @@ let overhead ?(mode = Common.Full) () =
 
 (* --- retry rule --------------------------------------------------------- *)
 
-let retry_rule ?(mode = Common.Full) () =
+let retry_rule ?(mode = Common.Full) ?jobs () =
   let spec =
     {
       Workload.default with
@@ -90,19 +90,25 @@ let retry_rule ?(mode = Common.Full) () =
       aur = res.Simulator.aur;
     }
   in
-  [
-    row "conflict-driven (realistic)" (run ~retry_on_any_preemption:false);
-    row "retry-on-preemption (Lemma 1 adversary)"
-      (run ~retry_on_any_preemption:true);
-  ]
+  match
+    Common.map_points ?jobs
+      (fun retry_on_any_preemption -> run ~retry_on_any_preemption)
+      [ false; true ]
+  with
+  | [ realistic; adversarial ] ->
+    [
+      row "conflict-driven (realistic)" realistic;
+      row "retry-on-preemption (Lemma 1 adversary)" adversarial;
+    ]
+  | _ -> assert false
 
 (* --- burst sensitivity ---------------------------------------------------- *)
 
-let burst ?(mode = Common.Full) () =
+let burst ?(mode = Common.Full) ?jobs () =
   let points =
     match mode with Common.Fast -> [ 1; 3 ] | Common.Full -> [ 1; 2; 3; 4; 5 ]
   in
-  List.map
+  Common.map_points ?jobs
     (fun burst ->
       let spec =
         {
@@ -141,7 +147,7 @@ let burst ?(mode = Common.Full) () =
 
 (* --- printing ---------------------------------------------------------------- *)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt "Ablation: scheduler-overhead charging (CML impact)";
   Report.table fmt
     ~header:[ "per-op cost (ns)"; "CML lock-free"; "CML lock-based" ]
@@ -153,7 +159,7 @@ let run ?(mode = Common.Full) fmt =
              Report.f2 row.cml_lock_free;
              Report.f2 row.cml_lock_based;
            ])
-         (overhead ~mode ()));
+         (overhead ~mode ?jobs ()));
   Report.section fmt "Ablation: retry rule (realistic vs Lemma 1 adversary)";
   Report.table fmt
     ~header:[ "rule"; "total retries"; "max per job"; "AUR" ]
@@ -166,7 +172,7 @@ let run ?(mode = Common.Full) fmt =
              string_of_int row.max_retries;
              Report.pct row.aur;
            ])
-         (retry_rule ~mode ()));
+         (retry_rule ~mode ?jobs ()));
   Report.section fmt "Ablation: burst size vs Theorem 2 bound tightness";
   Report.table fmt
     ~header:[ "burst a_i"; "worst bound f_i"; "worst measured retries" ]
@@ -178,4 +184,4 @@ let run ?(mode = Common.Full) fmt =
              string_of_int row.bound;
              string_of_int row.measured;
            ])
-         (burst ~mode ()))
+         (burst ~mode ?jobs ()))

@@ -31,14 +31,14 @@ type burst_row = {
   measured : int;    (** worst measured per-job retries *)
 }
 
-val overhead : ?mode:Common.mode -> unit -> overhead_row list
+val overhead : ?mode:Common.mode -> ?jobs:int -> unit -> overhead_row list
 (** [overhead ()] sweeps the per-op scheduling cost. *)
 
-val retry_rule : ?mode:Common.mode -> unit -> retry_rule_row list
+val retry_rule : ?mode:Common.mode -> ?jobs:int -> unit -> retry_rule_row list
 (** [retry_rule ()] compares the two retry disciplines. *)
 
-val burst : ?mode:Common.mode -> unit -> burst_row list
+val burst : ?mode:Common.mode -> ?jobs:int -> unit -> burst_row list
 (** [burst ()] sweeps the UAM burst size. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] prints all three ablation tables. *)

@@ -15,5 +15,5 @@ let experiments =
     ("baselines", Baselines.run);
   ]
 
-let run ?(mode = Common.Full) fmt =
-  List.iter (fun (_, f) -> f ?mode:(Some mode) fmt) experiments
+let run ?(mode = Common.Full) ?jobs fmt =
+  List.iter (fun (_, f) -> f ?mode:(Some mode) ?jobs fmt) experiments

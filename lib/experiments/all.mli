@@ -1,11 +1,15 @@
 (** Run every experiment in sequence — the full evaluation of the
     paper plus the analytic validation tables. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] prints Figure 1, Figures 8–14, the Theorem 2 / Theorem 3
-    / Lemmas 4–5 tables, and the ablation studies. *)
+    / Lemmas 4–5 tables, and the ablation studies. [jobs] caps the
+    worker domains each experiment's sweep fans out over (default: one
+    per core; [1] = fully sequential); the printed tables are
+    bit-identical for every value. *)
 
-val experiments : (string * (?mode:Common.mode -> Format.formatter -> unit)) list
+val experiments :
+  (string * (?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit)) list
 (** [experiments] is the registry of named experiments ("fig1", "fig8"
     … "fig14", "thm2", "thm3", "lem45", "ablation") used by the
     CLI. *)

@@ -14,8 +14,8 @@ let points = function
   | Common.Fast -> [ 2; 6; 10 ]
   | Common.Full -> [ 1; 2; 4; 6; 8; 10 ]
 
-let compute ?(mode = Common.Full) ~al ~tuf_class () =
-  List.map
+let compute ?(mode = Common.Full) ?jobs ~al ~tuf_class () =
+  Common.map_points ?jobs
     (fun n_objects ->
       let spec =
         {
@@ -33,8 +33,8 @@ let compute ?(mode = Common.Full) ~al ~tuf_class () =
         }
       in
       let tasks = Workload.make spec in
-      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
-      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      let lb = Common.measure ~mode ?jobs ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ?jobs ~sync:Common.lock_free tasks in
       {
         n_objects;
         lb_aur = lb.Metrics.aur;
@@ -44,7 +44,7 @@ let compute ?(mode = Common.Full) ~al ~tuf_class () =
       })
     (points mode)
 
-let run ?(mode = Common.Full) ~title ~al ~tuf_class fmt =
+let run ?(mode = Common.Full) ?jobs ~title ~al ~tuf_class fmt =
   Report.section fmt title;
   let rows =
     List.map
@@ -56,7 +56,7 @@ let run ?(mode = Common.Full) ~title ~al ~tuf_class fmt =
           Report.with_ci row.lf_cmr Report.pct;
           Report.with_ci row.lb_cmr Report.pct;
         ])
-      (compute ~mode ~al ~tuf_class ())
+      (compute ~mode ?jobs ~al ~tuf_class ())
   in
   Report.table fmt
     ~header:

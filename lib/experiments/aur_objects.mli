@@ -18,6 +18,7 @@ type row = {
 
 val compute :
   ?mode:Common.mode ->
+  ?jobs:int ->
   al:float ->
   tuf_class:Rtlf_workload.Workload.tuf_class ->
   unit ->
@@ -26,6 +27,7 @@ val compute :
 
 val run :
   ?mode:Common.mode ->
+  ?jobs:int ->
   title:string ->
   al:float ->
   tuf_class:Rtlf_workload.Workload.tuf_class ->

@@ -23,8 +23,8 @@ let simulate ~mode ~sched ~sync spec =
        ~seed:53 ~sched_base:Common.sched_base
        ~sched_per_op:Common.sched_per_op ())
 
-let compute ?(mode = Common.Full) () =
-  List.map
+let compute ?(mode = Common.Full) ?jobs () =
+  Common.map_points ?jobs
     (fun al ->
       let spec =
         {
@@ -57,7 +57,7 @@ let compute ?(mode = Common.Full) () =
       })
     (points mode)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt
     "Baselines: EDF+PIP vs lock-based RUA vs lock-free RUA";
   Report.table fmt
@@ -76,4 +76,4 @@ let run ?(mode = Common.Full) fmt =
              Report.pct row.rua_lb_cmr;
              Report.pct row.rua_lf_cmr;
            ])
-         (compute ~mode ()))
+         (compute ~mode ?jobs ()))

@@ -20,8 +20,8 @@ type row = {
   rua_lf_cmr : float;
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] sweeps AL from 0.4 to 1.6. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table. *)

@@ -36,6 +36,9 @@ let simulate ?(mode = Full) ?(sync = lock_free) ?(sched = Simulator.Rua)
     (Simulator.config ~tasks ~sync ~sched ~horizon ~seed ~sched_base
        ~sched_per_op ~trace ?trace_capacity ())
 
-let measure ?(mode = Full) ~sync tasks =
-  Metrics.repeat ~seeds:(seeds mode) ~run:(fun ~seed ->
-      simulate ~mode ~sync ~seed tasks)
+let measure ?(mode = Full) ?jobs ~sync tasks =
+  Metrics.repeat ?jobs ~seeds:(seeds mode)
+    ~run:(fun ~seed -> simulate ~mode ~sync ~seed tasks)
+    ()
+
+let map_points ?jobs f points = Rtlf_engine.Pool.map ?jobs f points

@@ -53,8 +53,15 @@ val simulate :
 
 val measure :
   ?mode:mode ->
+  ?jobs:int ->
   sync:Rtlf_sim.Sync.t ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Metrics.point
 (** [measure ~sync tasks] aggregates {!simulate} over the mode's
-    seeds. *)
+    seeds, fanned out across [jobs] domains (default: one per core);
+    the result is bit-identical for every [jobs] value. *)
+
+val map_points : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_points f points] is {!Rtlf_engine.Pool.map}: every experiment
+    sweeps its parameter points through this so [--jobs] parallelises
+    the grid while keeping results in input order. *)

@@ -31,7 +31,7 @@ let compute () =
       { name; samples })
     shapes
 
-let run ?mode:_ fmt =
+let run ?mode:_ ?jobs:_ fmt =
   Report.section fmt "Figure 1: time/utility function shapes";
   let curves = compute () in
   let header =

@@ -11,5 +11,5 @@ type curve = { name : string; samples : (float * float) list }
 val compute : unit -> curve list
 (** [compute ()] samples the three reference shapes at 10 % steps. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] prints the sampled curves side by side. *)

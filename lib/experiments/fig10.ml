@@ -1,9 +1,10 @@
 let al = 0.4
 let tuf_class = Rtlf_workload.Workload.Step_only
 
-let compute ?(mode = Common.Full) () = Aur_objects.compute ~mode ~al ~tuf_class ()
+let compute ?(mode = Common.Full) ?jobs () =
+  Aur_objects.compute ~mode ?jobs ~al ~tuf_class ()
 
-let run ?(mode = Common.Full) fmt =
-  Aur_objects.run ~mode
+let run ?(mode = Common.Full) ?jobs fmt =
+  Aur_objects.run ~mode ?jobs
     ~title:"Figure 10: AUR/CMR during underload (AL=0.4), step TUFs" ~al
     ~tuf_class fmt

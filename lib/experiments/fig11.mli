@@ -1,8 +1,8 @@
 (** Figure 11 — AUR/CMR during underload (AL ≈ 0.4), heterogeneous
     TUFs, vs. number of shared objects. See {!Aur_objects}. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] prints the table. *)
 
-val compute : ?mode:Common.mode -> unit -> Aur_objects.row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> Aur_objects.row list
 (** [compute ()] returns the rows. *)

@@ -21,8 +21,8 @@ let points = function
 (* Load rises linearly from 0.1 (writers only) to 1.1 (8 readers). *)
 let load_for ~n_readers = 0.1 +. (float_of_int n_readers *. 0.125)
 
-let compute ?(mode = Common.Full) () =
-  List.map
+let compute ?(mode = Common.Full) ?jobs () =
+  Common.map_points ?jobs
     (fun n_readers ->
       let al = load_for ~n_readers in
       let spec =
@@ -43,8 +43,8 @@ let compute ?(mode = Common.Full) () =
         }
       in
       let tasks = Workload.make spec in
-      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
-      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      let lb = Common.measure ~mode ?jobs ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ?jobs ~sync:Common.lock_free tasks in
       {
         n_readers;
         al;
@@ -55,7 +55,7 @@ let compute ?(mode = Common.Full) () =
       })
     (points mode)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt
     "Figure 14: AUR/CMR under increasing readers, heterogeneous TUFs";
   let rows =
@@ -69,7 +69,7 @@ let run ?(mode = Common.Full) fmt =
           Report.with_ci row.lf_cmr Report.pct;
           Report.with_ci row.lb_cmr Report.pct;
         ])
-      (compute ~mode ())
+      (compute ~mode ?jobs ())
   in
   Report.table fmt
     ~header:

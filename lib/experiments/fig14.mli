@@ -17,8 +17,8 @@ type row = {
   lf_cmr : Rtlf_engine.Stats.summary;
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] sweeps the reader count. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table. *)

@@ -21,12 +21,12 @@ let spec ~n_objects =
     seed = 42;
   }
 
-let compute ?(mode = Common.Full) () =
-  List.map
+let compute ?(mode = Common.Full) ?jobs () =
+  Common.map_points ?jobs
     (fun n_objects ->
       let tasks = Workload.make (spec ~n_objects) in
-      let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
-      let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
+      let lb = Common.measure ~mode ?jobs ~sync:Common.lock_based tasks in
+      let lf = Common.measure ~mode ?jobs ~sync:Common.lock_free tasks in
       {
         n_objects;
         r_ns = lb.Rtlf_sim.Metrics.access_ns;
@@ -34,7 +34,7 @@ let compute ?(mode = Common.Full) () =
       })
     (points mode)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt
     "Figure 8: lock-based (r) vs lock-free (s) object access time";
   let rows =
@@ -46,7 +46,7 @@ let run ?(mode = Common.Full) fmt =
           Report.with_ci row.s_ns Report.ns_us;
           Report.f2 (row.r_ns.Stats.mean /. row.s_ns.Stats.mean);
         ])
-      (compute ~mode ())
+      (compute ~mode ?jobs ())
   in
   Report.table fmt
     ~header:[ "#objects"; "r (lock-based)"; "s (lock-free)"; "r/s" ]

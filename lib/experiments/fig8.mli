@@ -12,9 +12,9 @@ type row = {
   s_ns : Rtlf_engine.Stats.summary;  (** measured lock-free access time *)
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] runs the sweep and returns one row per object
-    count. *)
+    count, fanning points and seeds across [jobs] domains. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table. *)

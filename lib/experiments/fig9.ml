@@ -33,8 +33,8 @@ let cml ~mode ~sync ~exec_ns =
   in
   Cml.search ~iterations:(iterations mode) ~run ()
 
-let compute ?(mode = Common.Full) () =
-  List.map
+let compute ?(mode = Common.Full) ?jobs () =
+  Common.map_points ?jobs
     (fun exec_ns ->
       {
         exec_ns;
@@ -44,7 +44,7 @@ let compute ?(mode = Common.Full) () =
       })
     (points mode)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt "Figure 9: critical-time-miss load (CML)";
   let rows =
     List.map
@@ -55,7 +55,7 @@ let run ?(mode = Common.Full) fmt =
           Report.f2 row.lock_free;
           Report.f2 row.lock_based;
         ])
-      (compute ~mode ())
+      (compute ~mode ?jobs ())
   in
   Report.table fmt
     ~header:[ "avg exec"; "ideal"; "lock-free"; "lock-based" ]

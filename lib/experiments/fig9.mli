@@ -14,9 +14,9 @@ type row = {
   lock_based : float; (** CML of lock-based RUA *)
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] binary-searches the CML per execution time and
     discipline. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the series. *)

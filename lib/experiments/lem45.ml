@@ -21,14 +21,14 @@ let spec =
     seed = 37;
   }
 
-let compute ?(mode = Common.Full) () =
+let compute ?(mode = Common.Full) ?jobs () =
   let tasks = Workload.make spec in
   let s = float_of_int (Common.cas_overhead + Common.access_work) in
   let r = float_of_int ((2 * Common.lock_overhead) + Common.access_work) in
   let lf_band = Aur_bounds.lock_free ~tasks ~s () in
   let lb_band = Aur_bounds.lock_based ~tasks ~r () in
-  let lf = Common.measure ~mode ~sync:Common.lock_free tasks in
-  let lb = Common.measure ~mode ~sync:Common.lock_based tasks in
+  let lf = Common.measure ~mode ?jobs ~sync:Common.lock_free tasks in
+  let lb = Common.measure ~mode ?jobs ~sync:Common.lock_based tasks in
   let row discipline (band : Aur_bounds.band) (point : Metrics.point) =
     let measured = point.Metrics.aur.Stats.mean in
     {
@@ -44,7 +44,7 @@ let compute ?(mode = Common.Full) () =
 
 let holds rows = List.for_all (fun row -> row.inside) rows
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt "Lemmas 4/5: AUR bands vs simulated AUR";
   let rows =
     List.map
@@ -56,7 +56,7 @@ let run ?(mode = Common.Full) fmt =
           Report.pct row.upper;
           (if row.inside then "yes" else "NO");
         ])
-      (compute ~mode ())
+      (compute ~mode ?jobs ())
   in
   Report.table fmt
     ~header:[ "discipline"; "lower"; "measured AUR"; "upper"; "inside" ]

@@ -15,10 +15,10 @@ type row = {
   inside : bool;
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] is the two-row table (Lemma 4, Lemma 5). *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table. *)
 
 val holds : row list -> bool

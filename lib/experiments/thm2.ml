@@ -28,33 +28,36 @@ let spec =
     seed = 23;
   }
 
-let max_retries_per_task ~mode ~retry_on_any_preemption tasks =
+let max_retries_per_task ~mode ?jobs ~retry_on_any_preemption tasks =
   let horizon = Common.horizon_for mode tasks in
   let worst = Array.make (List.length tasks) 0 in
-  List.iter
-    (fun seed ->
-      let res =
+  let results =
+    Common.map_points ?jobs
+      (fun seed ->
         Simulator.run
           (Simulator.config ~tasks ~sync:Common.lock_free ~horizon ~seed
              ~sched_base:Common.sched_base ~sched_per_op:Common.sched_per_op
-             ~retry_on_any_preemption ())
-      in
+             ~retry_on_any_preemption ()))
+      (Common.seeds mode)
+  in
+  List.iter
+    (fun (res : Simulator.result) ->
       Array.iter
         (fun (tr : Simulator.task_result) ->
           let i = tr.Simulator.task_id in
           if tr.Simulator.max_retries > worst.(i) then
             worst.(i) <- tr.Simulator.max_retries)
         res.Simulator.per_task)
-    (Common.seeds mode);
+    results;
   worst
 
-let compute ?(mode = Common.Full) () =
+let compute ?(mode = Common.Full) ?jobs () =
   let tasks = Workload.make spec in
   let realistic =
-    max_retries_per_task ~mode ~retry_on_any_preemption:false tasks
+    max_retries_per_task ~mode ?jobs ~retry_on_any_preemption:false tasks
   in
   let adversarial =
-    max_retries_per_task ~mode ~retry_on_any_preemption:true tasks
+    max_retries_per_task ~mode ?jobs ~retry_on_any_preemption:true tasks
   in
   List.map
     (fun t ->
@@ -76,9 +79,9 @@ let holds rows =
       row.measured <= row.bound && row.measured_adversarial <= row.bound)
     rows
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt "Theorem 2: lock-free retry bound under UAM";
-  let rows = compute ~mode () in
+  let rows = compute ~mode ?jobs () in
   let cells =
     List.map
       (fun row ->

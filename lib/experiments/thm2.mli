@@ -17,10 +17,10 @@ type row = {
   measured_adversarial : int;  (** max retries, retry-on-preemption *)
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] runs both simulations and tabulates per task. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table, flagging any violation. *)
 
 val holds : row list -> bool

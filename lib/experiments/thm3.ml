@@ -49,22 +49,25 @@ let spec =
    the access-discipline difference Theorem 3 speaks about. The access
    cost r (resp. s) is realised through the sync overhead: lock-based
    accesses cost 2·ov + work, lock-free ones ov + work. *)
-let mean_sojourn ~mode ~sync tasks =
+let mean_sojourn ~mode ?jobs ~sync tasks =
   let horizon = Common.horizon_for mode tasks in
-  let acc = Stats.create () in
-  List.iter
-    (fun seed ->
-      let res =
+  let results =
+    Common.map_points ?jobs
+      (fun seed ->
         Simulator.run
           (Simulator.config ~tasks ~sync ~horizon ~seed ~sched_base:0
-             ~sched_per_op:0 ())
-      in
+             ~sched_per_op:0 ()))
+      (Common.seeds mode)
+  in
+  let acc = Stats.create () in
+  List.iter
+    (fun (res : Simulator.result) ->
       Array.iter
         (fun (tr : Simulator.task_result) ->
           let s = tr.Simulator.sojourn in
           if s.Stats.n > 0 then Stats.add acc s.Stats.mean)
         res.Simulator.per_task)
-    (Common.seeds mode);
+    results;
   (Stats.summary acc).Stats.mean
 
 (* Analytic worst case for a representative (mean) task of the set. *)
@@ -94,9 +97,9 @@ let analytic tasks ~r ~s =
   in
   params
 
-let compute ?(mode = Common.Full) () =
+let compute ?(mode = Common.Full) ?jobs () =
   let tasks = Workload.make spec in
-  List.map
+  Common.map_points ?jobs
     (fun ratio ->
       let s_ns = int_of_float (float_of_int r_ns *. ratio) in
       (* Realise the access costs through sync overheads (work = 0). *)
@@ -113,12 +116,12 @@ let compute ?(mode = Common.Full) () =
         analytic_lf_ns = Sojourn.worst_sojourn_lock_free params;
         sufficient = Sojourn.sufficient_condition params;
         predicted_lf_wins = Sojourn.lock_free_wins params;
-        measured_lb_ns = mean_sojourn ~mode ~sync:lb_sync tasks;
-        measured_lf_ns = mean_sojourn ~mode ~sync:lf_sync tasks;
+        measured_lb_ns = mean_sojourn ~mode ?jobs ~sync:lb_sync tasks;
+        measured_lf_ns = mean_sojourn ~mode ?jobs ~sync:lf_sync tasks;
       })
     (ratios mode)
 
-let run ?(mode = Common.Full) fmt =
+let run ?(mode = Common.Full) ?jobs fmt =
   Report.section fmt "Theorem 3: lock-based vs lock-free sojourn times";
   let rows =
     List.map
@@ -134,7 +137,7 @@ let run ?(mode = Common.Full) fmt =
           (if row.measured_lf_ns < row.measured_lb_ns then "lock-free"
            else "lock-based");
         ])
-      (compute ~mode ())
+      (compute ~mode ?jobs ())
   in
   Report.table fmt
     ~header:

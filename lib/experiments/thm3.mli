@@ -20,8 +20,8 @@ type row = {
   measured_lf_ns : float;  (** simulated mean sojourn, lock-free *)
 }
 
-val compute : ?mode:Common.mode -> unit -> row list
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> row list
 (** [compute ()] runs the ratio sweep. *)
 
-val run : ?mode:Common.mode -> Format.formatter -> unit
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit
 (** [run fmt] computes and prints the table. *)

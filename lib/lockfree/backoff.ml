@@ -1,14 +1,41 @@
-type t = { min_spins : int; max_spins : int; mutable spins : int }
+module Prng = Rtlf_engine.Prng
 
-let create ?(min_spins = 4) ?(max_spins = 1024) () =
+type t = {
+  min_spins : int;
+  max_spins : int;
+  mutable spins : int;
+  mutable last_spins : int;
+  jitter : Prng.t option;
+}
+
+let create ?(min_spins = 4) ?(max_spins = 1024) ?jitter_seed () =
   if min_spins < 1 || max_spins < min_spins then
     invalid_arg "Backoff.create: need 1 <= min_spins <= max_spins";
-  { min_spins; max_spins; spins = min_spins }
+  {
+    min_spins;
+    max_spins;
+    spins = min_spins;
+    last_spins = 0;
+    jitter = Option.map (fun seed -> Prng.create ~seed) jitter_seed;
+  }
 
 let once b =
-  for _ = 1 to b.spins do
+  (* Without jitter, equal-priority contenders that fail the same CAS
+     back off for exactly the same budget and collide again in
+     lock-step; a uniform draw in [spins, 2*spins) desynchronises them
+     while keeping the wait within a factor of two of the nominal
+     truncated-exponential schedule. *)
+  let spins =
+    match b.jitter with
+    | None -> b.spins
+    | Some g -> b.spins + Prng.int g ~bound:b.spins
+  in
+  b.last_spins <- spins;
+  for _ = 1 to spins do
     Domain.cpu_relax ()
   done;
   b.spins <- min b.max_spins (b.spins * 2)
+
+let last_spins b = b.last_spins
 
 let reset b = b.spins <- b.min_spins

@@ -3,19 +3,36 @@
     Failed compare-and-swap attempts under contention waste bus
     bandwidth; spinning a little before retrying lets the winner's
     write propagate. [Domain.cpu_relax] is used so hardware threads
-    yield the core's execution resources. *)
+    yield the core's execution resources.
+
+    Two equal-priority contenders with identical budgets can fail the
+    same CAS, spin for exactly the same time and collide again — in
+    lock-step, indefinitely. Seeded jitter breaks the symmetry: each
+    wait draws uniformly from [\[spins, 2·spins)] using a private
+    deterministic {!Rtlf_engine.Prng} stream, so runs remain
+    reproducible per seed. *)
 
 type t
 (** Mutable backoff state, one per operation invocation. *)
 
-val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+val create : ?min_spins:int -> ?max_spins:int -> ?jitter_seed:int -> unit -> t
 (** [create ()] starts at [min_spins] (default 4) and doubles up to
-    [max_spins] (default 1024) on each {!once}. Raises
-    [Invalid_argument] unless [1 <= min_spins <= max_spins]. *)
+    [max_spins] (default 1024) on each {!once}. [jitter_seed] enables
+    deterministic jitter: every wait is lengthened by a uniform draw
+    in [\[0, spins)] from a SplitMix64 stream seeded with it (no
+    jitter when omitted). Raises [Invalid_argument] unless
+    [1 <= min_spins <= max_spins]. *)
 
 val once : t -> unit
-(** [once b] spins for the current budget and doubles it (saturating at
-    the maximum). *)
+(** [once b] spins for the current budget (plus jitter, when enabled)
+    and doubles the budget (saturating at the maximum). *)
+
+val last_spins : t -> int
+(** [last_spins b] is the number of spins the most recent {!once}
+    performed, jitter included (0 before the first {!once}); exposed
+    for tests and contention telemetry. *)
 
 val reset : t -> unit
-(** [reset b] returns to the minimum budget (call after a success). *)
+(** [reset b] returns to the minimum budget (call after a success).
+    The jitter stream is deliberately not rewound — two contenders
+    must not fall back into phase after every success. *)

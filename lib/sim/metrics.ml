@@ -73,5 +73,5 @@ let aggregate results =
     sched_overhead_ns = !overhead;
   }
 
-let repeat ~seeds ~run =
-  aggregate (List.map (fun seed -> run ~seed) seeds)
+let repeat ?jobs ~seeds ~run () =
+  aggregate (Rtlf_engine.Pool.map ?jobs (fun seed -> run ~seed) seeds)

@@ -30,9 +30,18 @@ val aggregate : Simulator.result list -> point
     configuration. *)
 
 val repeat :
-  seeds:int list -> run:(seed:int -> Simulator.result) -> point
+  ?jobs:int ->
+  seeds:int list ->
+  run:(seed:int -> Simulator.result) ->
+  unit ->
+  point
 (** [repeat ~seeds ~run] runs one configuration under each seed and
-    aggregates. *)
+    aggregates. Runs fan out across [jobs] domains (default: one per
+    core, {!Rtlf_engine.Pool.default_jobs}); each run owns its PRNG
+    and accumulators, and aggregation folds results in seed order, so
+    the point is bit-identical for every [jobs] value. [run] must be
+    domain-safe — {!Simulator.run} partially applied to a config
+    is. *)
 
 val mean_access_ns : Simulator.result -> float
 (** [mean_access_ns res] is the run's mean measured access duration

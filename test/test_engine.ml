@@ -73,6 +73,74 @@ let test_eq_grow () =
     (List.init 1000 (fun i -> i))
     order
 
+let test_eq_filter_stable_ties () =
+  let q = Event_queue.create () in
+  List.iteri (fun i label -> Event_queue.add q ~time:(i mod 2) label)
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  (* time 0: a, c, e; time 1: b, d, f. Dropping "c" and "d" must keep
+     the survivors' insertion order within each timestamp. *)
+  Event_queue.filter_in_place q (fun _ v -> v <> "c" && v <> "d");
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "ties stay in insertion order"
+    [ "a"; "e"; "b"; "f" ] order
+
+(* Liveness regression: the heap must never keep more payloads
+   reachable than [length] reports. Weak pointers observe whether the
+   GC can collect popped/cleared payloads — before the fix, [pop] left
+   the popped cell parked in [heap.(size)] and [clear] kept the whole
+   backing array. *)
+let live_payloads (w : int ref Weak.t) =
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to Weak.length w - 1 do
+    if Weak.check w i then incr live
+  done;
+  !live
+
+let test_eq_pop_releases_payloads () =
+  let n = 64 in
+  let q = Event_queue.create () in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Event_queue.add q ~time:i payload
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Event_queue.pop q)
+  done;
+  Alcotest.(check int) "popped payloads are collectable" (n / 2)
+    (live_payloads w);
+  Alcotest.(check int) "length agrees" (n / 2) (Event_queue.length q)
+
+let test_eq_clear_releases_payloads () =
+  let n = 32 in
+  let q = Event_queue.create () in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Event_queue.add q ~time:(n - i) payload
+  done;
+  Event_queue.clear q;
+  Alcotest.(check int) "cleared payloads are collectable" 0 (live_payloads w)
+
+let test_eq_filter_releases_payloads () =
+  let n = 32 in
+  let q = Event_queue.create () in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Event_queue.add q ~time:i payload
+  done;
+  Event_queue.filter_in_place q (fun t _ -> t < n / 4);
+  (* Checking the length afterwards also keeps [q] (and so the
+     survivors) reachable across the GC cycle above. *)
+  Alcotest.(check int) "filtered-out payloads are collectable" (n / 4)
+    (live_payloads w);
+  Alcotest.(check int) "survivors retained" (n / 4) (Event_queue.length q)
+
 let prop_eq_sorted =
   QCheck.Test.make ~name:"drain is sorted and complete" ~count:200
     QCheck.(list (int_bound 10_000))
@@ -227,6 +295,43 @@ let test_percentile_errors () =
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
       ignore (Stats.percentile [| 1.0 |] ~p:150.0))
 
+let test_percentile_ignores_nan () =
+  let clean = [| 3.0; 1.0; 2.0; 4.0 |] in
+  let tainted = [| nan; 3.0; 1.0; nan; 2.0; 4.0; nan |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g matches NaN-free data" p)
+        (Stats.percentile clean ~p)
+        (Stats.percentile tainted ~p))
+    [ 0.0; 25.0; 50.0; 90.0; 100.0 ]
+
+let test_percentile_all_nan () =
+  Alcotest.check_raises "all NaN"
+    (Invalid_argument "Stats.percentile: no non-NaN samples") (fun () ->
+      ignore (Stats.percentile [| nan; nan |] ~p:50.0))
+
+let test_percentile_opt_nan () =
+  Alcotest.(check (option (float 1e-9))) "all NaN is None" None
+    (Stats.percentile_opt [| nan; nan |] ~p:50.0);
+  Alcotest.(check (option (float 1e-9))) "empty is None" None
+    (Stats.percentile_opt [||] ~p:50.0);
+  Alcotest.(check (option (float 1e-9))) "NaNs dropped" (Some 2.0)
+    (Stats.percentile_opt [| nan; 1.0; 2.0; 3.0 |] ~p:50.0)
+
+let test_histogram_ignores_nan () =
+  let clean = Stats.histogram ~bins:4 [| 1.0; 2.0; 3.0; 4.0 |] in
+  let tainted = Stats.histogram ~bins:4 [| nan; 1.0; 2.0; nan; 3.0; 4.0 |] in
+  Alcotest.(check int) "n counts non-NaN only" clean.Stats.n tainted.Stats.n;
+  Alcotest.(check (float 1e-9)) "p50" clean.Stats.p50 tainted.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p99" clean.Stats.p99 tainted.Stats.p99;
+  Alcotest.(check (list int)) "buckets"
+    (Array.to_list clean.Stats.buckets)
+    (Array.to_list tainted.Stats.buckets);
+  let empty = Stats.histogram [| nan; nan |] in
+  Alcotest.(check int) "all-NaN input is the empty histogram" 0
+    empty.Stats.n
+
 let test_mean_helper () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check bool) "empty nan" true (Float.is_nan (Stats.mean []))
@@ -250,10 +355,18 @@ let () =
           Alcotest.test_case "peek/pop consistent" `Quick
             test_eq_peek_pop_consistency;
           Alcotest.test_case "filter_in_place" `Quick test_eq_filter;
+          Alcotest.test_case "filter keeps insertion order on ties" `Quick
+            test_eq_filter_stable_ties;
           Alcotest.test_case "to_list non-destructive" `Quick
             test_eq_to_list_nondestructive;
           Alcotest.test_case "clear" `Quick test_eq_clear;
           Alcotest.test_case "growth preserves order" `Quick test_eq_grow;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_eq_pop_releases_payloads;
+          Alcotest.test_case "clear releases payloads" `Quick
+            test_eq_clear_releases_payloads;
+          Alcotest.test_case "filter releases payloads" `Quick
+            test_eq_filter_releases_payloads;
           QCheck_alcotest.to_alcotest prop_eq_sorted;
         ] );
       ( "prng",
@@ -288,6 +401,14 @@ let () =
           Alcotest.test_case "percentile interpolation" `Quick
             test_percentile_interpolates;
           Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+          Alcotest.test_case "percentile ignores NaN" `Quick
+            test_percentile_ignores_nan;
+          Alcotest.test_case "percentile rejects all-NaN" `Quick
+            test_percentile_all_nan;
+          Alcotest.test_case "percentile_opt on NaN input" `Quick
+            test_percentile_opt_nan;
+          Alcotest.test_case "histogram ignores NaN" `Quick
+            test_histogram_ignores_nan;
           Alcotest.test_case "mean helper" `Quick test_mean_helper;
           QCheck_alcotest.to_alcotest prop_stats_bounds;
         ] );

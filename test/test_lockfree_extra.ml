@@ -237,6 +237,62 @@ let test_snapshot_consistent_cut () =
   Domain.join scanner;
   Alcotest.(check int) "no inconsistent cut" 0 (Atomic.get bad)
 
+(* --- backoff jitter -------------------------------------------------------- *)
+
+module Backoff = Rtlf_lockfree.Backoff
+
+let spin_sequence b k =
+  List.init k (fun _ ->
+      Backoff.once b;
+      Backoff.last_spins b)
+
+let test_backoff_no_jitter_doubles () =
+  let b = Backoff.create ~min_spins:4 ~max_spins:64 () in
+  Alcotest.(check (list int)) "exact truncated doubling"
+    [ 4; 8; 16; 32; 64; 64 ] (spin_sequence b 6)
+
+let test_backoff_jitter_deterministic () =
+  let seq seed = spin_sequence (Backoff.create ~jitter_seed:seed ()) 8 in
+  Alcotest.(check (list int)) "same seed, same waits" (seq 42) (seq 42);
+  Alcotest.(check bool) "different seeds desynchronise" true
+    (seq 1 <> seq 2)
+
+let test_backoff_jitter_bounded () =
+  let b = Backoff.create ~min_spins:4 ~max_spins:1024 ~jitter_seed:7 () in
+  let base = ref 4 in
+  for _ = 1 to 12 do
+    Backoff.once b;
+    let spun = Backoff.last_spins b in
+    if spun < !base || spun >= 2 * !base then
+      Alcotest.failf "jittered wait %d outside [%d, %d)" spun !base
+        (2 * !base);
+    base := min 1024 (!base * 2)
+  done
+
+let test_backoff_jitter_progress () =
+  (* Two equal contenders on one CAS cell, both backing off with
+     (differently seeded) jitter: both must complete their quota —
+     i.e. neither is starved by colliding in lock-step forever. *)
+  let target = 5_000 in
+  let counter = Atomic.make 0 in
+  let worker seed () =
+    let b = Backoff.create ~jitter_seed:seed () in
+    let mine = ref 0 in
+    while !mine < target do
+      let cur = Atomic.get counter in
+      if Atomic.compare_and_set counter cur (cur + 1) then begin
+        incr mine;
+        Backoff.reset b
+      end
+      else Backoff.once b
+    done
+  in
+  let other = Domain.spawn (worker 1) in
+  worker 2 ();
+  Domain.join other;
+  Alcotest.(check int) "both contenders made full progress" (2 * target)
+    (Atomic.get counter)
+
 let () =
   Alcotest.run "lockfree_extra"
     [
@@ -270,5 +326,16 @@ let () =
           Alcotest.test_case "validation" `Quick test_snapshot_validation;
           Alcotest.test_case "consistent cut" `Quick
             test_snapshot_consistent_cut;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "no jitter: exact doubling" `Quick
+            test_backoff_no_jitter_doubles;
+          Alcotest.test_case "jitter deterministic per seed" `Quick
+            test_backoff_jitter_deterministic;
+          Alcotest.test_case "jitter bounded to [b, 2b)" `Quick
+            test_backoff_jitter_bounded;
+          Alcotest.test_case "contenders with jitter progress" `Quick
+            test_backoff_jitter_progress;
         ] );
     ]

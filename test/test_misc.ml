@@ -152,7 +152,7 @@ let test_metrics_repeat () =
     Simulator.run
       (Simulator.config ~tasks ~sync:Sync.Ideal ~horizon:50_000_000 ~seed ())
   in
-  let point = Metrics.repeat ~seeds:[ 1; 2; 3 ] ~run in
+  let point = Metrics.repeat ~seeds:[ 1; 2; 3 ] ~run () in
   Alcotest.(check int) "three runs" 3 point.Metrics.aur.Stats.n;
   Alcotest.(check (float 1e-9)) "aur 1.0" 1.0 point.Metrics.aur.Stats.mean;
   Alcotest.(check bool) "released accumulated" true

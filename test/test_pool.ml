@@ -1,0 +1,128 @@
+(* Domain pool tests: ordering, sequential equivalence, exception
+   propagation, and the parallel harness's acceptance bar — a parallel
+   experiment sweep must be bit-identical to the sequential one. *)
+
+module Pool = Rtlf_engine.Pool
+module Common = Rtlf_experiments.Common
+module Workload = Rtlf_workload.Workload
+module Result_json = Rtlf_obs.Result_json
+
+let test_map_empty () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) [])
+
+let test_map_singleton () =
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Pool.map ~jobs:4 (fun x -> x * x) [ 3 ])
+
+let test_map_order () =
+  let items = List.init 100 (fun i -> i) in
+  let expected = List.map (fun i -> i * i) items in
+  Alcotest.(check (list int)) "input order preserved" expected
+    (Pool.map ~jobs:4 (fun i -> i * i) items)
+
+let test_map_jobs1_equivalence () =
+  let items = List.init 37 (fun i -> i - 18) in
+  let f x = (x * 31) lxor 5 in
+  Alcotest.(check (list int)) "jobs=1 = List.map" (List.map f items)
+    (Pool.map ~jobs:1 f items);
+  Alcotest.(check (list int)) "jobs=4 = jobs=1"
+    (Pool.map ~jobs:1 f items)
+    (Pool.map ~jobs:4 f items)
+
+let test_map_invalid_jobs () =
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Pool.map: jobs must be >= 1") (fun () ->
+      ignore (Pool.map ~jobs:0 (fun x -> x) [ 1; 2 ]))
+
+exception Boom of int
+
+let test_map_exception_first () =
+  (* Items 0..9 succeed, 10.. raise: re-raised failure must be item
+     10's regardless of which worker hit which later item first. *)
+  for _ = 1 to 20 do
+    match
+      Pool.map ~jobs:4
+        (fun x -> if x >= 10 then raise (Boom x) else x)
+        (List.init 24 (fun i -> i))
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom n ->
+      Alcotest.(check int) "earliest raising item wins" 10 n
+  done
+
+let test_map_exception_jobs1 () =
+  Alcotest.check_raises "sequential path raises too" (Boom 2) (fun () ->
+      ignore
+        (Pool.map ~jobs:1 (fun x -> if x = 2 then raise (Boom x) else x)
+           [ 0; 1; 2; 3 ]))
+
+let test_map_nested () =
+  let outer = List.init 6 (fun i -> i) in
+  let expected =
+    List.map (fun i -> List.init 4 (fun j -> (i * 10) + j)) outer
+  in
+  let got =
+    Pool.map ~jobs:3
+      (fun i ->
+        Pool.map ~jobs:2 (fun j -> (i * 10) + j) (List.init 4 (fun j -> j)))
+      outer
+  in
+  Alcotest.(check (list (list int))) "nested maps compose" expected got
+
+(* --- parallel harness determinism ------------------------------------- *)
+
+(* The acceptance bar: fanning (config, seed) runs across domains must
+   produce bit-identical Result_json output to the sequential path —
+   which also proves each run owns its Stats accumulators and trace
+   buffers (any sharing would corrupt counters under contention). *)
+let sim_results ~jobs =
+  let spec = { Workload.default with Workload.n_tasks = 6; seed = 3 } in
+  let tasks = Workload.make spec in
+  Pool.map ~jobs
+    (fun seed -> Common.simulate ~mode:Common.Fast ~seed tasks)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_parallel_result_json_identical () =
+  let sequential = List.map Result_json.to_string (sim_results ~jobs:1) in
+  let parallel = List.map Result_json.to_string (sim_results ~jobs:4) in
+  Alcotest.(check (list string)) "jobs=4 JSON = jobs=1 JSON" sequential
+    parallel
+
+(* A representative experiment end-to-end: the printed Figure 8 table
+   (points and seeds both fanned out) must match byte for byte. *)
+let render_fig8 ~jobs =
+  let buf = Buffer.create 1024 in
+  let f = Format.formatter_of_buffer buf in
+  Rtlf_experiments.Fig8.run ~mode:Common.Fast ~jobs f;
+  Format.pp_print_flush f ();
+  Buffer.contents buf
+
+let test_parallel_fig8_identical () =
+  Alcotest.(check string) "fig8 report identical under --jobs 4"
+    (render_fig8 ~jobs:1) (render_fig8 ~jobs:4)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "singleton" `Quick test_map_singleton;
+          Alcotest.test_case "input order preserved" `Quick test_map_order;
+          Alcotest.test_case "jobs=1 equivalence" `Quick
+            test_map_jobs1_equivalence;
+          Alcotest.test_case "invalid jobs" `Quick test_map_invalid_jobs;
+          Alcotest.test_case "first exception re-raised" `Quick
+            test_map_exception_first;
+          Alcotest.test_case "sequential exception" `Quick
+            test_map_exception_jobs1;
+          Alcotest.test_case "nested maps" `Quick test_map_nested;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "Result_json bit-identical across jobs" `Slow
+            test_parallel_result_json_identical;
+          Alcotest.test_case "fig8 report bit-identical across jobs" `Slow
+            test_parallel_fig8_identical;
+        ] );
+    ]
