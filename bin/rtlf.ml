@@ -374,6 +374,68 @@ let timeline_cmd =
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
       $ sched_arg $ hetero_arg $ seed_arg)
 
+(* --- rtlf check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let module C = Rtlf_check.Check in
+  let module S = Rtlf_check.Scenario in
+  let target_arg =
+    let doc =
+      "Structure to check, or $(b,all) for every real structure. Known \
+       structures are listed on an unknown name; demo targets \
+       (deliberately buggy) run by name only."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"STRUCTURE" ~doc)
+  in
+  let check_seed_arg =
+    let doc = "Seed for random programs and random schedules." in
+    Arg.(value & opt int C.default_seed & info [ "seed" ] ~doc)
+  in
+  let check_fast_flag =
+    let doc = "Trim exploration budgets to CI scale." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the shrunk counterexample to $(docv) on failure." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run target fast seed out =
+    let reports =
+      if target = "all" then Ok (C.run_all ~fast ~seed ())
+      else Result.map (fun r -> [ r ]) (C.run_one ~fast ~seed target)
+    in
+    match reports with
+    | Error msg -> `Error (false, msg)
+    | Ok reports ->
+      List.iter (fun r -> Format.fprintf fmt "%a@." S.pp_report r) reports;
+      let failures =
+        List.filter_map (fun r -> r.S.counterexample) reports
+      in
+      (match (failures, out) with
+      | cx :: _, Some path ->
+        let oc = open_out path in
+        let f = Format.formatter_of_out_channel oc in
+        Format.fprintf f "%a@." S.pp_counterexample cx;
+        close_out oc;
+        Format.fprintf fmt "wrote counterexample to %s@." path
+      | _ -> ());
+      if failures = [] then `Ok ()
+      else begin
+        (* Distinct exit code (not cmdliner's 124, which `timeout` also
+           uses) so CI can tell "found a bug" from everything else. *)
+        Format.eprintf "rtlf check: interleaving checker found a counterexample@.";
+        exit 3
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the lock-free structures: explore thread \
+          interleavings deterministically and judge each execution \
+          against a sequential specification (linearizability).")
+    Term.(
+      ret (const run $ target_arg $ check_fast_flag $ check_seed_arg $ out_arg))
+
 (* --- rtlf bound ---------------------------------------------------------- *)
 
 let bound_cmd =
@@ -399,6 +461,7 @@ let main =
   let doc = "Lock-free synchronization for dynamic embedded real-time systems" in
   Cmd.group
     (Cmd.info "rtlf" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sim_cmd; trace_cmd; timeline_cmd; bound_cmd ]
+    [ list_cmd; run_cmd; sim_cmd; trace_cmd; timeline_cmd; bound_cmd;
+      check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,52 @@
+(* Deliberately broken structures — demonstration targets proving the
+   checker actually catches races. They are registered under demo names
+   (excluded from [check all]) and exercised by test/test_check.ml.
+
+   Each bug is a textbook non-atomic read-modify-write:
+
+   - [Stack]: push and pop are get-then-set instead of a CAS loop. Two
+     overlapping pushes lose one element; two overlapping pops return
+     the same element. One preemption between the get and the set is
+     enough, so the checker finds it instantly and shrinks it to a
+     two-op program.
+
+   - [Register]: a value stored as two cells written one after the
+     other. A read between the two sets observes a torn pair (new hi,
+     old lo) that no sequential execution can produce. *)
+
+module Stack (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) = struct
+  type 'a t = { top : 'a list Atomic.t }
+
+  let create () = { top = Atomic.make [] }
+
+  let push s v =
+    let cur = Atomic.get s.top in
+    (* BUG: lost update — another push/pop can land here. *)
+    Atomic.set s.top (v :: cur)
+
+  let pop s =
+    match Atomic.get s.top with
+    | [] -> None
+    | x :: tl ->
+      (* BUG: duplicate pop — a concurrent pop read the same head. *)
+      Atomic.set s.top tl;
+      Some x
+
+  let to_list s = Atomic.get s.top
+end
+
+module Register (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) = struct
+  type t = { hi : int Atomic.t; lo : int Atomic.t }
+
+  let create v = { hi = Atomic.make v; lo = Atomic.make v }
+
+  let write r v =
+    Atomic.set r.hi v;
+    (* BUG: torn write — a read here sees (new hi, old lo). *)
+    Atomic.set r.lo v
+
+  let read r =
+    let h = Atomic.get r.hi in
+    let l = Atomic.get r.lo in
+    (h, l)
+end

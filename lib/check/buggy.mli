@@ -1,0 +1,24 @@
+(** Deliberately broken structures used to demonstrate that the checker
+    catches real races (registered under demo names, excluded from
+    [check all]). *)
+
+(** Stack whose push/pop are get-then-set instead of CAS: loses pushes
+    and duplicates pops under one preemption. *)
+module Stack (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val to_list : 'a t -> 'a list
+end
+
+(** Int register stored as two cells written non-atomically: a
+    concurrent read observes a torn (new, old) pair. *)
+module Register (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) : sig
+  type t
+
+  val create : int -> t
+  val write : t -> int -> unit
+  val read : t -> int * int
+end

@@ -1,0 +1,98 @@
+(* Linearizability oracle: Wing & Gong's history search.
+
+   A history is a set of completed calls, each stamped with global
+   invocation/response sequence numbers taken during the controlled
+   execution (single-domain, so the stamps totally order all events).
+   A history is linearizable iff the calls can be ordered so that (a)
+   the order respects real time — a call that responded before another
+   was invoked comes first — and (b) replaying the order through the
+   sequential specification reproduces every observed result.
+
+   The search picks any minimal call (one invoked before every
+   remaining response), applies it to the spec, and recurses; histories
+   here are tiny (<= ~12 calls), so plain backtracking with
+   result-mismatch pruning is plenty. *)
+
+type ('op, 'res) call = {
+  thread : int;
+  op : 'op;
+  res : 'res;
+  inv : int;  (* global sequence number of the invocation *)
+  ret : int;  (* global sequence number of the response *)
+}
+
+type ('s, 'op, 'res) spec = {
+  name : string;
+  init : unit -> 's;
+  step : 's -> 'op -> 'res -> 's option;
+      (* Relational: [step s op res] is the post-state iff the spec
+         allows [op] to return [res] in state [s]. Relations (rather
+         than a deterministic apply) let a spec admit best-effort
+         operations — e.g. the Vyukov ring's try_pop may report empty
+         while a slot is claimed but unpublished. *)
+  pp_op : Format.formatter -> 'op -> unit;
+  pp_res : Format.formatter -> 'res -> unit;
+}
+
+(* Deterministic convenience constructor: one legal result per (state,
+   op), compared with [equal_res]. *)
+let det ~name ~init ~apply ~equal_res ~pp_op ~pp_res =
+  {
+    name;
+    init;
+    step =
+      (fun s op res ->
+        let s', expect = apply s op in
+        if equal_res expect res then Some s' else None);
+    pp_op;
+    pp_res;
+  }
+
+let linearizable (spec : ('s, 'op, 'res) spec) (calls : ('op, 'res) call list)
+    : bool =
+  let rec go state remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+      let min_ret =
+        List.fold_left (fun acc c -> min acc c.ret) max_int remaining
+      in
+      List.exists
+        (fun c ->
+          c.inv < min_ret
+          &&
+          match spec.step state c.op c.res with
+          | Some state' ->
+            go state' (List.filter (fun d -> d != c) remaining)
+          | None -> false)
+        remaining
+  in
+  go (spec.init ()) calls
+
+let pp_call spec fmt c =
+  Format.fprintf fmt "T%d %a -> %a" c.thread spec.pp_op c.op spec.pp_res c.res
+
+(* A linearization witness for diagnostics on *passing* histories, and
+   [None] exactly when [linearizable] is false. *)
+let witness spec calls =
+  let rec go state remaining acc =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ ->
+      let min_ret =
+        List.fold_left (fun acc c -> min acc c.ret) max_int remaining
+      in
+      List.fold_left
+        (fun found c ->
+          match found with
+          | Some _ -> found
+          | None ->
+            if c.inv >= min_ret then None
+            else (
+              match spec.step state c.op c.res with
+              | Some state' ->
+                go state' (List.filter (fun d -> d != c) remaining) (c :: acc)
+              | None -> None))
+        None remaining
+  in
+  go (spec.init ()) calls []

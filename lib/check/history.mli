@@ -1,0 +1,54 @@
+(** Linearizability oracle — Wing–Gong history search against a
+    sequential specification. *)
+
+type ('op, 'res) call = {
+  thread : int;
+  op : 'op;
+  res : 'res;
+  inv : int;  (** global sequence number of the invocation *)
+  ret : int;  (** global sequence number of the response *)
+}
+(** One completed operation. [inv]/[ret] are drawn from a single
+    counter during the controlled execution, so [c.ret < d.inv] iff [c]
+    responded strictly before [d] was invoked. *)
+
+type ('s, 'op, 'res) spec = {
+  name : string;
+  init : unit -> 's;
+  step : 's -> 'op -> 'res -> 's option;
+      (** Relational: [step s op res] is the post-state iff the spec
+          allows [op] to return [res] in state [s]. A relation (rather
+          than a deterministic apply) lets a spec admit best-effort
+          operations, e.g. the Vyukov ring's try_pop spuriously
+          reporting empty while a slot is claimed but unpublished. *)
+  pp_op : Format.formatter -> 'op -> unit;
+  pp_res : Format.formatter -> 'res -> unit;
+}
+(** A sequential specification. To add an oracle for a new structure,
+    provide this record and feed it to {!Scenario}. *)
+
+val det :
+  name:string ->
+  init:(unit -> 's) ->
+  apply:('s -> 'op -> 's * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  ('s, 'op, 'res) spec
+(** Deterministic convenience constructor: exactly one legal result per
+    (state, op), compared with [equal_res]. *)
+
+val linearizable : ('s, 'op, 'res) spec -> ('op, 'res) call list -> bool
+(** [linearizable spec calls] — does some real-time-respecting
+    sequential order of [calls] replay through [spec] with every
+    observed result? *)
+
+val witness :
+  ('s, 'op, 'res) spec ->
+  ('op, 'res) call list ->
+  ('op, 'res) call list option
+(** The first linearization order found, or [None] iff not
+    linearizable. *)
+
+val pp_call :
+  ('s, 'op, 'res) spec -> Format.formatter -> ('op, 'res) call -> unit

@@ -1,0 +1,343 @@
+(* Deterministic cooperative scheduler — the heart of the interleaving
+   checker.
+
+   Threads are plain OCaml closures run on ONE domain; every
+   instrumented shared-memory operation ([Shim.Atomic], [Shim.Mutex])
+   performs a [Yield] effect before touching memory, handing control
+   back to the scheduler. Between two yields a thread runs
+   uninterrupted, so the granularity of interleaving is exactly one
+   shared access — the same abstraction dscheck uses. Because a single
+   domain executes everything, the "concurrent" structure code needs no
+   real synchronisation: the schedule alone decides the interleaving,
+   and replaying the same schedule replays the same execution, bit for
+   bit.
+
+   Exploration is stateless model checking: re-execute from scratch
+   once per schedule. Exhaustive mode enumerates schedules in
+   lexicographic order with a preemption bound (CHESS-style — almost
+   all real bugs need very few preemptions); random mode samples
+   schedules from a seeded SplitMix64 stream. *)
+
+type event =
+  | Step of { thread : int; mutable op : string; preempt : bool }
+  | Note of { thread : int; text : string }
+
+type outcome = {
+  events : event list;      (* forward order *)
+  choices : int list;       (* index into the ordered enabled set, per step *)
+  arities : int list;       (* size of that enabled set, per step *)
+  schedule : int list;      (* thread resumed at each step *)
+  preemptions : int;
+  steps : int;
+  aborted : bool;           (* branch pruned as unfair, not a verdict *)
+  failure : string option;  (* runtime failure: deadlock, livelock, exception *)
+}
+
+type status =
+  | Not_started
+  | Runnable
+  | Blocked of (unit -> bool)
+  | Finished
+
+type _ Effect.t += Yield : string -> unit Effect.t
+type _ Effect.t += Block : (unit -> bool) * string -> unit Effect.t
+
+type exec = {
+  n : int;
+  status : status array;
+  conts : (unit, unit) Effect.Deep.continuation option array;
+  pending : string array;          (* description of each thread's next access *)
+  mutable current : int;
+  mutable events : event list;     (* reversed *)
+  mutable failure : string option;
+}
+
+(* The shim reaches the active execution through this global; the
+   checker is strictly single-domain, so no synchronisation is needed.
+   [quiet] suppresses instrumentation for harness-internal reads
+   (retry-counter sampling, post-run audits) so monitoring does not
+   perturb the schedule space. *)
+let active : exec option ref = ref None
+let quiet = ref false
+let atom_counter = ref 0
+
+let fresh_atom () =
+  let id = !atom_counter in
+  incr atom_counter;
+  id
+
+let reset_atoms () = atom_counter := 0
+
+let running () = Option.is_some !active && not !quiet
+
+let yield desc = if running () then Effect.perform (Yield desc)
+
+let block pred desc = if running () then Effect.perform (Block (pred, desc))
+
+let current () = match !active with Some e -> e.current | None -> -1
+
+let annotate text =
+  match !active with
+  | Some e when not !quiet -> (
+    match e.events with
+    | Step s :: _ -> s.op <- s.op ^ text
+    | _ -> ())
+  | _ -> ()
+
+let note text =
+  match !active with
+  | Some e when not !quiet ->
+    e.events <- Note { thread = e.current; text } :: e.events
+  | _ -> ()
+
+let quietly f =
+  let saved = !quiet in
+  quiet := true;
+  Fun.protect ~finally:(fun () -> quiet := saved) f
+
+(* --- one controlled execution ---------------------------------------- *)
+
+let handler e i =
+  {
+    Effect.Deep.retc = (fun () -> e.status.(i) <- Finished);
+    exnc =
+      (fun ex ->
+        e.status.(i) <- Finished;
+        if e.failure = None then
+          e.failure <-
+            Some
+              (Printf.sprintf "thread %d raised: %s" i
+                 (Printexc.to_string ex)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield desc ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              e.status.(i) <- Runnable;
+              e.pending.(i) <- desc;
+              e.conts.(i) <- Some k)
+        | Block (pred, desc) ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              e.status.(i) <- Blocked pred;
+              e.pending.(i) <- desc;
+              e.conts.(i) <- Some k)
+        | _ -> None);
+  }
+
+(* Enabled threads passed over for more than this many consecutive
+   choice points mark the schedule as unfair. Retry loops (an NBW
+   reader spinning while the writer is parked mid-write, a CAS loop
+   starved of its peer) make such branches infinite; they are pruned as
+   [aborted] rather than reported, because lock-freedom promises
+   progress only under schedules that eventually run every thread.
+   Fair executions of the short op sequences the checker uses stay far
+   below this bound, so no real interleaving is lost. *)
+let unfair_bound = 96
+
+(* [choose] maps the arity of the ordered enabled set to the index to
+   pick; the explorer closes over its own cursor state. *)
+let run_one ~max_steps ~max_preemptions ~(choose : int -> int) threads =
+  let n = Array.length threads in
+  let e =
+    {
+      n;
+      status = Array.make n Not_started;
+      conts = Array.make n None;
+      pending = Array.make n "";
+      current = -1;
+      events = [];
+      failure = None;
+    }
+  in
+  active := Some e;
+  let choices = ref [] and arities = ref [] and schedule = ref [] in
+  let steps = ref 0 and preemptions = ref 0 in
+  let ages = Array.make n 0 in
+  let aborted = ref false in
+  let resume i =
+    e.current <- i;
+    match e.status.(i) with
+    | Not_started ->
+      e.status.(i) <- Runnable;
+      Effect.Deep.match_with threads.(i) () (handler e i)
+    | Runnable | Blocked _ -> (
+      match e.conts.(i) with
+      | Some k ->
+        e.conts.(i) <- None;
+        e.status.(i) <- Runnable;
+        Effect.Deep.continue k ()
+      | None -> assert false)
+    | Finished -> assert false
+  in
+  (* Launch every thread up to its first shared access: anything before
+     that is thread-local and commutes with everything, so running it
+     eagerly loses no interleavings and keeps schedules short. *)
+  for i = 0 to n - 1 do
+    if e.failure = None then resume i
+  done;
+  e.current <- -1;
+  let finished = ref false in
+  while (not !finished) && e.failure = None do
+    let enabled_of i =
+      match e.status.(i) with
+      | Runnable -> true
+      | Blocked pred -> pred ()
+      | Not_started | Finished -> false
+    in
+    let all = List.init n Fun.id in
+    let enabled = List.filter enabled_of all in
+    if enabled = [] then begin
+      if Array.exists (fun s -> s <> Finished) e.status then
+        e.failure <- Some "deadlock: unfinished threads, none enabled";
+      finished := true
+    end
+    else if !steps >= max_steps then begin
+      e.failure <-
+        Some
+          (Printf.sprintf
+             "step budget exceeded (%d steps): livelock suspected" max_steps);
+      finished := true
+    end
+    else begin
+      let cur = e.current in
+      let cur_enabled = cur >= 0 && enabled_of cur in
+      (* Order the enabled set with the current thread first: the DFS
+         then prefers schedules with few context switches, which keeps
+         the first counterexample found close to minimal. *)
+      let ordered =
+        if cur_enabled then cur :: List.filter (fun i -> i <> cur) enabled
+        else enabled
+      in
+      (* Preemption bounding: once the budget is spent, a runnable
+         current thread must keep running. *)
+      let ordered =
+        if cur_enabled && !preemptions >= max_preemptions then [ cur ]
+        else ordered
+      in
+      let arity = List.length ordered in
+      let idx = choose arity in
+      let t = List.nth ordered idx in
+      let preempt = cur_enabled && t <> cur in
+      if preempt then incr preemptions;
+      choices := idx :: !choices;
+      arities := arity :: !arities;
+      schedule := t :: !schedule;
+      incr steps;
+      e.events <- Step { thread = t; op = e.pending.(t); preempt } :: e.events;
+      resume t;
+      (* Fairness pruning: a branch that starves an enabled thread for
+         [unfair_bound] consecutive choice points is abandoned — see the
+         comment above. *)
+      List.iter
+        (fun i -> if i <> t then ages.(i) <- ages.(i) + 1)
+        enabled;
+      ages.(t) <- 0;
+      if Array.exists (fun a -> a > unfair_bound) ages then begin
+        aborted := true;
+        finished := true
+      end
+    end
+  done;
+  active := None;
+  {
+    events = List.rev e.events;
+    choices = List.rev !choices;
+    arities = List.rev !arities;
+    schedule = List.rev !schedule;
+    preemptions = !preemptions;
+    steps = !steps;
+    aborted = !aborted;
+    failure = e.failure;
+  }
+
+(* --- exploration ------------------------------------------------------ *)
+
+type mode =
+  | Exhaustive of { max_preemptions : int; max_execs : int }
+  | Random of { rounds : int; seed : int }
+
+type 'a case = unit -> (unit -> unit) array * (outcome -> 'a option)
+(* A case builds a fresh instance's threads and a verdict function; the
+   verdict sees the raw outcome (runtime failures included) and returns
+   [Some failure] to flag the execution. *)
+
+type 'a found = { outcome : outcome; verdict : 'a }
+
+let run_case ~max_steps ~max_preemptions ~choose (case : 'a case) =
+  (* Reset atom numbering before instance construction so the atoms a
+     structure allocates in [create] get the same ids on every
+     re-execution — traces stay comparable across schedules. *)
+  reset_atoms ();
+  let threads, verdict = case () in
+  let outcome = run_one ~max_steps ~max_preemptions ~choose threads in
+  let v = if outcome.aborted then None else verdict outcome in
+  (outcome, v)
+
+(* Forced replay of a recorded choice sequence; past the prefix the
+   first-ordered thread runs (only relevant if the case changed). *)
+let replay ?(max_preemptions = max_int) ~max_steps (case : 'a case) ~choices =
+  let rest = ref choices in
+  let choose arity =
+    match !rest with
+    | c :: tl ->
+      rest := tl;
+      if c < arity then c else arity - 1
+    | [] -> 0
+  in
+  run_case ~max_steps ~max_preemptions ~choose case
+
+let explore ~mode ~max_steps (case : 'a case) =
+  let execs = ref 0 in
+  let found = ref None in
+  (match mode with
+  | Exhaustive { max_preemptions; max_execs } ->
+    (* Lexicographic DFS over choice indices: force a prefix, extend
+       with first-choice (index 0) beyond it, then advance the deepest
+       position that still has untried alternatives. Stateless: each
+       schedule is a fresh re-execution, which is what makes failures
+       replayable. *)
+    let prefix = ref [] in
+    let exhausted = ref false in
+    while (not !exhausted) && !found = None && !execs < max_execs do
+      incr execs;
+      let rest = ref !prefix in
+      let taken = ref [] in
+      let choose arity =
+        let c = match !rest with c :: tl -> rest := tl; c | [] -> 0 in
+        let c = if c < arity then c else arity - 1 in
+        taken := (c, arity) :: !taken;
+        c
+      in
+      let outcome, verdict = run_case ~max_steps ~max_preemptions ~choose case in
+      (match verdict with
+      | Some v -> found := Some { outcome; verdict = v }
+      | None -> ());
+      (* Advance: deepest position with an untried alternative. *)
+      let rec advance = function
+        | [] -> exhausted := true
+        | (c, arity) :: above ->
+          if c + 1 < arity then
+            prefix := List.rev ((c + 1, arity) :: above) |> List.map fst
+          else advance above
+      in
+      if !found = None then advance !taken
+    done
+  | Random { rounds; seed } ->
+    let g = Rtlf_engine.Prng.create ~seed in
+    let r = ref 0 in
+    while !r < rounds && !found = None do
+      incr r;
+      incr execs;
+      let choose arity =
+        if arity = 1 then 0 else Rtlf_engine.Prng.int g ~bound:arity
+      in
+      let outcome, verdict =
+        run_case ~max_steps ~max_preemptions:max_int ~choose case
+      in
+      match verdict with
+      | Some v -> found := Some { outcome; verdict = v }
+      | None -> ()
+    done);
+  (!execs, !found)

@@ -1,0 +1,72 @@
+(* Instrumented synchronisation primitives.
+
+   [Atomic] satisfies [Rtlf_lockfree.Atomic_intf.ATOMIC] and [Mutex]
+   satisfies [...MUTEX]; each operation yields to the controlled
+   scheduler before touching memory, making every shared access an
+   interleaving point. Since the whole checker runs on one domain,
+   plain mutable cells are sufficient — atomicity between yields is
+   guaranteed by construction. compare_and_set uses physical equality,
+   exactly like [Stdlib.Atomic]. *)
+
+module Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC = struct
+  type 'a t = { id : int; mutable v : 'a }
+
+  let make v = { id = Sched.fresh_atom (); v }
+
+  let get r =
+    Sched.yield (Printf.sprintf "get a%d" r.id);
+    r.v
+
+  let set r v =
+    Sched.yield (Printf.sprintf "set a%d" r.id);
+    r.v <- v
+
+  let exchange r v =
+    Sched.yield (Printf.sprintf "xchg a%d" r.id);
+    let old = r.v in
+    r.v <- v;
+    old
+
+  let compare_and_set r old nv =
+    Sched.yield (Printf.sprintf "cas a%d" r.id);
+    if r.v == old then begin
+      r.v <- nv;
+      Sched.annotate " -> ok";
+      true
+    end
+    else begin
+      Sched.annotate " -> fail";
+      false
+    end
+
+  let fetch_and_add r d =
+    Sched.yield (Printf.sprintf "faa a%d" r.id);
+    let old = r.v in
+    r.v <- old + d;
+    old
+
+  let incr r = ignore (fetch_and_add r 1)
+  let decr r = ignore (fetch_and_add r (-1))
+end
+
+module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX = struct
+  type t = { id : int; mutable held : bool }
+
+  let create () = { id = Sched.fresh_atom (); held = false }
+
+  (* A contended lock parks the thread with a wake predicate instead of
+     spinning: a spinning waiter would give the explorer an infinite
+     schedule tree (the scheduler could pick the spinner forever),
+     while a parked one is simply not enabled until the holder
+     unlocks. When [block] returns, no other thread has run since the
+     predicate was checked, so claiming the mutex is race-free. *)
+  let lock m =
+    Sched.yield (Printf.sprintf "lock m%d" m.id);
+    if m.held then
+      Sched.block (fun () -> not m.held) (Printf.sprintf "wait m%d" m.id);
+    m.held <- true
+
+  let unlock m =
+    Sched.yield (Printf.sprintf "unlock m%d" m.id);
+    m.held <- false
+end

@@ -1,0 +1,15 @@
+(** Instrumented synchronisation primitives for the checker.
+
+    Drop-in [ATOMIC]/[MUTEX] implementations whose every operation is a
+    yield point of {!Sched}; instantiating a structure's [Make] functor
+    with these turns it into a state space the explorer can enumerate.
+    Outside a controlled execution the operations behave like plain
+    ones, so structures built with the shim remain usable
+    sequentially. *)
+
+module Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC
+
+module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX
+(** Cooperative mutex: a contended [lock] parks the thread with a wake
+    predicate (no spinning), keeping the explored schedule tree
+    finite. *)

@@ -1,0 +1,34 @@
+(* Generic greedy counterexample minimisation.
+
+   [minimise] drives a candidate to a local minimum: as long as some
+   smaller candidate still fails, adopt it and restart. Candidate
+   generation is the caller's business; [drop_one] is the generator the
+   checker uses for programs (every single-op deletion, with emptied
+   threads removed so thread ids stay dense). *)
+
+let rec minimise ~(fails : 'c -> 'r option) ~(smaller : 'c -> 'c list)
+    (c : 'c) (r : 'r) : 'c * 'r =
+  let next =
+    List.find_map
+      (fun c' -> Option.map (fun r' -> (c', r')) (fails c'))
+      (smaller c)
+  in
+  match next with
+  | Some (c', r') -> minimise ~fails ~smaller c' r'
+  | None -> (c, r)
+
+let drop_one (ops : 'a list array) : 'a list array list =
+  let prune arr =
+    Array.to_list arr |> List.filter (fun l -> l <> []) |> Array.of_list
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun t l ->
+      List.iteri
+        (fun j _ ->
+          let copy = Array.copy ops in
+          copy.(t) <- List.filteri (fun j' _ -> j' <> j) l;
+          out := prune copy :: !out)
+        l)
+    ops;
+  List.rev !out

@@ -1,0 +1,12 @@
+(** Generic greedy counterexample minimisation. *)
+
+val minimise :
+  fails:('c -> 'r option) -> smaller:('c -> 'c list) -> 'c -> 'r -> 'c * 'r
+(** [minimise ~fails ~smaller c r] greedily walks to a local minimum:
+    while some candidate from [smaller c] still fails, adopt it (and
+    its fresh failure evidence) and repeat. [r] is the evidence for the
+    starting candidate. *)
+
+val drop_one : 'a list array -> 'a list array list
+(** Every program obtained by deleting exactly one op; threads left
+    empty by the deletion are removed so thread ids stay dense. *)

@@ -1,0 +1,39 @@
+(* The synchronisation primitives every structure in this library is
+   parameterised over. Production code instantiates the functors with
+   [Stdlib_atomic]/[Stdlib_mutex] (done once, in each structure's own
+   module, so callers see the same names and signatures as before);
+   the deterministic interleaving checker in [lib/check] instantiates
+   them with an instrumented shim whose every operation is a yield
+   point of a controlled scheduler. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module Stdlib_atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t =
+  Stdlib.Atomic
+
+module Stdlib_mutex : MUTEX with type t = Stdlib.Mutex.t = struct
+  type t = Stdlib.Mutex.t
+
+  let create = Stdlib.Mutex.create
+  let lock = Stdlib.Mutex.lock
+  let unlock = Stdlib.Mutex.unlock
+end

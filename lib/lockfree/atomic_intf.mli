@@ -1,0 +1,43 @@
+(** Synchronisation-primitive signatures the lock-free structures are
+    functorised over.
+
+    Every structure in this library is a functor over {!ATOMIC} (or
+    {!MUTEX} for the lock-based baselines) and also re-exports its
+    [Stdlib] instantiation under the historical flat signature, so
+    production callers never see the functor. The deterministic
+    interleaving checker ([Rtlf_check]) supplies an instrumented
+    implementation whose every operation is a yield point of a
+    controlled scheduler, turning each structure into a state space it
+    can explore exhaustively. *)
+
+module type ATOMIC = sig
+  type 'a t
+  (** An atomic reference holding an ['a]. *)
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Physical-equality compare-and-set, exactly like
+      [Stdlib.Atomic.compare_and_set]. *)
+
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module Stdlib_atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t
+(** The production instantiation: plain [Stdlib.Atomic]. *)
+
+module Stdlib_mutex : MUTEX with type t = Stdlib.Mutex.t
+(** The production instantiation: plain [Stdlib.Mutex]. *)

@@ -4,6 +4,10 @@
    control variables in an order that guarantees the reader never reads
    a slot the writer is writing. *)
 
+module type S = Lockfree_intf.FOUR_SLOT
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a t = {
   slots : 'a Atomic.t array array;  (* 2 pairs x 2 slots *)
   slot_of_pair : bool Atomic.t array;  (* freshest slot per pair *)
@@ -38,3 +42,7 @@ let read reg =
      avoids this pair entirely. *)
   let slot = Atomic.get reg.slot_of_pair.(idx pair) in
   Atomic.get reg.slots.(idx pair).(idx slot)
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

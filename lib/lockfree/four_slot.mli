@@ -8,17 +8,12 @@
     the contrast to {!Nbw_register} (reader retries) and to lock-free
     structures (writer and reader both retry). *)
 
-type 'a t
-(** A four-slot register holding ['a]. *)
+module type S = Lockfree_intf.FOUR_SLOT
 
-val create : 'a -> 'a t
-(** [create v] initialises all slots to [v]. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the register over the given atomic
+    primitives; the interleaving checker ([Rtlf_check]) instantiates it
+    with an instrumented shim. *)
 
-val write : 'a t -> 'a -> unit
-(** [write reg v] publishes [v] in a constant number of steps. Single
-    writer only. *)
-
-val read : 'a t -> 'a
-(** [read reg] returns a coherent, fresh-enough value in a constant
-    number of steps — never blocks, never retries. Single reader
-    only. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

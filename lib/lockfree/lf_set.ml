@@ -7,6 +7,10 @@
    previously read}, never a structurally-equal reconstruction.
    Sentinels head (-inf) and tail (+inf) simplify traversal. *)
 
+module type S = Lockfree_intf.SET
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type node = {
   key : int;
   kind : kind;
@@ -135,3 +139,7 @@ let to_list s =
   walk s.head []
 
 let length s = List.length (to_list s)
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

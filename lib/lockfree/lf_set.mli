@@ -8,23 +8,12 @@
     physically unlink — the marking is what makes traversal safe
     without locks. *)
 
-type t
-(** A lock-free sorted set of [int]s. *)
+module type S = Lockfree_intf.SET
 
-val create : unit -> t
-(** [create ()] is the empty set. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the set over the given atomic primitives;
+    the interleaving checker ([Rtlf_check]) instantiates it with an
+    instrumented shim. *)
 
-val add : t -> int -> bool
-(** [add s k] inserts [k]; [false] if already present. *)
-
-val remove : t -> int -> bool
-(** [remove s k] deletes [k]; [false] if absent. *)
-
-val mem : t -> int -> bool
-(** [mem s k] — wait-free membership test on the current state. *)
-
-val to_list : t -> int list
-(** [to_list s] is a sorted snapshot of the unmarked keys. *)
-
-val length : t -> int
-(** [length s] is the size of the snapshot — O(n). *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

@@ -1,3 +1,7 @@
+module type S = Lockfree_intf.LOCK_QUEUE
+
+module Make (Mutex : Atomic_intf.MUTEX) = struct
+
 type 'a t = {
   mutex : Mutex.t;
   queue : 'a Queue.t;
@@ -28,3 +32,7 @@ let acquisitions q = q.acquisitions
 
 let to_list q =
   locked q (fun () -> List.of_seq (Queue.to_seq q.queue))
+
+end
+
+include Make (Atomic_intf.Stdlib_mutex)

@@ -1,34 +1,16 @@
 (** Mutex-protected FIFO queue — the lock-based baseline the paper's
     r-vs-s comparison needs (§6.1).
 
-    Every operation takes a [Mutex.t]; a preempted lock holder blocks
-    all peers, which is precisely the behaviour lock-free structures
-    avoid. The lock acquisition count and a blocking estimate are
-    exposed for benches. *)
+    Every operation takes a mutex; a preempted lock holder blocks all
+    peers, which is precisely the behaviour lock-free structures avoid.
+    The lock acquisition count is exposed for benches. *)
 
-type 'a t
-(** A mutex-protected queue of ['a]. *)
+module type S = Lockfree_intf.LOCK_QUEUE
 
-val create : unit -> 'a t
-(** [create ()] is an empty queue. *)
+module Make (Mutex : Atomic_intf.MUTEX) : S
+(** [Make (Mutex)] builds the queue over the given mutex; the
+    interleaving checker ([Rtlf_check]) instantiates it with a
+    cooperative mutex whose lock/unlock are scheduler yield points. *)
 
-val enqueue : 'a t -> 'a -> unit
-(** [enqueue q v] appends [v]. *)
-
-val dequeue : 'a t -> 'a option
-(** [dequeue q] removes and returns the oldest element, if any. *)
-
-val peek : 'a t -> 'a option
-(** [peek q] is the oldest element without removing it. *)
-
-val is_empty : 'a t -> bool
-(** [is_empty q] under the lock. *)
-
-val length : 'a t -> int
-(** [length q] under the lock. *)
-
-val acquisitions : 'a t -> int
-(** [acquisitions q] counts completed lock round-trips. *)
-
-val to_list : 'a t -> 'a list
-(** [to_list q] is a snapshot, oldest first. *)
+include S
+(** The production instantiation over [Stdlib.Mutex]. *)

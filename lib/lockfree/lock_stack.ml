@@ -1,3 +1,7 @@
+module type S = Lockfree_intf.LOCK_STACK
+
+module Make (Mutex : Atomic_intf.MUTEX) = struct
+
 type 'a t = { mutex : Mutex.t; mutable items : 'a list }
 
 let create () = { mutex = Mutex.create (); items = [] }
@@ -27,3 +31,7 @@ let is_empty st = locked st (fun () -> st.items = [])
 let length st = locked st (fun () -> List.length st.items)
 
 let to_list st = locked st (fun () -> st.items)
+
+end
+
+include Make (Atomic_intf.Stdlib_mutex)

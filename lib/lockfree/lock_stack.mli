@@ -1,26 +1,12 @@
 (** Mutex-protected LIFO stack — lock-based counterpart of
     {!Treiber_stack} for the r-vs-s benches. *)
 
-type 'a t
-(** A mutex-protected stack of ['a]. *)
+module type S = Lockfree_intf.LOCK_STACK
 
-val create : unit -> 'a t
-(** [create ()] is an empty stack. *)
+module Make (Mutex : Atomic_intf.MUTEX) : S
+(** [Make (Mutex)] builds the stack over the given mutex; the
+    interleaving checker ([Rtlf_check]) instantiates it with a
+    cooperative mutex whose lock/unlock are scheduler yield points. *)
 
-val push : 'a t -> 'a -> unit
-(** [push st v] adds [v] on top. *)
-
-val pop : 'a t -> 'a option
-(** [pop st] removes and returns the top element, if any. *)
-
-val peek : 'a t -> 'a option
-(** [peek st] is the top element without removing it. *)
-
-val is_empty : 'a t -> bool
-(** [is_empty st] under the lock. *)
-
-val length : 'a t -> int
-(** [length st] under the lock. *)
-
-val to_list : 'a t -> 'a list
-(** [to_list st] is a snapshot, top first. *)
+include S
+(** The production instantiation over [Stdlib.Mutex]. *)

@@ -1,0 +1,238 @@
+(* Flat signatures of the concurrent structures, shared between each
+   structure's [Make] functor result, its production instantiation and
+   its mli. Kept in one interface-only module so the functorised ml and
+   mli never drift apart. *)
+
+module type QUEUE = sig
+  type 'a t
+  (** A lock-free queue of ['a]. *)
+
+  val create : unit -> 'a t
+  (** [create ()] is an empty queue. *)
+
+  val enqueue : 'a t -> 'a -> unit
+  (** [enqueue q v] appends [v] at the tail. *)
+
+  val dequeue : 'a t -> 'a option
+  (** [dequeue q] removes and returns the head element, or [None] when
+      empty. *)
+
+  val peek : 'a t -> 'a option
+  (** [peek q] is the head element without removing it. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty q] — a snapshot; may be stale under concurrency. *)
+
+  val length : 'a t -> int
+  (** [length q] walks the current snapshot — O(n), for tests. *)
+
+  val retries : 'a t -> int
+  (** [retries q] is the total CAS failures suffered so far (tail helps
+      excluded; only genuine lost races count). *)
+
+  val to_list : 'a t -> 'a list
+  (** [to_list q] is a snapshot, head (oldest) first. *)
+end
+
+module type STACK = sig
+  type 'a t
+  (** A lock-free stack of ['a]. *)
+
+  val create : unit -> 'a t
+  (** [create ()] is an empty stack. *)
+
+  val push : 'a t -> 'a -> unit
+  (** [push st v] adds [v] on top. *)
+
+  val pop : 'a t -> 'a option
+  (** [pop st] removes and returns the top element, or [None] when
+      empty. *)
+
+  val peek : 'a t -> 'a option
+  (** [peek st] is the top element without removing it. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty st] — a snapshot; may be stale under concurrency. *)
+
+  val length : 'a t -> int
+  (** [length st] walks the current snapshot — O(n), for tests. *)
+
+  val retries : 'a t -> int
+  (** [retries st] is the total CAS failures suffered by all operations
+      so far. *)
+
+  val to_list : 'a t -> 'a list
+  (** [to_list st] is a snapshot, top first. *)
+end
+
+module type SET = sig
+  type t
+  (** A lock-free sorted set of [int]s. *)
+
+  val create : unit -> t
+  (** [create ()] is the empty set. *)
+
+  val add : t -> int -> bool
+  (** [add s k] inserts [k]; [false] if already present. *)
+
+  val remove : t -> int -> bool
+  (** [remove s k] deletes [k]; [false] if absent. *)
+
+  val mem : t -> int -> bool
+  (** [mem s k] — wait-free membership test on the current state. *)
+
+  val to_list : t -> int list
+  (** [to_list s] is a sorted snapshot of the unmarked keys. *)
+
+  val length : t -> int
+  (** [length s] is the size of the snapshot — O(n). *)
+end
+
+module type NBW_REGISTER = sig
+  type 'a t
+  (** An NBW register holding ['a]. *)
+
+  val create : 'a -> 'a t
+  (** [create v] is a register initialised to [v] at version 0. *)
+
+  val write : 'a t -> 'a -> unit
+  (** [write reg v] publishes [v]. Wait-free: a constant number of
+      atomic operations, regardless of concurrent readers. Must only be
+      called from the single writer. *)
+
+  val read : 'a t -> 'a
+  (** [read reg] returns a consistent snapshot, retrying while writes
+      interfere. Lock-free: finishes as soon as one stable interval is
+      observed. *)
+
+  val read_with_retries : 'a t -> 'a * int
+  (** [read_with_retries reg] also reports how many retries the read
+      suffered — the quantity the paper's retry bounds govern. *)
+
+  val version : 'a t -> int
+  (** [version reg] is the current (possibly odd, mid-write) version. *)
+end
+
+module type FOUR_SLOT = sig
+  type 'a t
+  (** A four-slot register holding ['a]. *)
+
+  val create : 'a -> 'a t
+  (** [create v] initialises all slots to [v]. *)
+
+  val write : 'a t -> 'a -> unit
+  (** [write reg v] publishes [v] in a constant number of steps. Single
+      writer only. *)
+
+  val read : 'a t -> 'a
+  (** [read reg] returns a coherent, fresh-enough value in a constant
+      number of steps — never blocks, never retries. Single reader
+      only. *)
+end
+
+module type RING_BUFFER = sig
+  type 'a t
+  (** A bounded queue of ['a]. *)
+
+  val create : capacity:int -> 'a t
+  (** [create ~capacity] allocates the ring. [capacity] must be a power
+      of two; raises [Invalid_argument] otherwise. *)
+
+  val capacity : 'a t -> int
+  (** [capacity q] is the fixed slot count. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** [try_push q v] appends [v], or returns [false] if the ring is
+      full. *)
+
+  val try_pop : 'a t -> 'a option
+  (** [try_pop q] removes the oldest element, or [None] when empty. *)
+
+  val length : 'a t -> int
+  (** [length q] is a racy snapshot of the occupancy. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty q] is a racy emptiness snapshot. *)
+
+  val retries : 'a t -> int
+  (** [retries q] counts CAS races lost by producers and consumers. *)
+end
+
+module type SNAPSHOT = sig
+  type 'a t
+  (** A snapshot object of [n] components of type ['a]. *)
+
+  val create : n:int -> init:'a -> 'a t
+  (** [create ~n ~init] makes [n] components all holding [init]. Raises
+      [Invalid_argument] if [n <= 0]. *)
+
+  val size : 'a t -> int
+  (** [size snap] is the component count. *)
+
+  val update : 'a t -> i:int -> 'a -> unit
+  (** [update snap ~i v] publishes [v] in component [i]. Wait-free; each
+      component must have a single writer. Raises [Invalid_argument] on
+      a bad index. *)
+
+  val scan : 'a t -> 'a array
+  (** [scan snap] is a consistent snapshot of all components. *)
+
+  val scan_with_retries : 'a t -> 'a array * int
+  (** [scan_with_retries snap] also reports how many double-collect
+      rounds were discarded due to concurrent updates. *)
+end
+
+module type LOCK_QUEUE = sig
+  type 'a t
+  (** A mutex-protected queue of ['a]. *)
+
+  val create : unit -> 'a t
+  (** [create ()] is an empty queue. *)
+
+  val enqueue : 'a t -> 'a -> unit
+  (** [enqueue q v] appends [v]. *)
+
+  val dequeue : 'a t -> 'a option
+  (** [dequeue q] removes and returns the oldest element, if any. *)
+
+  val peek : 'a t -> 'a option
+  (** [peek q] is the oldest element without removing it. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty q] under the lock. *)
+
+  val length : 'a t -> int
+  (** [length q] under the lock. *)
+
+  val acquisitions : 'a t -> int
+  (** [acquisitions q] counts completed lock round-trips. *)
+
+  val to_list : 'a t -> 'a list
+  (** [to_list q] is a snapshot, oldest first. *)
+end
+
+module type LOCK_STACK = sig
+  type 'a t
+  (** A mutex-protected stack of ['a]. *)
+
+  val create : unit -> 'a t
+  (** [create ()] is an empty stack. *)
+
+  val push : 'a t -> 'a -> unit
+  (** [push st v] adds [v] on top. *)
+
+  val pop : 'a t -> 'a option
+  (** [pop st] removes and returns the top element, if any. *)
+
+  val peek : 'a t -> 'a option
+  (** [peek st] is the top element without removing it. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty st] under the lock. *)
+
+  val length : 'a t -> int
+  (** [length st] under the lock. *)
+
+  val to_list : 'a t -> 'a list
+  (** [to_list st] is a snapshot, top first. *)
+end

@@ -1,6 +1,10 @@
 (* Michael & Scott's two-pointer queue with a dummy node. [next] being
    [None] marks the end of the list. *)
 
+module type S = Lockfree_intf.QUEUE
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a node = { value : 'a option; next : 'a node option Atomic.t }
 
 type 'a t = {
@@ -87,3 +91,7 @@ let to_list q =
 let length q = List.length (to_list q)
 
 let retries q = Atomic.get q.retry_count
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

@@ -6,31 +6,12 @@
     lock-free for any mix of writers and readers. Retries (lost CAS
     races) are counted. *)
 
-type 'a t
-(** A lock-free queue of ['a]. *)
+module type S = Lockfree_intf.QUEUE
 
-val create : unit -> 'a t
-(** [create ()] is an empty queue. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the queue over the given atomic primitives;
+    the interleaving checker ([Rtlf_check]) instantiates it with an
+    instrumented shim. *)
 
-val enqueue : 'a t -> 'a -> unit
-(** [enqueue q v] appends [v] at the tail. *)
-
-val dequeue : 'a t -> 'a option
-(** [dequeue q] removes and returns the head element, or [None] when
-    empty. *)
-
-val peek : 'a t -> 'a option
-(** [peek q] is the head element without removing it. *)
-
-val is_empty : 'a t -> bool
-(** [is_empty q] — a snapshot; may be stale under concurrency. *)
-
-val length : 'a t -> int
-(** [length q] walks the current snapshot — O(n), for tests. *)
-
-val retries : 'a t -> int
-(** [retries q] is the total CAS failures suffered so far (tail helps
-    excluded; only genuine lost races count). *)
-
-val to_list : 'a t -> 'a list
-(** [to_list q] is a snapshot, head (oldest) first. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

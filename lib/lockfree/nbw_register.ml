@@ -4,6 +4,10 @@
    model never hand a torn value to a reader; the version discipline is
    what makes the *protocol* interesting and is preserved exactly. *)
 
+module type S = Lockfree_intf.NBW_REGISTER
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a t = { version : int Atomic.t; cell : 'a Atomic.t }
 
 let create v = { version = Atomic.make 0; cell = Atomic.make v }
@@ -37,3 +41,7 @@ let read_with_retries reg =
 let read reg = fst (read_with_retries reg)
 
 let version reg = Atomic.get reg.version
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

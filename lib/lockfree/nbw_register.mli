@@ -10,25 +10,12 @@
     while a write is in flight; a reader accepts a value only if it
     observed the same even version before and after copying. *)
 
-type 'a t
-(** An NBW register holding ['a]. *)
+module type S = Lockfree_intf.NBW_REGISTER
 
-val create : 'a -> 'a t
-(** [create v] is a register initialised to [v] at version 0. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the register over the given atomic
+    primitives; the interleaving checker ([Rtlf_check]) instantiates it
+    with an instrumented shim. *)
 
-val write : 'a t -> 'a -> unit
-(** [write reg v] publishes [v]. Wait-free: a constant number of
-    atomic operations, regardless of concurrent readers. Must only be
-    called from the single writer. *)
-
-val read : 'a t -> 'a
-(** [read reg] returns a consistent snapshot, retrying while writes
-    interfere. Lock-free: finishes as soon as one stable interval is
-    observed. *)
-
-val read_with_retries : 'a t -> 'a * int
-(** [read_with_retries reg] also reports how many retries the read
-    suffered — the quantity the paper's retry bounds govern. *)
-
-val version : 'a t -> int
-(** [version reg] is the current (possibly odd, mid-write) version. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

@@ -4,6 +4,10 @@
    - producer claims [head] via CAS, writes value, sets seq = head+1
    - consumer claims [tail] via CAS, reads value, sets seq = tail+cap *)
 
+module type S = Lockfree_intf.RING_BUFFER
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a slot = { seq : int Atomic.t; mutable value : 'a option }
 
 type 'a t = {
@@ -78,3 +82,7 @@ let try_pop q =
 let length q = max 0 (Atomic.get q.head - Atomic.get q.tail)
 let is_empty q = length q = 0
 let retries q = Atomic.get q.retry_count
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

@@ -7,28 +7,12 @@
     locking. Operations are lock-free; a stalled peer can delay slot
     reuse but not block the structure. *)
 
-type 'a t
-(** A bounded queue of ['a]. *)
+module type S = Lockfree_intf.RING_BUFFER
 
-val create : capacity:int -> 'a t
-(** [create ~capacity] allocates the ring. [capacity] must be a power
-    of two; raises [Invalid_argument] otherwise. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the ring over the given atomic primitives;
+    the interleaving checker ([Rtlf_check]) instantiates it with an
+    instrumented shim. *)
 
-val capacity : 'a t -> int
-(** [capacity q] is the fixed slot count. *)
-
-val try_push : 'a t -> 'a -> bool
-(** [try_push q v] appends [v], or returns [false] if the ring is
-    full. *)
-
-val try_pop : 'a t -> 'a option
-(** [try_pop q] removes the oldest element, or [None] when empty. *)
-
-val length : 'a t -> int
-(** [length q] is a racy snapshot of the occupancy. *)
-
-val is_empty : 'a t -> bool
-(** [is_empty q] is a racy emptiness snapshot. *)
-
-val retries : 'a t -> int
-(** [retries q] counts CAS races lost by producers and consumers. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

@@ -3,6 +3,10 @@
    is a per-component atomic read and two identical collects imply no
    write landed in between. *)
 
+module type S = Lockfree_intf.SNAPSHOT
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a cell = { version : int; value : 'a }
 
 type 'a t = { cells : 'a cell Atomic.t array }
@@ -42,3 +46,7 @@ let scan_with_retries snap =
   attempt 0
 
 let scan snap = fst (scan_with_retries snap)
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

@@ -8,24 +8,12 @@
     Scans are lock-free (a scan retries only while writers make
     progress); updates are wait-free. *)
 
-type 'a t
-(** A snapshot object of [n] components of type ['a]. *)
+module type S = Lockfree_intf.SNAPSHOT
 
-val create : n:int -> init:'a -> 'a t
-(** [create ~n ~init] makes [n] components all holding [init]. Raises
-    [Invalid_argument] if [n <= 0]. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the snapshot object over the given atomic
+    primitives; the interleaving checker ([Rtlf_check]) instantiates it
+    with an instrumented shim. *)
 
-val size : 'a t -> int
-(** [size snap] is the component count. *)
-
-val update : 'a t -> i:int -> 'a -> unit
-(** [update snap ~i v] publishes [v] in component [i]. Wait-free; each
-    component must have a single writer. Raises [Invalid_argument] on
-    a bad index. *)
-
-val scan : 'a t -> 'a array
-(** [scan snap] is a consistent snapshot of all components. *)
-
-val scan_with_retries : 'a t -> 'a array * int
-(** [scan_with_retries snap] also reports how many double-collect
-    rounds were discarded due to concurrent updates. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

@@ -52,3 +52,160 @@ let throughput_mops r =
   let total_ops = float_of_int (r.domains * r.ops_per_domain) in
   if r.elapsed_ns = 0 then infinity
   else total_ops /. (float_of_int r.elapsed_ns /. 1e3)
+
+(* Bounded-structure variant: [try_push] may refuse (full buffer), so
+   only accepted pushes count towards conservation. *)
+let run_bounded ~domains ~ops ~try_push ~try_pop ~drain =
+  if domains < 1 then invalid_arg "Stress.run_bounded: domains must be >= 1";
+  if ops < 0 then invalid_arg "Stress.run_bounded: negative ops";
+  let popped_counts = Array.make domains 0 in
+  let pushed_counts = Array.make domains 0 in
+  let barrier = Atomic.make 0 in
+  let worker d () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < domains do
+      Domain.cpu_relax ()
+    done;
+    for k = 0 to ops - 1 do
+      if k land 1 = 0 then begin
+        if try_push ((d * ops) + k) then
+          pushed_counts.(d) <- pushed_counts.(d) + 1
+      end
+      else
+        match try_pop () with
+        | Some _ -> popped_counts.(d) <- popped_counts.(d) + 1
+        | None -> ()
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  let t1 = Unix.gettimeofday () in
+  let drained = List.length (drain ()) in
+  {
+    domains;
+    ops_per_domain = ops;
+    pushed = Array.fold_left ( + ) 0 pushed_counts;
+    popped = Array.fold_left ( + ) 0 popped_counts;
+    drained;
+    elapsed_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }
+
+(* --- single-writer/single-reader register pair ----------------------- *)
+
+type pair_report = {
+  writes : int;
+  reads : int;
+  coherent : bool;     (* every read returned a value the writer wrote *)
+  monotone : bool;     (* reads never went backwards *)
+  final_read : int;    (* read after both sides quiesced *)
+  pair_elapsed_ns : int;
+}
+
+let run_pair ~writes ~reads ~write ~read =
+  if writes < 1 then invalid_arg "Stress.run_pair: writes must be >= 1";
+  if reads < 1 then invalid_arg "Stress.run_pair: reads must be >= 1";
+  (* The writer publishes the ascending sequence 1..writes, so the
+     reader can decide coherence (value was really written: 0 <= v <=
+     writes) and freshness (values never regress) locally. *)
+  let barrier = Atomic.make 0 in
+  let sync d () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    d ()
+  in
+  let coherent = ref true in
+  let monotone = ref true in
+  let writer () =
+    for v = 1 to writes do
+      write v
+    done
+  in
+  let reader () =
+    let last = ref 0 in
+    for _ = 1 to reads do
+      let v = read () in
+      if v < 0 || v > writes then coherent := false;
+      if v < !last then monotone := false;
+      last := v
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let d = Domain.spawn (sync writer) in
+  sync reader ();
+  Domain.join d;
+  let t1 = Unix.gettimeofday () in
+  {
+    writes;
+    reads;
+    coherent = !coherent;
+    monotone = !monotone;
+    final_read = read ();
+    pair_elapsed_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }
+
+(* --- single-writer-per-component snapshot ----------------------------- *)
+
+type snapshot_report = {
+  updaters : int;
+  updates_per_writer : int;
+  scans : int;
+  scan_coherent : bool;
+      (* every scan is componentwise within the written range and
+         componentwise monotone across the scanner's successive scans *)
+  final_scan : int array;  (* scan after all updaters quiesced *)
+  snapshot_elapsed_ns : int;
+}
+
+let run_snapshot ~updaters ~updates ~scans ~update ~scan =
+  if updaters < 1 then invalid_arg "Stress.run_snapshot: updaters must be >= 1";
+  if updates < 1 || scans < 1 then
+    invalid_arg "Stress.run_snapshot: updates and scans must be >= 1";
+  let parties = updaters + 1 in
+  let barrier = Atomic.make 0 in
+  let sync d () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < parties do
+      Domain.cpu_relax ()
+    done;
+    d ()
+  in
+  (* Updater [i] owns component [i] and publishes 1..updates ascending,
+     so any coherent scan is componentwise in [0, updates] and scans
+     can never observe a component going backwards. *)
+  let updater i () =
+    for v = 1 to updates do
+      update ~i v
+    done
+  in
+  let coherent = ref true in
+  let scanner () =
+    let last = ref [||] in
+    for _ = 1 to scans do
+      let s = scan () in
+      Array.iteri
+        (fun j v ->
+          if v < 0 || v > updates then coherent := false;
+          if Array.length !last > 0 && v < !last.(j) then coherent := false)
+        s;
+      last := s
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let spawned = List.init updaters (fun i -> Domain.spawn (sync (updater i))) in
+  sync scanner ();
+  List.iter Domain.join spawned;
+  let t1 = Unix.gettimeofday () in
+  {
+    updaters;
+    updates_per_writer = updates;
+    scans;
+    scan_coherent = !coherent;
+    final_scan = scan ();
+    snapshot_elapsed_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }

@@ -33,3 +33,64 @@ val conserved : report -> bool
 val throughput_mops : report -> float
 (** [throughput_mops r] is million operations per second over the
     contention phase. *)
+
+val run_bounded :
+  domains:int ->
+  ops:int ->
+  try_push:(int -> bool) ->
+  try_pop:(unit -> int option) ->
+  drain:(unit -> int list) ->
+  report
+(** Like {!run} for bounded structures (ring buffers): [try_push] may
+    refuse, and only accepted pushes count towards conservation. *)
+
+type pair_report = {
+  writes : int;
+  reads : int;
+  coherent : bool;
+      (** every read returned a value the writer actually wrote (no
+          torn or invented values) *)
+  monotone : bool;
+      (** reads never went backwards while the writer published an
+          ascending sequence — freshness never regresses *)
+  final_read : int;  (** read after both sides quiesced *)
+  pair_elapsed_ns : int;
+}
+
+val run_pair :
+  writes:int ->
+  reads:int ->
+  write:(int -> unit) ->
+  read:(unit -> int) ->
+  pair_report
+(** Single-writer/single-reader harness for the wait-free register
+    pair (four-slot, NBW): a writer domain publishes the ascending
+    sequence [1..writes] while a reader domain performs [reads] reads;
+    coherence and freshness-monotonicity are judged on the fly. After
+    both domains join, one more read lands in [final_read] (a fresh
+    register must then return [writes]). *)
+
+type snapshot_report = {
+  updaters : int;
+  updates_per_writer : int;
+  scans : int;
+  scan_coherent : bool;
+      (** every scan componentwise within the written range and
+          componentwise monotone across the scanner's successive
+          scans *)
+  final_scan : int array;  (** scan after all updaters quiesced *)
+  snapshot_elapsed_ns : int;
+}
+
+val run_snapshot :
+  updaters:int ->
+  updates:int ->
+  scans:int ->
+  update:(i:int -> int -> unit) ->
+  scan:(unit -> int array) ->
+  snapshot_report
+(** One updater domain per component (each publishing [1..updates]
+    ascending to its own component) against a scanner domain
+    performing [scans] scans; scans must be componentwise coherent and
+    monotone, and [final_scan] (after quiescence) must be all
+    [updates]. *)

@@ -1,3 +1,7 @@
+module type S = Lockfree_intf.STACK
+
+module Make (Atomic : Atomic_intf.ATOMIC) = struct
+
 type 'a node = Nil | Cons of { value : 'a; next : 'a node }
 
 type 'a t = { head : 'a node Atomic.t; retry_count : int Atomic.t }
@@ -52,3 +56,7 @@ let to_list st =
 let length st = List.length (to_list st)
 
 let retries st = Atomic.get st.retry_count
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

@@ -6,31 +6,12 @@
     retry when it loses a CAS race. Retries are counted so tests and
     benches can relate real contention to the paper's retry model. *)
 
-type 'a t
-(** A lock-free stack of ['a]. *)
+module type S = Lockfree_intf.STACK
 
-val create : unit -> 'a t
-(** [create ()] is an empty stack. *)
+module Make (Atomic : Atomic_intf.ATOMIC) : S
+(** [Make (Atomic)] builds the stack over the given atomic primitives;
+    the interleaving checker ([Rtlf_check]) instantiates it with an
+    instrumented shim. *)
 
-val push : 'a t -> 'a -> unit
-(** [push st v] adds [v] on top. *)
-
-val pop : 'a t -> 'a option
-(** [pop st] removes and returns the top element, or [None] when
-    empty. *)
-
-val peek : 'a t -> 'a option
-(** [peek st] is the top element without removing it. *)
-
-val is_empty : 'a t -> bool
-(** [is_empty st] — a snapshot; may be stale under concurrency. *)
-
-val length : 'a t -> int
-(** [length st] walks the current snapshot — O(n), for tests. *)
-
-val retries : 'a t -> int
-(** [retries st] is the total CAS failures suffered by all operations
-    so far. *)
-
-val to_list : 'a t -> 'a list
-(** [to_list st] is a snapshot, top first. *)
+include S
+(** The production instantiation over [Stdlib.Atomic]. *)

@@ -1,0 +1,38 @@
+(* Shared harness for the test suite's randomised parts.
+
+   Every source of test randomness (QCheck generators, Prng streams,
+   stress worker seeds) derives from one root seed, taken from the
+   RTLF_SEED environment variable (default 42). On failure the seed is
+   printed, so any randomised failure reproduces with
+   `RTLF_SEED=<n> dune runtest`. *)
+
+let default_seed = 42
+
+let seed =
+  match Sys.getenv_opt "RTLF_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "RTLF_SEED=%S is not an integer; using %d\n%!" s
+        default_seed;
+      default_seed)
+
+let rand_state () = Random.State.make [| seed |]
+
+let prng () = Rtlf_engine.Prng.create ~seed
+
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(rand_state ()) t
+
+(* Drop-in replacement for [Alcotest.run]: on any failure, print the
+   active seed before re-raising so the run is reproducible. *)
+let run name suites =
+  try Alcotest.run ~and_exit:false name suites
+  with e ->
+    Printf.eprintf
+      "\n[%s] randomised tests used RTLF_SEED=%d; re-run with that env var \
+       to reproduce\n\
+       %!"
+      name seed;
+    raise e

@@ -1,0 +1,22 @@
+(** Shared harness for the test suite's randomised parts: one root seed
+    from the [RTLF_SEED] environment variable (default 42), printed on
+    failure so randomised runs reproduce. *)
+
+val default_seed : int
+
+val seed : int
+(** The active root seed: [RTLF_SEED] if set and numeric, else
+    {!default_seed}. *)
+
+val rand_state : unit -> Random.State.t
+(** Fresh stdlib random state derived from {!seed} (for QCheck). *)
+
+val prng : unit -> Rtlf_engine.Prng.t
+(** Fresh deterministic engine PRNG derived from {!seed}. *)
+
+val to_alcotest : QCheck.Test.t -> unit Alcotest.test_case
+(** [QCheck_alcotest.to_alcotest] with the seeded random state. *)
+
+val run : string -> (string * unit Alcotest.test_case list) list -> unit
+(** [Alcotest.run] that prints [RTLF_SEED=<seed>] on failure before
+    re-raising. *)

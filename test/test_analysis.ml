@@ -203,7 +203,7 @@ let test_interference_capped_at_c () =
   Alcotest.(check (float 1e-9)) "capped" 900.0 i0
 
 let () =
-  Alcotest.run "analysis"
+  Test_support.run "analysis"
     [
       ( "theorem2",
         [
@@ -215,7 +215,7 @@ let () =
           Alcotest.test_case "grows with critical time" `Quick
             test_bound_grows_with_critical_time;
           Alcotest.test_case "unknown task" `Quick test_bound_unknown_task;
-          QCheck_alcotest.to_alcotest prop_bound_independent_of_object_count;
+          Test_support.to_alcotest prop_bound_independent_of_object_count;
         ] );
       ( "theorem3",
         [
@@ -227,7 +227,7 @@ let () =
           Alcotest.test_case "sufficient-condition cases" `Quick
             test_sufficient_condition_cases;
           Alcotest.test_case "s >= r never wins" `Quick test_s_ge_r_never_wins;
-          QCheck_alcotest.to_alcotest prop_sufficient_implies_wins;
+          Test_support.to_alcotest prop_sufficient_implies_wins;
         ] );
       ( "lemmas45",
         [

@@ -1,0 +1,252 @@
+(* Tests for the deterministic interleaving checker itself: the
+   scheduler explores real interleavings, the linearizability oracle
+   accepts/rejects hand-built histories, correct structures pass, the
+   deliberately seeded bugs are caught with shrunk human-readable
+   counterexamples, and failures replay deterministically. *)
+
+module Check = Rtlf_check.Check
+module Scenario = Rtlf_check.Scenario
+module Sched = Rtlf_check.Sched
+module History = Rtlf_check.History
+module Shim = Rtlf_check.Shim
+
+let seed = Test_support.seed
+
+(* --- scheduler -------------------------------------------------------- *)
+
+let test_explore_enumerates_interleavings () =
+  (* Two threads, one instrumented increment each (get + set): the
+     classic lost-update race. Exhaustive exploration must find the
+     interleaving where both reads happen before either write. *)
+  let case () =
+    let cell = Shim.Atomic.make 0 in
+    let bump () = Shim.Atomic.set cell (Shim.Atomic.get cell + 1) in
+    let threads = [| bump; bump |] in
+    let verdict (_ : Sched.outcome) =
+      match Sched.quietly (fun () -> Shim.Atomic.get cell) with
+      | 2 -> None
+      | n -> Some n
+    in
+    (threads, verdict)
+  in
+  let execs, found =
+    Sched.explore
+      ~mode:(Sched.Exhaustive { max_preemptions = 2; max_execs = 1_000 })
+      ~max_steps:100 case
+  in
+  (match found with
+  | Some { Sched.verdict = n; outcome } ->
+    Alcotest.(check int) "lost update observed" 1 n;
+    Alcotest.(check bool) "needs a preemption" true (outcome.preemptions >= 1)
+  | None -> Alcotest.fail "exhaustive exploration missed the lost update");
+  Alcotest.(check bool) "explored more than one schedule" true (execs > 1)
+
+let test_sequential_case_has_one_schedule () =
+  let case () =
+    let cell = Shim.Atomic.make 0 in
+    ([| (fun () -> Shim.Atomic.set cell 1) |], fun _ -> None)
+  in
+  let execs, found =
+    Sched.explore
+      ~mode:(Sched.Exhaustive { max_preemptions = 3; max_execs = 100 })
+      ~max_steps:100 case
+  in
+  Alcotest.(check int) "single thread, single schedule" 1 execs;
+  Alcotest.(check bool) "no failure" true (found = None)
+
+let test_deadlock_detected () =
+  (* A thread that blocks on a predicate nobody ever makes true. *)
+  let case () =
+    let threads = [| (fun () -> Sched.block (fun () -> false) "never") |] in
+    (threads, fun (o : Sched.outcome) -> o.failure)
+  in
+  let _, found =
+    Sched.explore
+      ~mode:(Sched.Exhaustive { max_preemptions = 0; max_execs = 10 })
+      ~max_steps:100 case
+  in
+  match found with
+  | Some { Sched.verdict = msg; _ } ->
+    Alcotest.(check bool) "reported as deadlock" true
+      (String.length msg >= 8 && String.sub msg 0 8 = "deadlock")
+  | None -> Alcotest.fail "deadlock not detected"
+
+(* --- linearizability oracle ------------------------------------------ *)
+
+let reg_spec =
+  History.det ~name:"register"
+    ~init:(fun () -> 0)
+    ~apply:(fun s op ->
+      match op with `Write v -> (v, `Ok) | `Read -> (s, `Val s))
+    ~equal_res:( = )
+    ~pp_op:(fun fmt _ -> Format.pp_print_string fmt "op")
+    ~pp_res:(fun fmt _ -> Format.pp_print_string fmt "res")
+
+let call thread op res inv ret = { History.thread; op; res; inv; ret }
+
+let test_oracle_accepts () =
+  (* Concurrent write/read where the read may see old or new value. *)
+  let h =
+    [ call 0 (`Write 1) `Ok 1 4; call 1 `Read (`Val 0) 2 3 ]
+  in
+  Alcotest.(check bool) "read of old value linearizes" true
+    (History.linearizable reg_spec h);
+  let h' =
+    [ call 0 (`Write 1) `Ok 1 4; call 1 `Read (`Val 1) 2 3 ]
+  in
+  Alcotest.(check bool) "read of new value linearizes" true
+    (History.linearizable reg_spec h');
+  Alcotest.(check bool) "witness exists" true
+    (History.witness reg_spec h <> None)
+
+let test_oracle_rejects () =
+  (* Read strictly after the write completed must see the new value. *)
+  let h =
+    [ call 0 (`Write 1) `Ok 1 2; call 1 `Read (`Val 0) 3 4 ]
+  in
+  Alcotest.(check bool) "stale read after write rejected" false
+    (History.linearizable reg_spec h);
+  Alcotest.(check bool) "no witness" true (History.witness reg_spec h = None)
+
+let test_oracle_respects_real_time_order () =
+  (* Two sequential writes then a read of the FIRST value: not
+     linearizable for a register. *)
+  let h =
+    [
+      call 0 (`Write 1) `Ok 1 2;
+      call 0 (`Write 2) `Ok 3 4;
+      call 1 `Read (`Val 1) 5 6;
+    ]
+  in
+  Alcotest.(check bool) "overwritten value cannot reappear" false
+    (History.linearizable reg_spec h)
+
+(* --- real structures pass --------------------------------------------- *)
+
+let check_passes name =
+  match Check.run_one ~fast:true ~seed name with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    (match report.Scenario.counterexample with
+    | None -> ()
+    | Some cx ->
+      Alcotest.failf "%s flagged:@.%a" name Scenario.pp_counterexample cx);
+    Alcotest.(check bool) "explored some executions" true
+      (report.Scenario.execs > 0)
+
+let test_real_structures_pass () =
+  (* A subset here keeps `dune runtest` snappy; CI runs `check all`. *)
+  List.iter check_passes [ "ms_queue"; "four_slot"; "ring_buffer" ]
+
+let test_unknown_name () =
+  match Check.run_one "no_such_structure" with
+  | Error msg ->
+    Alcotest.(check bool) "error names known structures" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unknown structure accepted"
+
+let test_registry () =
+  Alcotest.(check bool) "all real structures registered" true
+    (List.for_all
+       (fun n -> List.mem n (Check.structures ()))
+       [
+         "ms_queue"; "treiber_stack"; "lf_set"; "nbw_register"; "four_slot";
+         "ring_buffer"; "snapshot"; "lock_queue"; "lock_stack";
+       ]);
+  Alcotest.(check bool) "demos separate" true
+    (List.mem "buggy_stack" (Check.demos ())
+    && not (List.mem "buggy_stack" (Check.structures ())))
+
+(* --- seeded bugs are caught and shrunk --------------------------------- *)
+
+let catch name =
+  match Check.run_one ~fast:true ~seed name with
+  | Error msg -> Alcotest.fail msg
+  | Ok report -> (
+    match report.Scenario.counterexample with
+    | Some cx -> cx
+    | None -> Alcotest.failf "checker missed the seeded bug in %s" name)
+
+let total_ops cx =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 cx.Scenario.ops
+
+let test_buggy_stack_caught () =
+  let cx = catch "buggy_stack" in
+  Alcotest.(check string) "structure" "buggy_stack" cx.Scenario.structure;
+  (* The get/set race needs only two overlapping ops and one context
+     switch; shrinking must get it down to that scale. *)
+  Alcotest.(check bool) "shrunk to <= 3 ops" true (total_ops cx <= 3);
+  Alcotest.(check bool) "one preemption suffices" true
+    (cx.Scenario.outcome.Sched.preemptions <= 1);
+  let rendered = Format.asprintf "%a" Scenario.pp_counterexample cx in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec at i =
+      i + nl <= hl && (String.sub rendered i nl = needle || at (i + 1))
+    in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then
+        Alcotest.failf "rendered counterexample lacks %S:@.%s" needle rendered)
+    [ "program"; "interleaving"; "history"; "T0"; "replay choices" ]
+
+let test_buggy_register_caught () =
+  let cx = catch "buggy_register" in
+  Alcotest.(check bool) "shrunk to <= 3 ops" true (total_ops cx <= 3);
+  Alcotest.(check bool) "one preemption suffices" true
+    (cx.Scenario.outcome.Sched.preemptions <= 1)
+
+let test_counterexample_replays () =
+  let cx = catch "buggy_stack" in
+  (* Replaying the recorded schedule must reproduce the failure — and
+     do so again (determinism). *)
+  Alcotest.(check bool) "replays once" true (Scenario.replay cx);
+  Alcotest.(check bool) "replays twice" true (Scenario.replay cx)
+
+let test_checker_is_deterministic () =
+  let render () =
+    let cx = catch "buggy_register" in
+    Format.asprintf "%a" Scenario.pp_counterexample cx
+  in
+  Alcotest.(check string) "same seed, same counterexample" (render ())
+    (render ())
+
+let () =
+  Test_support.run "check"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "explores interleavings" `Quick
+            test_explore_enumerates_interleavings;
+          Alcotest.test_case "sequential = 1 schedule" `Quick
+            test_sequential_case_has_one_schedule;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "accepts linearizable" `Quick test_oracle_accepts;
+          Alcotest.test_case "rejects stale read" `Quick test_oracle_rejects;
+          Alcotest.test_case "respects real-time order" `Quick
+            test_oracle_respects_real_time_order;
+        ] );
+      ( "structures",
+        [
+          Alcotest.test_case "real structures pass" `Slow
+            test_real_structures_pass;
+          Alcotest.test_case "unknown name" `Quick test_unknown_name;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "seeded_bugs",
+        [
+          Alcotest.test_case "buggy_stack caught + shrunk" `Quick
+            test_buggy_stack_caught;
+          Alcotest.test_case "buggy_register caught + shrunk" `Quick
+            test_buggy_register_caught;
+          Alcotest.test_case "counterexample replays" `Quick
+            test_counterexample_replays;
+          Alcotest.test_case "deterministic" `Quick
+            test_checker_is_deterministic;
+        ] );
+    ]

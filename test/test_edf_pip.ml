@@ -145,7 +145,7 @@ let test_overload_worse_than_rua () =
     (rua.Simulator.aur > pip.Simulator.aur)
 
 let () =
-  Alcotest.run "edf_pip"
+  Test_support.run "edf_pip"
     [
       ( "inheritance",
         [

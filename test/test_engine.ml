@@ -345,7 +345,7 @@ let prop_stats_bounds =
       && s.Stats.mean <= s.Stats.max +. 1e-9)
 
 let () =
-  Alcotest.run "engine"
+  Test_support.run "engine"
     [
       ( "event_queue",
         [
@@ -367,7 +367,7 @@ let () =
             test_eq_clear_releases_payloads;
           Alcotest.test_case "filter releases payloads" `Quick
             test_eq_filter_releases_payloads;
-          QCheck_alcotest.to_alcotest prop_eq_sorted;
+          Test_support.to_alcotest prop_eq_sorted;
         ] );
       ( "prng",
         [
@@ -387,7 +387,7 @@ let () =
             test_prng_shuffle_permutes;
           Alcotest.test_case "exponential positive" `Quick
             test_prng_exponential_positive;
-          QCheck_alcotest.to_alcotest prop_prng_mean;
+          Test_support.to_alcotest prop_prng_mean;
         ] );
       ( "stats",
         [
@@ -410,6 +410,6 @@ let () =
           Alcotest.test_case "histogram ignores NaN" `Quick
             test_histogram_ignores_nan;
           Alcotest.test_case "mean helper" `Quick test_mean_helper;
-          QCheck_alcotest.to_alcotest prop_stats_bounds;
+          Test_support.to_alcotest prop_stats_bounds;
         ] );
     ]

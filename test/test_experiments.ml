@@ -194,7 +194,7 @@ let test_registry_complete () =
       "thm2"; "thm3"; "lem45"; "ablation"; "baselines"; "fig1" ]
 
 let () =
-  Alcotest.run "experiments"
+  Test_support.run "experiments"
     [
       ( "fig8",
         [

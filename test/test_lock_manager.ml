@@ -205,7 +205,7 @@ let prop_random_ops_consistent =
       true)
 
 let () =
-  Alcotest.run "lock_manager"
+  Test_support.run "lock_manager"
     [
       ( "grants",
         [
@@ -237,5 +237,5 @@ let () =
             test_cycle_broken_by_release;
         ] );
       ( "consistency",
-        [ QCheck_alcotest.to_alcotest prop_random_ops_consistent ] );
+        [ Test_support.to_alcotest prop_random_ops_consistent ] );
     ]

@@ -196,7 +196,7 @@ let test_retry_counters_start_zero () =
     (Treiber_stack.retries (Treiber_stack.create ()))
 
 let () =
-  Alcotest.run "lockfree"
+  Test_support.run "lockfree"
     [
       ( "sequential",
         [
@@ -204,8 +204,8 @@ let () =
           Alcotest.test_case "treiber LIFO" `Quick test_stack_lifo;
           Alcotest.test_case "lock_queue FIFO" `Quick test_lock_queue_fifo;
           Alcotest.test_case "lock_stack LIFO" `Quick test_lock_stack_lifo;
-          QCheck_alcotest.to_alcotest prop_queue_matches_model;
-          QCheck_alcotest.to_alcotest prop_stack_matches_model;
+          Test_support.to_alcotest prop_queue_matches_model;
+          Test_support.to_alcotest prop_stack_matches_model;
         ] );
       ( "concurrent",
         [

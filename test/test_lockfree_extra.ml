@@ -294,7 +294,7 @@ let test_backoff_jitter_progress () =
     (Atomic.get counter)
 
 let () =
-  Alcotest.run "lockfree_extra"
+  Test_support.run "lockfree_extra"
     [
       ( "ring_buffer",
         [
@@ -303,7 +303,7 @@ let () =
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "capacity validation" `Quick
             test_ring_capacity_validation;
-          QCheck_alcotest.to_alcotest prop_ring_matches_model;
+          Test_support.to_alcotest prop_ring_matches_model;
           Alcotest.test_case "concurrent conservation" `Quick
             test_ring_concurrent_conservation;
         ] );
@@ -314,7 +314,7 @@ let () =
           Alcotest.test_case "negative keys" `Quick test_set_negative_keys;
           Alcotest.test_case "sentinel keys rejected" `Quick
             test_set_sentinel_keys_rejected;
-          QCheck_alcotest.to_alcotest prop_set_matches_model;
+          Test_support.to_alcotest prop_set_matches_model;
           Alcotest.test_case "concurrent disjoint domains" `Quick
             test_set_concurrent_disjoint_domains;
           Alcotest.test_case "concurrent same keys" `Quick

@@ -197,7 +197,7 @@ let test_workload_readers_split () =
     readers
 
 let () =
-  Alcotest.run "misc"
+  Test_support.run "misc"
     [
       ( "trace",
         [

@@ -186,7 +186,7 @@ let test_resource_range_check () =
       Resource.bump r (-1))
 
 let () =
-  Alcotest.run "model"
+  Test_support.run "model"
     [
       ( "segments",
         [
@@ -197,7 +197,7 @@ let () =
           Alcotest.test_case "zero compute" `Quick test_interleave_zero_compute;
           Alcotest.test_case "validation" `Quick test_interleave_validation;
           Alcotest.test_case "counts" `Quick test_segment_counts;
-          QCheck_alcotest.to_alcotest prop_interleave_conserves;
+          Test_support.to_alcotest prop_interleave_conserves;
         ] );
       ( "tasks",
         [

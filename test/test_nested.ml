@@ -185,7 +185,7 @@ let test_nested_contention_without_deadlock () =
   | Error msg -> Alcotest.fail msg
 
 let () =
-  Alcotest.run "nested"
+  Test_support.run "nested"
     [
       ( "profiles",
         [

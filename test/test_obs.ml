@@ -329,7 +329,7 @@ let test_result_json_keys () =
     ]
 
 let () =
-  Alcotest.run "obs"
+  Test_support.run "obs"
     [
       ( "stats",
         [

@@ -102,7 +102,7 @@ let test_parallel_fig8_identical () =
     (render_fig8 ~jobs:1) (render_fig8 ~jobs:4)
 
 let () =
-  Alcotest.run "pool"
+  Test_support.run "pool"
     [
       ( "map",
         [

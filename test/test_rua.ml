@@ -284,7 +284,7 @@ let test_lb_transitive_chain_in_schedule () =
     (List.map (fun j -> j.Job.jid) d.Scheduler.schedule)
 
 let () =
-  Alcotest.run "rua"
+  Test_support.run "rua"
     [
       ( "pud",
         [
@@ -317,7 +317,7 @@ let () =
             test_lf_keeps_all_feasible_regardless_of_pud;
           Alcotest.test_case "equals EDF when feasible" `Quick
             test_lf_equals_edf_when_feasible;
-          QCheck_alcotest.to_alcotest prop_lf_edf_equivalence;
+          Test_support.to_alcotest prop_lf_edf_equivalence;
         ] );
       ( "lock_based_rua",
         [

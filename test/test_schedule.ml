@@ -224,7 +224,7 @@ let prop_ecf_sorted =
       effs = List.sort compare effs)
 
 let () =
-  Alcotest.run "schedule"
+  Test_support.run "schedule"
     [
       ( "ecf",
         [
@@ -233,7 +233,7 @@ let () =
           Alcotest.test_case "mem and head" `Quick test_mem_and_head;
           Alcotest.test_case "copy independence" `Quick
             test_copy_is_independent;
-          QCheck_alcotest.to_alcotest prop_ecf_sorted;
+          Test_support.to_alcotest prop_ecf_sorted;
         ] );
       ( "feasibility",
         [
@@ -262,6 +262,6 @@ let () =
             test_chain_with_unrelated_entries;
           Alcotest.test_case "ops counter charged" `Quick
             test_ops_counter_charged;
-          QCheck_alcotest.to_alcotest prop_chain_order;
+          Test_support.to_alcotest prop_chain_order;
         ] );
     ]

@@ -342,7 +342,7 @@ let test_overhead_causes_misses_for_short_jobs () =
     (heavy.Simulator.cmr < light.Simulator.cmr)
 
 let () =
-  Alcotest.run "sim"
+  Test_support.run "sim"
     [
       ( "conservation",
         [

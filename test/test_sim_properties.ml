@@ -206,10 +206,10 @@ let ideal_at_least_as_good =
       ideal.Simulator.aur >= lb.Simulator.aur -. 0.12)
 
 let () =
-  Alcotest.run "sim_properties"
+  Test_support.run "sim_properties"
     [
       ( "invariants",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Test_support.to_alcotest
           [
             conservation;
             metric_ranges;
@@ -225,6 +225,6 @@ let () =
             observability_consistent;
           ] );
       ( "bounds",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Test_support.to_alcotest
           [ theorem2; theorem2_adversarial; ideal_at_least_as_good ] );
     ]

@@ -1,0 +1,191 @@
+(* Real-domain stress coverage for the structures the original stress
+   tests skipped: the Vyukov ring buffer, the double-collect snapshot,
+   and the wait-free register pair (Simpson four-slot, NBW). Checks
+   conservation / coherence / freshness plus retry-counter
+   monotonicity under genuine parallelism. *)
+
+open Rtlf_lockfree
+
+
+(* --- ring buffer ------------------------------------------------------ *)
+
+let test_ring_conservation () =
+  let r = Ring_buffer.create ~capacity:64 in
+  let report =
+    Stress.run_bounded ~domains:4 ~ops:2_000
+      ~try_push:(fun v -> Ring_buffer.try_push r v)
+      ~try_pop:(fun () -> Ring_buffer.try_pop r)
+      ~drain:(fun () ->
+        let rec go acc =
+          match Ring_buffer.try_pop r with
+          | Some v -> go (v :: acc)
+          | None -> List.rev acc
+        in
+        go [])
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report);
+  Alcotest.(check bool) "some pushes accepted" true (report.Stress.pushed > 0)
+
+let test_ring_no_duplicates () =
+  let r = Ring_buffer.create ~capacity:16 in
+  let domains = 4 and ops = 1_000 in
+  let seen = Array.make (domains * ops) 0 in
+  let mutex = Mutex.create () in
+  let record v =
+    Mutex.lock mutex;
+    seen.(v) <- seen.(v) + 1;
+    Mutex.unlock mutex
+  in
+  let report =
+    Stress.run_bounded ~domains ~ops
+      ~try_push:(fun v -> Ring_buffer.try_push r v)
+      ~try_pop:(fun () ->
+        match Ring_buffer.try_pop r with
+        | Some v ->
+          record v;
+          Some v
+        | None -> None)
+      ~drain:(fun () ->
+        let rec go acc =
+          match Ring_buffer.try_pop r with
+          | Some v ->
+            record v;
+            go (v :: acc)
+          | None -> List.rev acc
+        in
+        go [])
+  in
+  Alcotest.(check bool) "conserved" true (Stress.conserved report);
+  Array.iteri
+    (fun v count ->
+      if count > 1 then Alcotest.failf "value %d delivered %d times" v count)
+    seen
+
+let test_ring_retries_monotone () =
+  (* The retry counter is cumulative: successive contention batches on
+     the same buffer may only grow it. *)
+  let r = Ring_buffer.create ~capacity:8 in
+  let batch () =
+    ignore
+      (Stress.run_bounded ~domains:3 ~ops:500
+         ~try_push:(fun v -> Ring_buffer.try_push r v)
+         ~try_pop:(fun () -> Ring_buffer.try_pop r)
+         ~drain:(fun () -> []));
+    Ring_buffer.retries r
+  in
+  let r1 = batch () in
+  let r2 = batch () in
+  let r3 = batch () in
+  Alcotest.(check bool) "non-negative" true (r1 >= 0);
+  Alcotest.(check bool) "monotone across batches" true (r1 <= r2 && r2 <= r3)
+
+(* --- snapshot --------------------------------------------------------- *)
+
+let test_snapshot_coherent_scans () =
+  let updaters = 3 and updates = 2_000 in
+  let s = Snapshot.create ~n:updaters ~init:0 in
+  let report =
+    Stress.run_snapshot ~updaters ~updates ~scans:2_000
+      ~update:(fun ~i v -> Snapshot.update s ~i v)
+      ~scan:(fun () -> Snapshot.scan s)
+  in
+  Alcotest.(check bool) "scans coherent and monotone" true
+    report.Stress.scan_coherent;
+  Alcotest.(check (array int))
+    "final scan sees every writer's last value"
+    (Array.make updaters updates)
+    report.Stress.final_scan
+
+let test_snapshot_retries_monotone () =
+  let s = Snapshot.create ~n:2 ~init:0 in
+  let total = ref 0 in
+  let batch () =
+    let rep =
+      Stress.run_snapshot ~updaters:2 ~updates:1_000 ~scans:1_000
+        ~update:(fun ~i v -> Snapshot.update s ~i v)
+        ~scan:(fun () ->
+          let a, retries = Snapshot.scan_with_retries s in
+          total := !total + retries;
+          a)
+    in
+    ignore rep;
+    !total
+  in
+  let r1 = batch () in
+  let r2 = batch () in
+  Alcotest.(check bool) "retry totals monotone" true (0 <= r1 && r1 <= r2)
+
+(* --- wait-free register pair ----------------------------------------- *)
+
+let test_four_slot_pair () =
+  let r = Four_slot.create 0 in
+  let report =
+    Stress.run_pair ~writes:50_000 ~reads:50_000
+      ~write:(fun v -> Four_slot.write r v)
+      ~read:(fun () -> Four_slot.read r)
+  in
+  Alcotest.(check bool) "coherent (no torn/invented values)" true
+    report.Stress.coherent;
+  Alcotest.(check bool) "freshness never regresses" true
+    report.Stress.monotone;
+  Alcotest.(check int) "fresh after quiescence" 50_000
+    report.Stress.final_read
+
+let test_nbw_pair () =
+  let r = Nbw_register.create 0 in
+  let report =
+    Stress.run_pair ~writes:50_000 ~reads:50_000
+      ~write:(fun v -> Nbw_register.write r v)
+      ~read:(fun () -> Nbw_register.read r)
+  in
+  Alcotest.(check bool) "coherent" true report.Stress.coherent;
+  Alcotest.(check bool) "monotone" true report.Stress.monotone;
+  Alcotest.(check int) "fresh after quiescence" 50_000
+    report.Stress.final_read
+
+let test_pair_validation () =
+  Alcotest.check_raises "writes >= 1"
+    (Invalid_argument "Stress.run_pair: writes must be >= 1") (fun () ->
+      ignore
+        (Stress.run_pair ~writes:0 ~reads:1
+           ~write:(fun _ -> ())
+           ~read:(fun () -> 0)));
+  Alcotest.check_raises "updaters >= 1"
+    (Invalid_argument "Stress.run_snapshot: updaters must be >= 1") (fun () ->
+      ignore
+        (Stress.run_snapshot ~updaters:0 ~updates:1 ~scans:1
+           ~update:(fun ~i:_ _ -> ())
+           ~scan:(fun () -> [||])));
+  Alcotest.check_raises "bounded domains >= 1"
+    (Invalid_argument "Stress.run_bounded: domains must be >= 1") (fun () ->
+      ignore
+        (Stress.run_bounded ~domains:0 ~ops:1
+           ~try_push:(fun _ -> true)
+           ~try_pop:(fun () -> None)
+           ~drain:(fun () -> [])))
+
+let () =
+  Test_support.run "stress_extra"
+    [
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "conservation" `Quick test_ring_conservation;
+          Alcotest.test_case "no duplicates" `Quick test_ring_no_duplicates;
+          Alcotest.test_case "retries monotone" `Quick
+            test_ring_retries_monotone;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "coherent scans" `Quick
+            test_snapshot_coherent_scans;
+          Alcotest.test_case "retries monotone" `Quick
+            test_snapshot_retries_monotone;
+        ] );
+      ( "wait_free_pair",
+        [
+          Alcotest.test_case "four_slot writer/reader" `Quick
+            test_four_slot_pair;
+          Alcotest.test_case "nbw writer/reader" `Quick test_nbw_pair;
+          Alcotest.test_case "validation" `Quick test_pair_validation;
+        ] );
+    ]

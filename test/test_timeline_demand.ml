@@ -194,7 +194,7 @@ let test_workload_demand_consistency () =
     (Demand_bound.utilization_bound ~tasks:heavy ~cost > 1.0)
 
 let () =
-  Alcotest.run "timeline_demand"
+  Test_support.run "timeline_demand"
     [
       ( "timeline",
         [
@@ -219,7 +219,7 @@ let () =
           Alcotest.test_case "utilization bound" `Quick test_utilization_bound;
           Alcotest.test_case "checkpoints" `Quick
             test_checkpoints_sorted_unique;
-          QCheck_alcotest.to_alcotest prop_schedulable_implies_no_misses;
+          Test_support.to_alcotest prop_schedulable_implies_no_misses;
           Alcotest.test_case "workload consistency" `Quick
             test_workload_demand_consistency;
         ] );

@@ -173,7 +173,7 @@ let prop_bounded_by_max =
       Tuf.utility f ~at:t <= Tuf.max_utility f +. 1e-9)
 
 let () =
-  Alcotest.run "tuf"
+  Test_support.run "tuf"
     [
       ( "shapes",
         [
@@ -196,8 +196,8 @@ let () =
           Alcotest.test_case "scale" `Quick test_scale;
           Alcotest.test_case "constructor validation" `Quick
             test_constructor_validation;
-          QCheck_alcotest.to_alcotest prop_non_negative;
-          QCheck_alcotest.to_alcotest prop_monotone_decreasing;
-          QCheck_alcotest.to_alcotest prop_bounded_by_max;
+          Test_support.to_alcotest prop_non_negative;
+          Test_support.to_alcotest prop_monotone_decreasing;
+          Test_support.to_alcotest prop_bounded_by_max;
         ] );
     ]

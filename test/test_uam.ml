@@ -155,7 +155,7 @@ let prop_generated_valid =
       Uam.validate law trace = Ok ())
 
 let () =
-  Alcotest.run "uam"
+  Test_support.run "uam"
     [
       ( "construction",
         [
@@ -174,7 +174,7 @@ let () =
           Alcotest.test_case "simultaneous arrivals possible" `Quick
             test_generator_allows_simultaneous;
           Alcotest.test_case "worst burst trace" `Quick test_worst_burst;
-          QCheck_alcotest.to_alcotest prop_generated_valid;
+          Test_support.to_alcotest prop_generated_valid;
         ] );
       ( "validator",
         [
@@ -190,6 +190,6 @@ let () =
         [
           Alcotest.test_case "max_arrivals_in" `Quick test_max_arrivals_in;
           Alcotest.test_case "min_arrivals_in" `Quick test_min_arrivals_in;
-          QCheck_alcotest.to_alcotest prop_trace_within_count_bounds;
+          Test_support.to_alcotest prop_trace_within_count_bounds;
         ] );
     ]

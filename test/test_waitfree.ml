@@ -123,7 +123,7 @@ let test_four_slot_concurrent_coherence () =
   Alcotest.(check int) "monotone reads" 0 (Atomic.get regress)
 
 let () =
-  Alcotest.run "waitfree"
+  Test_support.run "waitfree"
     [
       ( "nbw",
         [

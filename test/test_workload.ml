@@ -130,7 +130,7 @@ let prop_load_accuracy =
       <= 0.05 *. target_al)
 
 let () =
-  Alcotest.run "workload"
+  Test_support.run "workload"
     [
       ( "generation",
         [
@@ -147,6 +147,6 @@ let () =
           Alcotest.test_case "burst propagates" `Quick test_burst_propagates;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "exec diversity" `Quick test_exec_diversity;
-          QCheck_alcotest.to_alcotest prop_load_accuracy;
+          Test_support.to_alcotest prop_load_accuracy;
         ] );
     ]
