@@ -79,11 +79,13 @@ let remaining job = Job.remaining_nominal job
 let bench_decide ~sched ~n =
   let with_locks = sched = `Lock_based in
   let jobs, locks = scene ~n ~with_locks in
+  let jobs = Array.of_list jobs in
   let scheduler =
     match sched with
     | `Lock_based -> Rtlf_core.Rua_lock_based.make ~locks
     | `Lock_free -> Rtlf_core.Rua_lock_free.make ()
     | `Edf -> Rtlf_core.Edf.make ()
+    | `Edf_pip -> Rtlf_core.Edf_pip.make ~locks
   in
   Staged.stage (fun () ->
       ignore (scheduler.Scheduler.decide ~now:0 ~jobs ~remaining))
@@ -199,19 +201,45 @@ let scheduler_tests =
       Test.make
         ~name:(Printf.sprintf "edf decide n=%d" n)
         (bench_decide ~sched:`Edf ~n);
+      Test.make
+        ~name:(Printf.sprintf "edf-pip decide n=%d" n)
+        (bench_decide ~sched:`Edf_pip ~n);
     ]
   in
-  List.concat_map variants [ 8; 32 ]
+  List.concat_map variants [ 8; 32; 64 ]
+
+(* Pre-arena decision-kernel costs, measured on this harness (bechamel
+   OLS, 0.5 s quota) immediately before the scratch-arena rewrite of
+   the decision path. BENCH_*.json reports measured/baseline speedups
+   against these figures; they are the "before" column of the README's
+   performance table. *)
+let decide_baseline_ns =
+  [
+    ("rua-lock-based decide n=8", 8921.8);
+    ("rua-lock-based decide n=32", 44854.7);
+    ("rua-lock-based decide n=64", 147706.4);
+    ("rua-lock-free decide n=8", 3484.5);
+    ("rua-lock-free decide n=32", 36672.3);
+    ("rua-lock-free decide n=64", 130018.7);
+    ("edf decide n=8", 665.3);
+    ("edf decide n=32", 4299.2);
+    ("edf decide n=64", 10003.3);
+    ("edf-pip decide n=8", 1337.2);
+    ("edf-pip decide n=32", 9865.8);
+    ("edf-pip decide n=64", 31591.6);
+  ]
 
 (* --- bechamel driver --------------------------------------------------- *)
 
-let run_group ~name tests =
+(* Runs a bechamel group, prints the human table and returns the
+   [(test_name, ns_per_op)] rows for machine-readable export. *)
+let run_group ?(quota = 0.25) ~name tests =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
   in
   let grouped = Test.make_grouped ~name tests in
   let raw = Benchmark.all cfg [ instance ] grouped in
@@ -233,7 +261,53 @@ let run_group ~name tests =
     ~rows:
       (List.map
          (fun (test_name, ns) -> [ test_name; Printf.sprintf "%.1f" ns ])
-         rows)
+         rows);
+  rows
+
+(* --- machine-readable bench record (BENCH_<label>.json) ---------------- *)
+
+(* Schema documented in DESIGN.md: the decide-kernel rows carry the
+   tracked pre-arena baseline and the measured/baseline speedup, so a
+   regression is visible from the artifact alone. *)
+let emit_json ~label ~out_dir ~quota ~smoke ~wall_s rows =
+  let module J = Rtlf_obs.Json in
+  let num x : J.t = if Float.is_finite x then J.Float x else J.Null in
+  let kernels =
+    List.filter_map
+      (fun (key, base) ->
+        match
+          List.find_opt
+            (fun (name, _) -> String.ends_with ~suffix:key name)
+            rows
+        with
+        | None -> None
+        | Some (_, ns) ->
+          Some
+            (J.Obj
+               [
+                 ("name", J.Str key);
+                 ("ns_per_op", num ns);
+                 ("baseline_ns_per_op", J.Float base);
+                 ("speedup", num (base /. ns));
+               ]))
+      decide_baseline_ns
+  in
+  let doc =
+    J.Obj
+      [
+        ("label", J.Str label);
+        ("smoke", J.Bool smoke);
+        ("quota_s", J.Float quota);
+        ("kernels", J.List kernels);
+        ("suite_wall_clock_s", num wall_s);
+      ]
+  in
+  let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" label) in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
 
 (* --- native multi-domain contention (Figure 8 on real silicon) -------- *)
 
@@ -309,24 +383,46 @@ let parallel_sweep ~mode () =
       ]
 
 let () =
-  let fast = Array.exists (( = ) "--fast") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let fast = List.mem "--fast" argv in
+  let smoke = List.mem "--smoke" argv in
   let mode = if fast then E.Common.Fast else E.Common.Full in
-  let jobs =
+  let opt flag =
     let rec find = function
-      | "--jobs" :: v :: _ -> int_of_string_opt v
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
-    find (Array.to_list Sys.argv)
+    find argv
   in
+  let jobs = Option.bind (opt "--jobs") int_of_string_opt in
+  let label = Option.value (opt "--label") ~default:"local" in
+  let out_dir = Option.value (opt "--out") ~default:"." in
+  (* Smoke mode (CI): only the decide kernels, at a small quota — enough
+     to catch an order-of-magnitude regression in the artifact. *)
+  let quota =
+    match Option.bind (opt "--quota") float_of_string_opt with
+    | Some q -> q
+    | None -> if smoke then 0.05 else 0.5
+  in
+  let t0 = Unix.gettimeofday () in
   Format.fprintf fmt
     "rtlf bench harness: micro-benchmarks + full figure regeneration@.";
-  run_group ~name:"Native shared objects (Figure 8, real hardware)"
-    native_tests;
-  run_group ~name:"Scheduler decision cost (3.6: O(n^2 log n) vs O(n^2))"
-    scheduler_tests;
-  run_group ~name:"Per-figure simulation kernels" sim_tests;
-  contention_sweep ();
-  parallel_sweep ~mode ();
-  E.All.run ~mode ?jobs fmt;
+  if not smoke then
+    ignore
+      (run_group ~name:"Native shared objects (Figure 8, real hardware)"
+         native_tests);
+  let sched_rows =
+    run_group ~quota
+      ~name:"Scheduler decision cost (3.6: O(n^2 log n) vs O(n^2))"
+      scheduler_tests
+  in
+  if not smoke then begin
+    ignore (run_group ~name:"Per-figure simulation kernels" sim_tests);
+    contention_sweep ();
+    parallel_sweep ~mode ();
+    E.All.run ~mode ?jobs fmt
+  end;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  emit_json ~label ~out_dir ~quota ~smoke ~wall_s sched_rows;
   Format.fprintf fmt "@.done.@."

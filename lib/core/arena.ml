@@ -1,0 +1,76 @@
+module Job = Rtlf_model.Job
+module Task = Rtlf_model.Task
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+
+type cell = {
+  mutable key : float;
+  mutable jid : int;
+  mutable job : Job.t;
+  mutable chain : Job.t list;
+}
+
+(* One inert job shared by every vacant slot. Never scheduled: slots
+   holding it are beyond the filled prefix, which all consumers bound
+   by [n]. *)
+let dummy_job =
+  let task =
+    Task.make ~id:0 ~name:"arena-dummy"
+      ~tuf:(Tuf.step ~height:0.0 ~c:1)
+      ~arrival:(Uam.periodic ~period:1) ~exec:0 ()
+  in
+  Job.create ~task ~jid:(-1) ~arrival:0
+
+let fresh_cell () = { key = 0.0; jid = -1; job = dummy_job; chain = [] }
+
+type t = { mutable cells : cell array }
+
+let create () = { cells = [||] }
+
+let cells arena ~n =
+  if Array.length arena.cells < n then begin
+    let ncap = max n (max 16 (2 * Array.length arena.cells)) in
+    arena.cells <- Array.init ncap (fun _ -> fresh_cell ())
+  end;
+  arena.cells
+
+let scrub cells ~n =
+  for i = 0 to n - 1 do
+    let c = cells.(i) in
+    c.key <- 0.0;
+    c.jid <- -1;
+    c.job <- dummy_job;
+    c.chain <- []
+  done
+
+(* In-place heapsort of the prefix [0, n) — no allocation, O(n log n)
+   worst case. The schedulers' comparators are total orders (unique jid
+   tiebreak), so the result is identical to any other comparison
+   sort's, [List.sort] included. *)
+let sort a ~n ~cmp =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let largest = if cmp a.(l) a.(i) > 0 then l else i in
+      let r = l + 1 in
+      let largest =
+        if r < len && cmp a.(r) a.(largest) > 0 then r else largest
+      in
+      if largest <> i then begin
+        swap i largest;
+        sift largest len
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for len = n - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done

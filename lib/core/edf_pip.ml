@@ -1,6 +1,14 @@
 module Job = Rtlf_model.Job
 module Lock_manager = Rtlf_model.Lock_manager
 
+(* Arena-backed EDF with priority inheritance. The scratch cells and
+   in-place sort remove the per-invocation list and tuple churn, and
+   the decision path folds effective critical times straight over the
+   jobs array instead of through a per-call hash table. Differentially
+   tested bit-identical to [Reference.edf_pip]. *)
+
+type scratch = { arena : Arena.t }
+
 (* Jobs transitively blocked on [j] are those whose dependency chain
    contains [j]. Rather than inverting the wait-for graph, walk each
    blocked job's chain once; cost O(n · chain) per invocation, in line
@@ -20,26 +28,58 @@ let effective_critical_time ~locks ~by_jid job =
         | Job.Ready | Job.Running | Job.Completed | Job.Aborted -> acc)
     by_jid own
 
-let decide ~locks ~now:_ ~jobs ~remaining:_ =
-  let live = List.filter Job.is_live jobs in
-  let by_jid = Hashtbl.create (max (List.length live) 1) in
-  List.iter (fun j -> Hashtbl.replace by_jid j.Job.jid j) live;
+let by_ect (a : Arena.cell) (b : Arena.cell) =
+  match Float.compare a.Arena.key b.Arena.key with
+  | 0 -> Int.compare a.Arena.jid b.Arena.jid
+  | c -> c
+
+(* The decision path computes the same min-fold directly over the jobs
+   array: min is commutative, so iteration order — the only thing that
+   differs from the [by_jid] fold — cannot change the result. *)
+let effective_ct_arr ~locks ~jobs job =
+  let own = ref (Job.absolute_critical_time job) in
+  Array.iter
+    (fun blocked ->
+      if blocked.Job.jid <> job.Job.jid && Job.is_live blocked then
+        match blocked.Job.state with
+        | Job.Blocked _ ->
+          let chain =
+            Lock_manager.dependency_chain locks ~jid:blocked.Job.jid
+          in
+          if List.mem job.Job.jid chain then
+            own := min !own (Job.absolute_critical_time blocked)
+        | Job.Ready | Job.Running | Job.Completed | Job.Aborted -> ())
+    jobs;
+  !own
+
+let decide scratch ~locks ~now:_ ~jobs ~remaining:_ =
+  let live = ref 0 in
+  Array.iter (fun j -> if Job.is_live j then incr live) jobs;
+  let live = !live in
   let ops = ref 0 in
-  let scored =
-    List.filter_map
-      (fun j ->
+  let cells = Arena.cells scratch.arena ~n:live in
+  let n = ref 0 in
+  Array.iter
+    (fun j ->
+      if Job.is_live j then begin
         ops := !ops + 1;
-        if Job.is_runnable j then
-          Some (effective_critical_time ~locks ~by_jid j, j.Job.jid, j)
-        else None)
-      live
-  in
-  let ordered = List.sort compare scored in
-  let schedule = List.map (fun (_, _, j) -> j) ordered in
-  ops := !ops + (List.length live * List.length live);
+        if Job.is_runnable j then begin
+          let c = cells.(!n) in
+          c.Arena.key <- float_of_int (effective_ct_arr ~locks ~jobs j);
+          c.Arena.jid <- j.Job.jid;
+          c.Arena.job <- j;
+          incr n
+        end
+      end)
+    jobs;
+  let n = !n in
+  Arena.sort cells ~n ~cmp:by_ect;
+  let schedule = List.init n (fun i -> cells.(i).Arena.job) in
+  ops := !ops + (live * live);
+  let dispatch = match schedule with [] -> None | j :: _ -> Some j in
+  Arena.scrub cells ~n;
   {
-    Scheduler.dispatch =
-      (match schedule with [] -> None | j :: _ -> Some j);
+    Scheduler.dispatch;
     aborts = [];
     rejected = [];
     schedule;
@@ -47,7 +87,9 @@ let decide ~locks ~now:_ ~jobs ~remaining:_ =
   }
 
 let make ~locks =
+  let scratch = { arena = Arena.create () } in
   {
     Scheduler.name = "edf-pip";
-    decide = (fun ~now ~jobs ~remaining -> decide ~locks ~now ~jobs ~remaining);
+    decide =
+      (fun ~now ~jobs ~remaining -> decide scratch ~locks ~now ~jobs ~remaining);
   }

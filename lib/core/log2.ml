@@ -1,0 +1,3 @@
+let ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 1 else go 0 1

@@ -1,0 +1,11 @@
+(** Integer ⌈log₂⌉ as used by the schedulers' abstract cost accounting.
+
+    Historically duplicated in [Rua_lock_free], [Rua_lock_based] and
+    [Tentative_schedule]; hoisted here so the three charge {e exactly}
+    the same quantity. *)
+
+val ceil : int -> int
+(** [ceil n] is ⌈log₂ n⌉ for [n ≥ 2], and [1] for [n ≤ 1] — the
+    ordered-list operation on a singleton (or empty) structure still
+    costs one abstract step (§3.6). E.g. [ceil 2 = 1], [ceil 3 = 2],
+    [ceil 4 = 2], [ceil 5 = 3]. *)

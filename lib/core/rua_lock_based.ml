@@ -1,9 +1,24 @@
 module Job = Rtlf_model.Job
 module Lock_manager = Rtlf_model.Lock_manager
 
-let log2_ceil n =
-  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
-  if n <= 1 then 1 else go 0 1
+(* Arena-backed hot path for the lock-based algorithm: scratch cells
+   carry each live job's dependency chain, the sort runs in place, and
+   the greedy loop probes aggregates with journalled rollback instead
+   of deep-copying the tentative schedule per candidate. Differentially
+   tested bit-identical to [Reference.rua_lock_based].
+
+   The deadlock-victim table is still allocated fresh per invocation:
+   it is folded to produce [aborts], and fold order over a Hashtbl
+   depends on its allocation history, which must match the reference's
+   fresh table exactly. Deadlocks are rare, the table is almost always
+   empty, and its size is bounded by the cycle count — not a hot-path
+   cost. *)
+
+type scratch = {
+  arena : Arena.t;
+  sched : Tentative_schedule.t;
+  by_jid : (int, Job.t) Hashtbl.t; (* reused: lookups only, never folded *)
+}
 
 (* Map the jid chains produced by the lock manager back to jobs. Chain
    members that are no longer live (just completed/aborted) are
@@ -11,95 +26,116 @@ let log2_ceil n =
 let resolve_chain by_jid jids =
   List.filter_map (fun jid -> Hashtbl.find_opt by_jid jid) jids
 
-let decide ~locks ~now ~jobs ~remaining =
+let by_pud (a : Arena.cell) (b : Arena.cell) =
+  match Float.compare b.Arena.key a.Arena.key with
+  | 0 -> Int.compare a.Arena.jid b.Arena.jid
+  | c -> c
+
+let decide scratch ~locks ~now ~jobs ~remaining =
   let ops = ref 0 in
-  let live = List.filter Job.is_live jobs in
-  let n = List.length live in
-  let by_jid = Hashtbl.create (max n 1) in
-  List.iter (fun j -> Hashtbl.replace by_jid j.Job.jid j) live;
+  let by_jid = scratch.by_jid in
+  Hashtbl.clear by_jid;
+  let cells = Arena.cells scratch.arena ~n:(Array.length jobs) in
+  let n = ref 0 in
+  Array.iter
+    (fun j ->
+      if Job.is_live j then begin
+        Hashtbl.replace by_jid j.Job.jid j;
+        let c = cells.(!n) in
+        c.Arena.jid <- j.Job.jid;
+        c.Arena.job <- j;
+        incr n
+      end)
+    jobs;
+  let n = !n in
   (* Step 1: dependency chains (head-first execution order). *)
-  let chains =
-    List.map
-      (fun j ->
-        let chain_jids = Lock_manager.dependency_chain locks ~jid:j.Job.jid in
-        let chain = resolve_chain by_jid chain_jids in
-        ops := !ops + List.length chain;
-        (j, chain))
-      live
-  in
+  for i = 0 to n - 1 do
+    let c = cells.(i) in
+    let chain_jids = Lock_manager.dependency_chain locks ~jid:c.Arena.jid in
+    let chain = resolve_chain by_jid chain_jids in
+    ops := !ops + List.length chain;
+    c.Arena.chain <- chain
+  done;
   (* Step 2: deadlock detection; resolve each cycle by aborting its
      least-PUD member. *)
   let victims = Hashtbl.create 4 in
-  List.iter
-    (fun j ->
-      ops := !ops + 1;
-      match Lock_manager.find_cycle locks ~jid:j.Job.jid with
-      | None -> ()
-      | Some cycle_jids ->
-        let cycle = resolve_chain by_jid cycle_jids in
-        ops := !ops + List.length cycle;
-        let weakest =
-          List.fold_left
-            (fun acc job ->
-              let pud = Pud.of_job ~now ~remaining job in
-              match acc with
-              | None -> Some (pud, job)
-              | Some (best, _) when pud < best -> Some (pud, job)
-              | Some _ -> acc)
-            None cycle
-        in
-        (match weakest with
-        | Some (_, job) -> Hashtbl.replace victims job.Job.jid job
-        | None -> ()))
-    live;
+  for i = 0 to n - 1 do
+    ops := !ops + 1;
+    match Lock_manager.find_cycle locks ~jid:cells.(i).Arena.jid with
+    | None -> ()
+    | Some cycle_jids ->
+      let cycle = resolve_chain by_jid cycle_jids in
+      ops := !ops + List.length cycle;
+      let weakest =
+        List.fold_left
+          (fun acc job ->
+            let pud = Pud.of_job ~now ~remaining job in
+            match acc with
+            | None -> Some (pud, job)
+            | Some (best, _) when pud < best -> Some (pud, job)
+            | Some _ -> acc)
+          None cycle
+      in
+      (match weakest with
+      | Some (_, job) -> Hashtbl.replace victims job.Job.jid job
+      | None -> ())
+  done;
   let is_victim j = Hashtbl.mem victims j.Job.jid in
-  (* Step 3: PUD of each surviving job over its chain. *)
-  let scored =
-    List.filter_map
-      (fun (j, chain) ->
-        if is_victim j then None
-        else begin
-          let chain = List.filter (fun c -> not (is_victim c)) chain in
-          ops := !ops + List.length chain;
-          Some (Pud.of_chain ~now ~remaining chain, j, chain)
-        end)
-      chains
-  in
+  (* Step 3: PUD of each surviving job over its chain; compact the
+     victims out of the scored prefix in place. *)
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let c = cells.(i) in
+    if not (is_victim c.Arena.job) then begin
+      let chain = List.filter (fun j -> not (is_victim j)) c.Arena.chain in
+      ops := !ops + List.length chain;
+      let d = cells.(!m) in
+      d.Arena.key <- Pud.of_chain ~now ~remaining chain;
+      d.Arena.jid <- c.Arena.jid;
+      d.Arena.job <- c.Arena.job;
+      d.Arena.chain <- chain;
+      incr m
+    end
+  done;
+  let m = !m in
   (* Step 4: sort by non-increasing PUD. *)
-  let by_pud (pa, ja, _) (pb, jb, _) =
-    match compare pb pa with 0 -> compare ja.Job.jid jb.Job.jid | c -> c
-  in
-  let sorted = List.sort by_pud scored in
-  ops := !ops + (n * log2_ceil (max n 2));
+  Arena.sort cells ~n:m ~cmp:by_pud;
+  ops := !ops + (n * Log2.ceil (max n 2));
   (* Step 5: greedy construction with aggregate insertion. *)
-  let sched = Tentative_schedule.create ~ops ~now ~remaining in
-  let final, rejected =
-    List.fold_left
-      (fun (sched, rejected) (_, job, chain) ->
-        if Tentative_schedule.mem sched ~jid:job.Job.jid then
-          (* Already scheduled as someone's dependent. *)
-          (sched, rejected)
-        else begin
-          let tentative = Tentative_schedule.copy sched in
-          Tentative_schedule.insert_chain tentative chain;
-          if Tentative_schedule.feasible tentative then (tentative, rejected)
-          else (sched, job.Job.jid :: rejected)
-        end)
-      (sched, []) sorted
-  in
-  let schedule = Tentative_schedule.jobs final in
+  let sched = scratch.sched in
+  Tentative_schedule.reset sched ~ops ~now ~remaining;
+  let rejected = ref [] in
+  for i = 0 to m - 1 do
+    let c = cells.(i) in
+    if Tentative_schedule.mem sched ~jid:c.Arena.jid then
+      (* Already scheduled as someone's dependent. *)
+      ()
+    else if not (Tentative_schedule.try_insert_chain sched c.Arena.chain) then
+      rejected := c.Arena.jid :: !rejected
+  done;
+  let schedule = Tentative_schedule.jobs sched in
   let dispatch = List.find_opt Job.is_runnable schedule in
   let aborts = Hashtbl.fold (fun _ job acc -> job :: acc) victims [] in
+  Arena.scrub cells ~n;
   {
     Scheduler.dispatch;
     aborts;
-    rejected = List.rev rejected;
+    rejected = List.rev !rejected;
     schedule;
     ops = !ops;
   }
 
 let make ~locks =
+  let scratch =
+    {
+      arena = Arena.create ();
+      sched =
+        Tentative_schedule.create ~ops:(ref 0) ~now:0 ~remaining:(fun _ -> 0);
+      by_jid = Hashtbl.create 64;
+    }
+  in
   {
     Scheduler.name = "rua-lock-based";
-    decide = (fun ~now ~jobs ~remaining -> decide ~locks ~now ~jobs ~remaining);
+    decide =
+      (fun ~now ~jobs ~remaining -> decide scratch ~locks ~now ~jobs ~remaining);
   }

@@ -8,10 +8,11 @@
       critical sections — and selects the cycle member with the least
       PUD for abortion (§3.3);
     + computes each job's PUD over its whole chain (§3.2);
-    + examines jobs in non-increasing PUD order, inserting each job
-      {e with its dependents} into a copy of the schedule in ECF order
-      with dependency-respecting clamping, keeping the copy only if
-      feasible (§3.4, §3.4.1);
+    + examines jobs in non-increasing PUD order, speculatively
+      inserting each job {e with its dependents} into the tentative
+      schedule in ECF order with dependency-respecting clamping,
+      keeping the insertion only if feasible (§3.4, §3.4.1 — rollback
+      in place; the retained [Reference] oracle still copies);
     + dispatches the earliest runnable job of the resulting schedule.
 
     Asymptotic cost O(n² log n) (§3.6); the reported [ops] count grows

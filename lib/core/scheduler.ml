@@ -10,7 +10,7 @@ type t = {
   name : string;
   decide :
     now:int ->
-    jobs:Rtlf_model.Job.t list ->
+    jobs:Rtlf_model.Job.t array ->
     remaining:(Rtlf_model.Job.t -> int) ->
     decision;
 }

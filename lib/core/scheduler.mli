@@ -24,13 +24,16 @@ type t = {
   name : string;
   decide :
     now:int ->
-    jobs:Rtlf_model.Job.t list ->
+    jobs:Rtlf_model.Job.t array ->
     remaining:(Rtlf_model.Job.t -> int) ->
     decision;
 }
 (** A pluggable scheduler: [decide] receives the live jobs (ready,
     running and blocked) and a remaining-cost estimator that includes
-    synchronisation overheads. *)
+    synchronisation overheads. The array is read-only to the scheduler
+    and not retained past the call, so the simulator can hand over its
+    cached live view without copying. Entries that are not live
+    (completed/aborted) are tolerated and ignored. *)
 
 val idle_decision : decision
 (** [idle_decision] dispatches nothing at zero cost. *)

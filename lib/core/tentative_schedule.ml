@@ -1,74 +1,158 @@
 module Job = Rtlf_model.Job
 
-type entry = { job : Job.t; mutable eff_ct : int }
+(* Entries are immutable records over a growable array kept in ECF
+   order; the list-based original survives as
+   [Reference.List_schedule]. Speculative insertions (the greedy
+   loops' candidate probes) are journalled and rolled back in place —
+   zero copies per candidate where the original deep-copied the whole
+   schedule. *)
+
+(* [rem] caches [remaining job] at insertion: it is deterministic for
+   the duration of one decision (job state never changes mid-decide),
+   and the feasibility walk reads it once per entry instead of
+   re-walking the job's segment list O(n) times per probe. *)
+type entry = { job : Job.t; eff_ct : int; rem : int }
+
+type undo = U_insert of int | U_remove of int * entry
 
 type t = {
-  ops : int ref;
-  now : int;
-  remaining : Job.t -> int;
-  mutable entries : entry list; (* ECF order *)
+  mutable ops : int ref;
+  mutable now : int;
+  mutable remaining : Job.t -> int;
+  mutable arr : entry array;
+  mutable len : int;
+  mutable journal : undo list;
+  mutable recording : bool;
 }
 
-let create ~ops ~now ~remaining = { ops; now; remaining; entries = [] }
+let dummy_entry = { job = Arena.dummy_job; eff_ct = 0; rem = 0 }
 
-let copy sched =
+let create ~ops ~now ~remaining =
   {
-    sched with
-    entries =
-      List.map (fun e -> { job = e.job; eff_ct = e.eff_ct }) sched.entries;
+    ops;
+    now;
+    remaining;
+    arr = [||];
+    len = 0;
+    journal = [];
+    recording = false;
   }
 
-let length sched = List.length sched.entries
+let reset sched ~ops ~now ~remaining =
+  sched.ops <- ops;
+  sched.now <- now;
+  sched.remaining <- remaining;
+  (* Drop job references eagerly: the arena outlives any one decision. *)
+  Array.fill sched.arr 0 sched.len dummy_entry;
+  sched.len <- 0;
+  sched.journal <- [];
+  sched.recording <- false
 
-let log2_ceil n =
-  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
-  if n <= 1 then 1 else go 0 1
+let copy sched =
+  { sched with arr = Array.copy sched.arr; journal = []; recording = false }
 
-let charge_ordered_op sched = sched.ops := !(sched.ops) + log2_ceil (length sched + 1)
+let length sched = sched.len
+
+let charge_ordered_op sched =
+  sched.ops := !(sched.ops) + Log2.ceil (sched.len + 1)
+
+(* --- physical array edits (journalled when speculating) -------------- *)
+
+let ensure_capacity sched =
+  let cap = Array.length sched.arr in
+  if sched.len = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let narr = Array.make ncap dummy_entry in
+    Array.blit sched.arr 0 narr 0 sched.len;
+    sched.arr <- narr
+  end
+
+let shift_in sched i e =
+  ensure_capacity sched;
+  Array.blit sched.arr i sched.arr (i + 1) (sched.len - i);
+  sched.arr.(i) <- e;
+  sched.len <- sched.len + 1
+
+let shift_out sched i =
+  Array.blit sched.arr (i + 1) sched.arr i (sched.len - i - 1);
+  sched.len <- sched.len - 1;
+  sched.arr.(sched.len) <- dummy_entry
+
+let insert_at sched i e =
+  shift_in sched i e;
+  if sched.recording then sched.journal <- U_insert i :: sched.journal
+
+let remove_at sched i =
+  let e = sched.arr.(i) in
+  shift_out sched i;
+  if sched.recording then sched.journal <- U_remove (i, e) :: sched.journal
+
+(* The journal lists edits most-recent-first; undoing head-first keeps
+   every recorded index valid at the moment it is replayed. *)
+let rollback sched =
+  List.iter
+    (function
+      | U_insert i -> shift_out sched i
+      | U_remove (i, e) -> shift_in sched i e)
+    sched.journal;
+  sched.journal <- []
+
+(* --- lookups --------------------------------------------------------- *)
+
+let index_of sched ~jid =
+  let rec go i =
+    if i >= sched.len then None
+    else if sched.arr.(i).job.Job.jid = jid then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_entry sched ~jid =
+  match index_of sched ~jid with
+  | None -> None
+  | Some i -> Some sched.arr.(i)
 
 let mem sched ~jid =
   charge_ordered_op sched;
-  List.exists (fun e -> e.job.Job.jid = jid) sched.entries
+  index_of sched ~jid <> None
 
-let jobs sched = List.map (fun e -> e.job) sched.entries
-let entries sched = List.map (fun e -> (e.job, e.eff_ct)) sched.entries
+let jobs sched = List.init sched.len (fun i -> sched.arr.(i).job)
 
-let head sched =
-  match sched.entries with [] -> None | e :: _ -> Some e.job
+let entries sched =
+  List.init sched.len (fun i ->
+      let e = sched.arr.(i) in
+      (e.job, e.eff_ct))
 
-let index_of sched ~jid =
-  let rec go i = function
-    | [] -> None
-    | e :: rest -> if e.job.Job.jid = jid then Some i else go (i + 1) rest
-  in
-  go 0 sched.entries
+let head sched = if sched.len = 0 then None else Some sched.arr.(0).job
 
 (* Insert [entry] at the last position whose predecessors all have
    eff_ct <= entry.eff_ct (stable ECF), but never later than [cap]. *)
 let insert_at_ecf sched entry ~cap =
   charge_ordered_op sched;
-  let rec go i acc = function
-    | [] -> List.rev (entry :: acc)
-    | e :: rest ->
-      if i >= cap || e.eff_ct > entry.eff_ct then
-        List.rev_append acc (entry :: e :: rest)
-      else go (i + 1) (e :: acc) rest
+  let rec find i =
+    if i >= sched.len || i >= cap || sched.arr.(i).eff_ct > entry.eff_ct then
+      i
+    else find (i + 1)
   in
-  sched.entries <- go 0 [] sched.entries
+  insert_at sched (find 0) entry
 
 let remove sched ~jid =
   charge_ordered_op sched;
-  sched.entries <-
-    List.filter (fun e -> e.job.Job.jid <> jid) sched.entries
+  match index_of sched ~jid with
+  | None -> ()
+  | Some i -> remove_at sched i
 
 let insert_job sched job =
   if not (mem sched ~jid:job.Job.jid) then begin
-    let entry = { job; eff_ct = Job.absolute_critical_time job } in
+    let entry =
+      {
+        job;
+        eff_ct = Job.absolute_critical_time job;
+        rem = sched.remaining job;
+      }
+    in
     insert_at_ecf sched entry ~cap:max_int
   end
-
-let find_entry sched ~jid =
-  List.find_opt (fun e -> e.job.Job.jid = jid) sched.entries
 
 (* §3.4.1: process the chain from tail (the examined job) to head. Each
    processed element must precede the previously processed one (its
@@ -82,7 +166,13 @@ let insert_chain sched chain =
       (match succ_jid with
       | None ->
         if not (mem sched ~jid) then begin
-          let entry = { job; eff_ct = Job.absolute_critical_time job } in
+          let entry =
+            {
+              job;
+              eff_ct = Job.absolute_critical_time job;
+              rem = sched.remaining job;
+            }
+          in
           insert_at_ecf sched entry ~cap:max_int
         end
       | Some sj -> (
@@ -110,29 +200,52 @@ let insert_chain sched chain =
             | Some p -> p
             | None -> assert false
           in
-          let entry = { job; eff_ct = succ_ct } in
+          let entry = { job; eff_ct = succ_ct; rem = sched.remaining job } in
           insert_at_ecf sched entry ~cap:succ_pos'
         | None ->
           let abs_ct = Job.absolute_critical_time job in
           let eff_ct = min abs_ct succ_ct in
-          let entry = { job; eff_ct } in
+          let entry = { job; eff_ct; rem = sched.remaining job } in
           insert_at_ecf sched entry ~cap:succ_pos));
       go (Some jid) earlier
   in
   go None (List.rev chain)
 
 let feasible sched =
-  sched.ops := !(sched.ops) + length sched;
-  let rec go time = function
-    | [] -> true
-    | e :: rest ->
-      let time = time + sched.remaining e.job in
-      time <= e.eff_ct && go time rest
+  sched.ops := !(sched.ops) + sched.len;
+  let rec go time i =
+    if i >= sched.len then true
+    else
+      let e = sched.arr.(i) in
+      let time = time + e.rem in
+      time <= e.eff_ct && go time (i + 1)
   in
-  go sched.now sched.entries
+  go sched.now 0
+
+(* --- speculative insertion ------------------------------------------- *)
+
+let speculate sched insert =
+  sched.journal <- [];
+  sched.recording <- true;
+  insert ();
+  sched.recording <- false;
+  if feasible sched then begin
+    sched.journal <- [];
+    true
+  end
+  else begin
+    rollback sched;
+    false
+  end
+
+let try_insert_job sched job = speculate sched (fun () -> insert_job sched job)
+let try_insert_chain sched chain =
+  speculate sched (fun () -> insert_chain sched chain)
 
 let pp fmt sched =
   Format.pp_print_list
     ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
-    (fun fmt e -> Format.fprintf fmt "J%d@%d" e.job.Job.jid e.eff_ct)
-    fmt sched.entries
+    (fun fmt (e : entry) ->
+      Format.fprintf fmt "J%d@%d" e.job.Job.jid e.eff_ct)
+    fmt
+    (List.init sched.len (fun i -> sched.arr.(i)))

@@ -14,7 +14,12 @@
     counter with its {e abstract} cost — ⌈log₂ n⌉ for ordered-list
     lookup/insert/remove and n for a feasibility walk — matching the
     paper's complexity accounting (§3.6) independently of this
-    implementation's physical data layout. *)
+    implementation's physical data layout. The physical layout is a
+    growable array reused across scheduler invocations (see {!reset});
+    the greedy loops probe candidates with {!try_insert_job} /
+    {!try_insert_chain}, which roll back in place instead of deep
+    copying, charging exactly what the copy-and-insert discipline
+    charged. *)
 
 type t
 (** A tentative schedule. *)
@@ -24,6 +29,12 @@ val create :
 (** [create ~ops ~now ~remaining] is an empty schedule; [remaining]
     estimates each job's outstanding CPU demand (including
     synchronisation overheads, as the caller sees fit). *)
+
+val reset :
+  t -> ops:int ref -> now:int -> remaining:(Rtlf_model.Job.t -> int) -> unit
+(** [reset sched ~ops ~now ~remaining] empties [sched] for a new
+    scheduler invocation, keeping the backing array. Job references
+    from the previous invocation are dropped. *)
 
 val copy : t -> t
 (** [copy sched] is an independent deep copy (shares [ops]). *)
@@ -61,6 +72,19 @@ val feasible : t -> bool
 (** [feasible sched] walks the schedule accumulating [remaining] and
     checks every job's effective critical time is met starting from
     [now]. *)
+
+val try_insert_job : t -> Rtlf_model.Job.t -> bool
+(** [try_insert_job sched j] inserts [j] as {!insert_job}, tests
+    {!feasible}, and rolls the insertion back in place when the result
+    is infeasible. Returns the feasibility verdict. Charges the same
+    abstract ops as insert-on-a-copy followed by [feasible] — ops
+    charged by a rejected probe stay charged, exactly as they did when
+    the probe ran on a discarded copy. *)
+
+val try_insert_chain : t -> Rtlf_model.Job.t list -> bool
+(** [try_insert_chain sched chain] is {!try_insert_job} for
+    {!insert_chain}: speculative aggregate insertion with in-place
+    rollback on infeasibility. *)
 
 val pp : Format.formatter -> t -> unit
 (** [pp fmt sched] prints the ordered jid/critical-time pairs. *)

@@ -116,10 +116,22 @@ let to_list q =
   Array.to_list (Array.map (fun c -> (c.time, c.payload)) cells)
 
 let filter_in_place q keep =
-  let survivors =
-    List.filter (fun (t, e) -> keep t e) (to_list q)
-  in
-  (* [clear] drops the backing array, so removed events are not kept
-     alive by stale slots beyond the rebuilt heap's size. *)
-  clear q;
-  List.iter (fun (t, e) -> add q ~time:t e) survivors
+  (* Compact survivors to the array prefix (stable, so the original
+     sequence numbers — and hence tie order — are untouched), scrub the
+     vacated tail with the sentinel so dropped payloads are not kept
+     alive, then restore the heap invariant bottom-up (Floyd, O(n)). *)
+  let m = ref 0 in
+  for i = 0 to q.size - 1 do
+    let c = q.heap.(i) in
+    if keep c.time c.payload then begin
+      q.heap.(!m) <- c;
+      incr m
+    end
+  done;
+  for i = !m to q.size - 1 do
+    q.heap.(i) <- dummy_cell ()
+  done;
+  q.size <- !m;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done

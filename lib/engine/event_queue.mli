@@ -47,7 +47,9 @@ val drain : 'a t -> (int * 'a) list
 val filter_in_place : 'a t -> (int -> 'a -> bool) -> unit
 (** [filter_in_place q keep] removes every event [e] at time [t] for
     which [keep t e] is [false]. Dequeue order of survivors is
-    preserved. Costs O(n log n). *)
+    preserved; removed payloads become collectable immediately. [keep]
+    is called once per event in an unspecified order. Costs O(n) with
+    no intermediate list (in-place compaction + bottom-up heapify). *)
 
 val to_list : 'a t -> (int * 'a) list
 (** [to_list q] is the queue contents in dequeue order, without

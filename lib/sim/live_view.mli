@@ -1,0 +1,41 @@
+(** Cached, jid-sorted view of the simulator's live jobs.
+
+    Replaces the live-job [Hashtbl] whose every scheduler invocation
+    paid a fold plus a [List.sort]. Membership mutations keep a flat
+    jid-sorted array; {!view} hands the scheduler a trimmed snapshot
+    that is rebuilt only when a dirty flag records a membership change
+    since the previous invocation. Existence and cardinality queries
+    ({!mem}, {!find}, {!count}) never touch the dirty flag, so callers
+    that only probe membership never force a rebuild. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val count : t -> int
+(** Number of live jobs. O(1); does not rebuild the snapshot. *)
+
+val add : t -> Rtlf_model.Job.t -> unit
+(** O(1) for monotonically increasing jids (the simulator's case);
+    O(n) insertion otherwise. Raises [Invalid_argument] on a duplicate
+    jid. *)
+
+val find : t -> jid:int -> Rtlf_model.Job.t option
+(** Binary search; O(log n). *)
+
+val mem : t -> jid:int -> bool
+(** Binary search; O(log n), allocation-free. *)
+
+val remove : t -> jid:int -> unit
+(** No-op when [jid] is absent. The vacated tail slot is reset to a
+    dummy job so the view never retains resolved jobs. *)
+
+val view : t -> Rtlf_model.Job.t array
+(** Jid-sorted snapshot of the live set. Rebuilt (one [Array.sub])
+    only when membership changed since the last call; otherwise the
+    previous snapshot is returned as-is. Callers must not mutate the
+    array (job fields are fair game — the array holds shared
+    references). *)
+
+val iter : (Rtlf_model.Job.t -> unit) -> t -> unit
+(** Iterate the live jobs in jid order, no snapshot rebuild. *)

@@ -1,4 +1,5 @@
 module Event_queue = Rtlf_engine.Event_queue
+module Float_buffer = Rtlf_engine.Float_buffer
 module Prng = Rtlf_engine.Prng
 module Stats = Rtlf_engine.Stats
 module Task = Rtlf_model.Task
@@ -115,11 +116,12 @@ type state = {
   objects : Resource.t;
   locks : Lock_manager.t;
   scheduler : Scheduler.t;
+  remaining : Job.t -> int; (* hoisted: depends only on [cfg.sync] *)
   trace : Trace.t;
   mutable now : int;
   mutable running : Job.t option;
   mutable next_jid : int;
-  live : (int, Job.t) Hashtbl.t;
+  live : Live_view.t;
   mutable resolved : Job.t list;
   mutable sched_invocations : int;
   mutable sched_overhead : int;
@@ -129,8 +131,8 @@ type state = {
   contention : Contention.t array;
   block_since : (int, int * int) Hashtbl.t;
       (* jid -> (obj, block start ns) for open blocking spans *)
-  mutable blocking_spans : int list;
-  mutable sched_costs : int list;
+  blocking_spans : Float_buffer.t;
+  sched_costs : Float_buffer.t;
 }
 
 let validate cfg =
@@ -168,9 +170,9 @@ let scheduler_name cfg =
     | Sync.Lock_free _ | Sync.Ideal -> "rua-lock-free")
 
 (* Remaining CPU demand of a job including nominal sync overheads —
-   what the scheduler uses for PUD and feasibility. *)
-let remaining_cost st job =
-  let sync = st.cfg.sync in
+   what the scheduler uses for PUD and feasibility. Depends only on
+   the sync model, so the per-state closure is built once in [run]. *)
+let remaining_cost sync job =
   let seg_cost = function
     | Segment.Compute s -> s
     | Segment.Access { work; _ } -> Sync.nominal_access_cost sync ~work
@@ -185,14 +187,10 @@ let remaining_cost st job =
     let head_left = max 0 (seg_cost head - job.Job.seg_progress) in
     List.fold_left (fun acc s -> acc + seg_cost s) head_left tail
 
-let live_jobs st =
-  let jobs = Hashtbl.fold (fun _ j acc -> j :: acc) st.live [] in
-  List.sort (fun a b -> compare a.Job.jid b.Job.jid) jobs
-
 (* --- job lifecycle ------------------------------------------------- *)
 
 let resolve st job =
-  Hashtbl.remove st.live job.Job.jid;
+  Live_view.remove st.live ~jid:job.Job.jid;
   st.resolved <- job :: st.resolved
 
 let complete_job st job =
@@ -210,7 +208,7 @@ let close_block_span st jid =
   | Some (obj, since) ->
     let span = st.now - since in
     Contention.note_blocked st.contention.(obj) ~ns:span;
-    st.blocking_spans <- span :: st.blocking_spans;
+    Float_buffer.push_int st.blocking_spans span;
     Hashtbl.remove st.block_since jid
 
 (* Grant chains after a release: the lock manager hands the object to
@@ -218,7 +216,7 @@ let close_block_span st jid =
 let wake_new_owner st obj = function
   | None -> ()
   | Some jid -> (
-    match Hashtbl.find_opt st.live jid with
+    match Live_view.find st.live ~jid with
     | None -> ()
     | Some waiter ->
       waiter.Job.state <- Job.Ready;
@@ -288,10 +286,9 @@ let set_running st job =
 (* --- scheduler invocation ------------------------------------------ *)
 
 let invoke_scheduler st =
-  let jobs = live_jobs st in
+  let jobs = Live_view.view st.live in
   let decision =
-    st.scheduler.Scheduler.decide ~now:st.now ~jobs
-      ~remaining:(remaining_cost st)
+    st.scheduler.Scheduler.decide ~now:st.now ~jobs ~remaining:st.remaining
   in
   st.sched_invocations <- st.sched_invocations + 1;
   let cost =
@@ -299,7 +296,7 @@ let invoke_scheduler st =
   in
   Trace.record st.trace ~time:st.now
     (Trace.Sched (decision.Scheduler.ops, cost));
-  st.sched_costs <- cost :: st.sched_costs;
+  Float_buffer.push_int st.sched_costs cost;
   st.now <- st.now + cost;
   st.sched_overhead <- st.sched_overhead + cost;
   (* Deadlock victims (only possible with nested sections). *)
@@ -308,7 +305,7 @@ let invoke_scheduler st =
     decision.Scheduler.aborts;
   let target =
     match decision.Scheduler.dispatch with
-    | Some j when Job.is_runnable j && Hashtbl.mem st.live j.Job.jid ->
+    | Some j when Job.is_runnable j && Live_view.mem st.live ~jid:j.Job.jid ->
       Some j
     | Some _ | None -> None
   in
@@ -329,13 +326,13 @@ let handle_event st time ev =
     let jid = st.next_jid in
     st.next_jid <- st.next_jid + 1;
     let job = Job.create ~task ~jid ~arrival:time in
-    Hashtbl.replace st.live jid job;
+    Live_view.add st.live job;
     Event_queue.add st.queue
       ~time:(Job.absolute_critical_time job)
       (Expiry jid);
     Trace.record st.trace ~time:st.now (Trace.Arrive (jid, task.Task.id))
   | Expiry jid -> (
-    match Hashtbl.find_opt st.live jid with
+    match Live_view.find st.live ~jid with
     | None -> () (* already resolved *)
     | Some job -> abort_job st job)
 
@@ -596,7 +593,7 @@ let summarise st =
   let total_retries = Array.make n_tasks 0 in
   let max_retries = Array.make n_tasks 0 in
   let sojourns = Array.init n_tasks (fun _ -> Stats.create ()) in
-  let all_sojourns = ref [] in
+  let all_sojourns = Float_buffer.create () in
   let preempt_total = ref 0 in
   List.iter
     (fun (job : Job.t) ->
@@ -619,7 +616,7 @@ let summarise st =
         (match Job.sojourn job with
         | Some s ->
           Stats.add sojourns.(i) (float_of_int s);
-          all_sojourns := float_of_int s :: !all_sojourns;
+          Float_buffer.push_int all_sojourns s;
           if s < Task.critical_time job.Job.task then
             met.(i) <- met.(i) + 1
         | None -> ())
@@ -648,8 +645,7 @@ let summarise st =
   let met_all = sum (fun tr -> tr.met) in
   let accrued_all = sumf (fun tr -> tr.accrued) in
   let possible_all = sumf (fun tr -> tr.max_possible) in
-  let floats xs = Array.of_list (List.rev_map float_of_int xs) in
-  let sojourn_samples = Array.of_list (List.rev !all_sojourns) in
+  let sojourn_samples = Float_buffer.to_array all_sojourns in
   {
     sync_name = Sync.name cfg.sync;
     sched_name = st.scheduler.Scheduler.name;
@@ -658,7 +654,7 @@ let summarise st =
     completed = completed_all;
     met = met_all;
     aborted = sum (fun tr -> tr.aborted);
-    in_flight = Hashtbl.length st.live;
+    in_flight = Live_view.count st.live;
     accrued = accrued_all;
     max_possible = possible_all;
     aur = (if possible_all > 0.0 then accrued_all /. possible_all else 0.0);
@@ -675,8 +671,8 @@ let summarise st =
     access_samples = Stats.summary st.access_samples;
     sojourn_samples;
     sojourn_hist = Stats.histogram sojourn_samples;
-    blocking_hist = Stats.histogram (floats st.blocking_spans);
-    sched_hist = Stats.histogram (floats st.sched_costs);
+    blocking_hist = Stats.histogram (Float_buffer.to_array st.blocking_spans);
+    sched_hist = Stats.histogram (Float_buffer.to_array st.sched_costs);
     contention = st.contention;
     per_task;
     trace = st.trace;
@@ -693,11 +689,12 @@ let run cfg =
       objects;
       locks;
       scheduler = make_scheduler cfg locks;
+      remaining = remaining_cost cfg.sync;
       trace = Trace.create ?capacity:cfg.trace_capacity ~enabled:cfg.trace ();
       now = 0;
       running = None;
       next_jid = 0;
-      live = Hashtbl.create 64;
+      live = Live_view.create ();
       resolved = [];
       sched_invocations = 0;
       sched_overhead = 0;
@@ -706,8 +703,8 @@ let run cfg =
       access_samples = Stats.create ();
       contention = Contention.make_array ~n:cfg.n_objects;
       block_since = Hashtbl.create 16;
-      blocking_spans = [];
-      sched_costs = [];
+      blocking_spans = Float_buffer.create ();
+      sched_costs = Float_buffer.create ();
     }
   in
   let root = Prng.create ~seed:cfg.seed in

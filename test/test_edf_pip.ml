@@ -31,7 +31,7 @@ let test_plain_edf_without_locks () =
   let sched = Edf_pip.make ~locks in
   let a = job ~jid:0 ~ct:500 ~rem:10 in
   let b = job ~jid:1 ~ct:200 ~rem:10 in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check bool) "earliest ct first" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 1 | None -> false)
 
@@ -86,7 +86,7 @@ let test_dispatches_inheriting_holder () =
   | Lock_manager.Granted -> Alcotest.fail "expected block");
   let sched = Edf_pip.make ~locks in
   let d =
-    sched.Scheduler.decide ~now:0 ~jobs:[ holder; urgent; mid ] ~remaining
+    sched.Scheduler.decide ~now:0 ~jobs:[| holder; urgent; mid |] ~remaining
   in
   Alcotest.(check bool) "holder dispatched via inheritance" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 0 | None -> false)

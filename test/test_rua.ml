@@ -73,7 +73,7 @@ let test_edf_dispatches_earliest () =
   let sched = Edf.make () in
   let a = job ~jid:0 ~ct:500 ~rem:10 () in
   let b = job ~jid:1 ~ct:200 ~rem:10 () in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check bool) "earliest ct wins" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 1 | None -> false)
 
@@ -82,13 +82,13 @@ let test_edf_skips_blocked () =
   let a = job ~jid:0 ~ct:500 ~rem:10 () in
   let b = job ~jid:1 ~ct:200 ~rem:10 () in
   b.Job.state <- Job.Blocked 0;
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check bool) "skips blocked" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 0 | None -> false)
 
 let test_edf_idle_when_nothing_runnable () =
   let sched = Edf.make () in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[||] ~remaining in
   Alcotest.(check bool) "idle" true (d.Scheduler.dispatch = None)
 
 (* --- lock-free RUA ------------------------------------------------------------ *)
@@ -97,7 +97,7 @@ let test_lf_dispatches_feasible_head () =
   let sched = Rua_lf.make () in
   let a = job ~jid:0 ~ct:500 ~rem:100 () in
   let b = job ~jid:1 ~ct:200 ~rem:100 () in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check bool) "ECF head dispatched" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 1 | None -> false);
   Alcotest.(check (list int)) "nothing rejected" [] d.Scheduler.rejected
@@ -108,7 +108,7 @@ let test_lf_sheds_lowest_pud_in_overload () =
   let high = job ~height:100.0 ~jid:0 ~ct:100 ~rem:80 () in
   let low = job ~height:1.0 ~jid:1 ~ct:100 ~rem:80 () in
   let sched = Rua_lf.make () in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ high; low ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| high; low |] ~remaining in
   Alcotest.(check (list int)) "low-PUD job rejected" [ 1 ]
     d.Scheduler.rejected;
   Alcotest.(check bool) "high-PUD job dispatched" true
@@ -119,7 +119,7 @@ let test_lf_keeps_all_feasible_regardless_of_pud () =
   let a = job ~height:100.0 ~jid:0 ~ct:1000 ~rem:50 () in
   let b = job ~height:0.1 ~jid:1 ~ct:2000 ~rem:50 () in
   let sched = Rua_lf.make () in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check int) "both scheduled" 2 (List.length d.Scheduler.schedule);
   Alcotest.(check (list int)) "none rejected" [] d.Scheduler.rejected
 
@@ -134,8 +134,8 @@ let test_lf_equals_edf_when_feasible () =
       job ~jid:2 ~ct:600 ~rem:50 ();
     ]
   in
-  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
-  let ed = (Edf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
+  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
+  let ed = (Edf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
   Alcotest.(check bool) "same dispatch" true
     (match (lf.Scheduler.dispatch, ed.Scheduler.dispatch) with
     | Some a, Some b -> a.Job.jid = b.Job.jid
@@ -163,8 +163,8 @@ let prop_lf_edf_equivalence =
           jobs
       in
       QCheck.assume feasible;
-      let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
-      let ed = (Edf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
+      let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
+      let ed = (Edf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
       match (lf.Scheduler.dispatch, ed.Scheduler.dispatch) with
       | Some a, Some b ->
         Job.absolute_critical_time a = Job.absolute_critical_time b
@@ -187,7 +187,7 @@ let test_lb_respects_dependency () =
   | Lock_manager.Blocked_on _ -> a.Job.state <- Job.Blocked 0
   | Lock_manager.Granted -> Alcotest.fail "expected block");
   let sched = Rua_lb.make ~locks in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check bool) "lock holder dispatched" true
     (match d.Scheduler.dispatch with Some j -> j.Job.jid = 1 | None -> false);
   Alcotest.(check (list int)) "schedule order holder-first" [ 1; 0 ]
@@ -198,8 +198,8 @@ let test_lb_without_locks_matches_lock_free () =
   let jobs =
     [ job ~jid:0 ~ct:400 ~rem:50 (); job ~jid:1 ~ct:200 ~rem:50 () ]
   in
-  let lb = (Rua_lb.make ~locks).Scheduler.decide ~now:0 ~jobs ~remaining in
-  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
+  let lb = (Rua_lb.make ~locks).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
+  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
   Alcotest.(check bool) "same dispatch" true
     (match (lb.Scheduler.dispatch, lf.Scheduler.dispatch) with
     | Some a, Some b -> a.Job.jid = b.Job.jid
@@ -220,7 +220,7 @@ let test_lb_deadlock_aborts_weakest () =
   | Lock_manager.Blocked_on _ -> b.Job.state <- Job.Blocked 0
   | Lock_manager.Granted -> Alcotest.fail "expected block");
   let sched = Rua_lb.make ~locks in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ a; b ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| a; b |] ~remaining in
   Alcotest.(check (list int)) "low-utility victim" [ 1 ]
     (List.map (fun j -> j.Job.jid) d.Scheduler.aborts)
 
@@ -237,7 +237,7 @@ let test_lb_aggregate_rejection () =
   | Lock_manager.Blocked_on _ -> waiter.Job.state <- Job.Blocked 0
   | Lock_manager.Granted -> Alcotest.fail "expected block");
   let sched = Rua_lb.make ~locks in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ holder; waiter ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| holder; waiter |] ~remaining in
   Alcotest.(check (list int)) "waiter rejected" [ 1 ] d.Scheduler.rejected;
   Alcotest.(check (list int)) "holder kept" [ 0 ]
     (List.map (fun j -> j.Job.jid) d.Scheduler.schedule)
@@ -258,8 +258,8 @@ let test_lb_ops_exceed_lf_ops () =
   (match Lock_manager.request locks ~jid:2 ~obj:1 with
   | Lock_manager.Blocked_on _ -> (List.nth jobs 2).Job.state <- Job.Blocked 1
   | Lock_manager.Granted -> Alcotest.fail "expected block");
-  let lb = (Rua_lb.make ~locks).Scheduler.decide ~now:0 ~jobs ~remaining in
-  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs ~remaining in
+  let lb = (Rua_lb.make ~locks).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
+  let lf = (Rua_lf.make ()).Scheduler.decide ~now:0 ~jobs:(Array.of_list jobs) ~remaining in
   Alcotest.(check bool) "lock-based costs more ops" true
     (lb.Scheduler.ops > lf.Scheduler.ops)
 
@@ -279,7 +279,7 @@ let test_lb_transitive_chain_in_schedule () =
   | Lock_manager.Blocked_on _ -> j2.Job.state <- Job.Blocked 1
   | Lock_manager.Granted -> Alcotest.fail "expected block");
   let sched = Rua_lb.make ~locks in
-  let d = sched.Scheduler.decide ~now:0 ~jobs:[ j0; j1; j2 ] ~remaining in
+  let d = sched.Scheduler.decide ~now:0 ~jobs:[| j0; j1; j2 |] ~remaining in
   Alcotest.(check (list int)) "dependency order" [ 0; 1; 2 ]
     (List.map (fun j -> j.Job.jid) d.Scheduler.schedule)
 

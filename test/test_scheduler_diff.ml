@@ -1,0 +1,183 @@
+(* Differential oracle for the arena-backed scheduler hot path.
+
+   The optimized schedulers ([Edf], [Edf_pip], [Rua_lock_free],
+   [Rua_lock_based]) must produce decisions bit-identical to the
+   retained list-based [Reference] implementations — dispatch, aborts,
+   rejected, schedule order AND the charged [ops] count (the
+   simulator's overhead model depends on it) — across seeded scenes
+   sweeping n ∈ {1, 2, 8, 64}, with and without lock dependency
+   chains. Every scene is decided twice on the same optimized
+   instance, so stale scratch-arena state from the previous call would
+   also be caught. All randomness derives from RTLF_SEED via
+   [Test_support]. *)
+
+module Tuf = Rtlf_model.Tuf
+module Uam = Rtlf_model.Uam
+module Task = Rtlf_model.Task
+module Job = Rtlf_model.Job
+module Resource = Rtlf_model.Resource
+module Lock_manager = Rtlf_model.Lock_manager
+module Scheduler = Rtlf_core.Scheduler
+module Reference = Rtlf_core.Reference
+module Log2 = Rtlf_core.Log2
+
+let remaining = Job.remaining_nominal
+
+let mk_job rs ~jid =
+  let ct = 50 + Random.State.int rs 1950 in
+  let rem = 1 + Random.State.int rs 400 in
+  let height = 0.1 +. Random.State.float rs 100.0 in
+  let tuf =
+    if Random.State.bool rs then Tuf.step ~height ~c:ct
+    else Tuf.linear ~u0:height ~c:ct
+  in
+  let task =
+    Task.make ~id:jid ~tuf
+      ~arrival:(Uam.periodic ~period:(2 * ct))
+      ~exec:rem ()
+  in
+  Job.create ~task ~jid ~arrival:0
+
+(* A frozen scheduling scene. With [with_chains], the first min(5,n)
+   jobs form a linear lock dependency chain (holder at the front), and
+   half the n >= 8 scenes additionally deadlock the last two jobs on a
+   2-cycle, exercising the victim-selection path. *)
+let scene rs ~n ~with_chains =
+  let jobs = Array.init n (fun jid -> mk_job rs ~jid) in
+  let objects = Resource.create ~n:8 in
+  let locks = Lock_manager.create ~objects in
+  if with_chains then begin
+    let k = min 5 n in
+    for i = 0 to k - 1 do
+      (match Lock_manager.request locks ~jid:i ~obj:i with
+      | Lock_manager.Granted -> ()
+      | Lock_manager.Blocked_on _ -> assert false);
+      if i >= 1 then
+        match Lock_manager.request locks ~jid:i ~obj:(i - 1) with
+        | Lock_manager.Granted -> ()
+        | Lock_manager.Blocked_on _ -> jobs.(i).Job.state <- Job.Blocked (i - 1)
+    done;
+    if n >= 8 && Random.State.bool rs then begin
+      let a = n - 2 and b = n - 1 in
+      ignore (Lock_manager.request locks ~jid:a ~obj:6);
+      ignore (Lock_manager.request locks ~jid:b ~obj:7);
+      (match Lock_manager.request locks ~jid:a ~obj:7 with
+      | Lock_manager.Blocked_on _ -> jobs.(a).Job.state <- Job.Blocked 7
+      | Lock_manager.Granted -> ());
+      match Lock_manager.request locks ~jid:b ~obj:6 with
+      | Lock_manager.Blocked_on _ -> jobs.(b).Job.state <- Job.Blocked 6
+      | Lock_manager.Granted -> ()
+    end
+  end;
+  (jobs, locks)
+
+let jid_opt = function None -> None | Some j -> Some j.Job.jid
+let jids = List.map (fun j -> j.Job.jid)
+
+let check_same ~msg (expected : Scheduler.decision)
+    (got : Scheduler.decision) =
+  Alcotest.(check (option int))
+    (msg ^ ": dispatch")
+    (jid_opt expected.Scheduler.dispatch)
+    (jid_opt got.Scheduler.dispatch);
+  Alcotest.(check (list int))
+    (msg ^ ": aborts")
+    (jids expected.Scheduler.aborts)
+    (jids got.Scheduler.aborts);
+  Alcotest.(check (list int))
+    (msg ^ ": rejected") expected.Scheduler.rejected got.Scheduler.rejected;
+  Alcotest.(check (list int))
+    (msg ^ ": schedule")
+    (jids expected.Scheduler.schedule)
+    (jids got.Scheduler.schedule);
+  Alcotest.(check int) (msg ^ ": ops") expected.Scheduler.ops
+    got.Scheduler.ops
+
+let run_diff kind () =
+  let rs = Test_support.rand_state () in
+  (* Lock-oblivious schedulers keep one instance for the whole sweep:
+     the scratch arena is reused across all 128+ scenes. *)
+  let persistent =
+    match kind with
+    | `Edf -> Some (Rtlf_core.Edf.make ())
+    | `Lock_free -> Some (Rtlf_core.Rua_lock_free.make ())
+    | `Edf_pip | `Lock_based -> None
+  in
+  let count = ref 0 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun with_chains ->
+          for rep = 1 to 16 do
+            incr count;
+            let now = Random.State.int rs 200 in
+            let jobs, locks = scene rs ~n ~with_chains in
+            let opt =
+              match (persistent, kind) with
+              | Some s, _ -> s
+              | None, `Edf_pip -> Rtlf_core.Edf_pip.make ~locks
+              | None, `Lock_based -> Rtlf_core.Rua_lock_based.make ~locks
+              | None, (`Edf | `Lock_free) -> assert false
+            in
+            let reference =
+              match kind with
+              | `Edf -> Reference.edf ()
+              | `Lock_free -> Reference.rua_lock_free ()
+              | `Edf_pip -> Reference.edf_pip ~locks
+              | `Lock_based -> Reference.rua_lock_based ~locks
+            in
+            let expected =
+              reference.Scheduler.decide ~now ~jobs ~remaining
+            in
+            let msg =
+              Printf.sprintf "%s n=%d chains=%b rep=%d"
+                reference.Scheduler.name n with_chains rep
+            in
+            check_same ~msg expected
+              (opt.Scheduler.decide ~now ~jobs ~remaining);
+            (* Same instance, same scene again: the scratch state left
+               by the previous call must not leak into the result. *)
+            check_same ~msg:(msg ^ " (rerun)") expected
+              (opt.Scheduler.decide ~now ~jobs ~remaining)
+          done)
+        [ false; true ])
+    [ 1; 2; 8; 64 ];
+  Alcotest.(check bool) "at least 100 scenes" true (!count >= 100)
+
+(* --- Log2 --------------------------------------------------------------- *)
+
+let test_log2_boundaries () =
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check int) (Printf.sprintf "ceil %d" n) expect (Log2.ceil n))
+    [
+      (1, 1);
+      (2, 1);
+      (3, 2);
+      (4, 2);
+      (7, 3);
+      (8, 3);
+      (15, 4);
+      (16, 4);
+      (1023, 10);
+      (1024, 10);
+      (1025, 11);
+    ]
+
+let () =
+  Test_support.run "scheduler_diff"
+    [
+      ( "log2",
+        [
+          Alcotest.test_case "boundary values" `Quick test_log2_boundaries;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "edf = reference" `Quick (run_diff `Edf);
+          Alcotest.test_case "edf-pip = reference" `Quick (run_diff `Edf_pip);
+          Alcotest.test_case "rua-lock-free = reference" `Quick
+            (run_diff `Lock_free);
+          Alcotest.test_case "rua-lock-based = reference" `Quick
+            (run_diff `Lock_based);
+        ] );
+    ]
