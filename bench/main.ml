@@ -268,8 +268,14 @@ let run_group ?(quota = 0.25) ~name tests =
 
 (* Schema documented in DESIGN.md: the decide-kernel rows carry the
    tracked pre-arena baseline and the measured/baseline speedup, so a
-   regression is visible from the artifact alone. *)
-let emit_json ~label ~out_dir ~quota ~smoke ~wall_s rows =
+   regression is visible from the artifact alone.
+
+   With [--append] the file becomes an append-only trajectory
+   [{"label", "schema": "rtlf-bench-trajectory-v1", "runs": [...]}];
+   each invocation parses the existing document and appends one run
+   object. A legacy single-snapshot file is wrapped as the
+   trajectory's first run, so history survives the migration. *)
+let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
   let module J = Rtlf_obs.Json in
   let num x : J.t = if Float.is_finite x then J.Float x else J.Null in
   let kernels =
@@ -292,22 +298,149 @@ let emit_json ~label ~out_dir ~quota ~smoke ~wall_s rows =
                ]))
       decide_baseline_ns
   in
-  let doc =
+  let run_doc =
     J.Obj
       [
         ("label", J.Str label);
         ("smoke", J.Bool smoke);
         ("quota_s", J.Float quota);
+        ("time_unix", J.Float (Unix.time ()));
         ("kernels", J.List kernels);
         ("suite_wall_clock_s", num wall_s);
       ]
   in
   let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" label) in
+  let doc =
+    if not append then run_doc
+    else begin
+      let prior =
+        if not (Sys.file_exists path) then None
+        else
+          let ic = open_in_bin path in
+          let s =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          J.of_string_opt s
+      in
+      let runs =
+        match prior with
+        | Some (J.Obj fields as old) -> (
+          match List.assoc_opt "runs" fields with
+          | Some (J.List runs) -> runs @ [ run_doc ]
+          | Some _ | None -> [ old; run_doc ])
+        | Some _ | None -> [ run_doc ]
+      in
+      J.Obj
+        [
+          ("label", J.Str label);
+          ("schema", J.Str "rtlf-bench-trajectory-v1");
+          ("runs", J.List runs);
+        ]
+    end
+  in
   let oc = open_out path in
   output_string oc (J.to_string doc);
   output_string oc "\n";
   close_out oc;
-  Format.fprintf fmt "wrote %s@." path
+  Format.fprintf fmt "wrote %s%s@." path
+    (if append then " (appended)" else "")
+
+(* --- CAS retry profile (counting-instrumented structures) -------------- *)
+
+(* Rebuilds three representative structures through their [Make]
+   functors with the telemetry counting layers and stresses each on
+   real domains: the table shows the shared-memory work Figure 8's
+   native numbers are made of — CAS failure rates for the lock-free
+   pair, acquire/conflict counts for the mutex baseline, and backoff
+   spins burned on contention. *)
+let retry_profile () =
+  let module T = Rtlf_obs.Telemetry in
+  let module A = Rtlf_lockfree.Atomic_intf in
+  let domains = 2 and ops = 20_000 in
+  E.Report.section fmt
+    (Printf.sprintf
+       "CAS retry profile (counting-instrumented, %d domains x %d ops)"
+       domains ops);
+  let backoff = T.install_backoff_observer () in
+  let profile name site (report : Rtlf_lockfree.Stress.report) =
+    let s = T.snapshot site in
+    let spins = T.count backoff T.Backoff_spins in
+    [
+      name;
+      string_of_int (s.T.cas_attempts);
+      string_of_int (s.T.cas_failures);
+      Printf.sprintf "%.2f%%" (100.0 *. T.cas_failure_rate s);
+      string_of_int s.T.lock_acquires;
+      string_of_int s.T.lock_conflicts;
+      string_of_int spins;
+      Printf.sprintf "%.2f" (Rtlf_lockfree.Stress.throughput_mops report);
+      string_of_bool (Rtlf_lockfree.Stress.conserved report);
+    ]
+  in
+  let msq_site = T.register "bench:ms_queue" in
+  let module Msq =
+    Rtlf_lockfree.Ms_queue.Make
+      (T.Counting_atomic
+         (A.Stdlib_atomic)
+         (struct
+           let site = msq_site
+         end))
+  in
+  let treiber_site = T.register "bench:treiber_stack" in
+  let module Treiber =
+    Rtlf_lockfree.Treiber_stack.Make
+      (T.Counting_atomic
+         (A.Stdlib_atomic)
+         (struct
+           let site = treiber_site
+         end))
+  in
+  let lockq_site = T.register "bench:lock_queue" in
+  let module Lockq =
+    Rtlf_lockfree.Lock_queue.Make
+      (T.Counting_mutex (struct
+        let site = lockq_site
+      end))
+  in
+  let rows =
+    [
+      (let q = Msq.create () in
+       T.reset backoff;
+       let r =
+         Rtlf_lockfree.Stress.run ~domains ~ops
+           ~push:(fun v -> Msq.enqueue q v)
+           ~pop:(fun () -> Msq.dequeue q)
+           ~drain:(fun () -> Msq.to_list q)
+       in
+       profile "ms-queue" msq_site r);
+      (let st = Treiber.create () in
+       T.reset backoff;
+       let r =
+         Rtlf_lockfree.Stress.run ~domains ~ops
+           ~push:(fun v -> Treiber.push st v)
+           ~pop:(fun () -> Treiber.pop st)
+           ~drain:(fun () -> Treiber.to_list st)
+       in
+       profile "treiber-stack" treiber_site r);
+      (let q = Lockq.create () in
+       T.reset backoff;
+       let r =
+         Rtlf_lockfree.Stress.run ~domains ~ops
+           ~push:(fun v -> Lockq.enqueue q v)
+           ~pop:(fun () -> Lockq.dequeue q)
+           ~drain:(fun () -> Lockq.to_list q)
+       in
+       profile "mutex-queue" lockq_site r);
+    ]
+  in
+  T.uninstall_backoff_observer ();
+  E.Report.table fmt
+    ~header:
+      [ "structure"; "cas"; "cas-fail"; "fail%"; "lock-acq"; "lock-conf";
+        "spins"; "Mops/s"; "conserved" ]
+    ~rows
 
 (* --- native multi-domain contention (Figure 8 on real silicon) -------- *)
 
@@ -386,6 +519,7 @@ let () =
   let argv = Array.to_list Sys.argv in
   let fast = List.mem "--fast" argv in
   let smoke = List.mem "--smoke" argv in
+  let append = List.mem "--append" argv in
   let mode = if fast then E.Common.Fast else E.Common.Full in
   let opt flag =
     let rec find = function
@@ -420,9 +554,10 @@ let () =
   if not smoke then begin
     ignore (run_group ~name:"Per-figure simulation kernels" sim_tests);
     contention_sweep ();
+    retry_profile ();
     parallel_sweep ~mode ();
     E.All.run ~mode ?jobs fmt
   end;
   let wall_s = Unix.gettimeofday () -. t0 in
-  emit_json ~label ~out_dir ~quota ~smoke ~wall_s sched_rows;
+  emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s sched_rows;
   Format.fprintf fmt "@.done.@."

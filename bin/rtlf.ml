@@ -162,6 +162,19 @@ let csv_out_arg =
   let doc = "Write the raw trace as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv-out" ] ~docv:"FILE" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write the rtlf-metrics-v1 JSON document (Theorem-2 audit, per-task \
+     P2 retry tails vs bounds, contention profile) to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let contention_csv_arg =
+  let doc = "Write the per-object contention profile as CSV to $(docv)." in
+  Arg.(value & opt (some string) None
+       & info [ "contention-csv" ] ~docv:"FILE" ~doc)
+
 let trace_capacity_arg =
   let doc =
     "Bound the in-memory trace to the newest $(docv) entries \
@@ -192,9 +205,13 @@ let export_trace ?(dst = fmt) ~trace_out ~csv_out trace =
       Obs.Csv_export.write_file ~path trace;
       Format.fprintf dst "wrote CSV trace to %s@." path)
     csv_out;
+  (* The drop warning always goes to stderr: it qualifies every export
+     above (the trace is incomplete), and stdout may be machine-read. *)
   let dropped = Trace.dropped trace in
   if dropped > 0 then
-    Format.fprintf dst "note: trace ring buffer dropped %d oldest entries@."
+    Format.eprintf
+      "warning: trace ring buffer dropped %d oldest entries — exported \
+       trace is incomplete@."
       dropped
 
 let print_observability res =
@@ -209,7 +226,7 @@ let print_observability res =
 
 let sim_cmd =
   let run tasks objects load exec_us sync sched hetero seed fast json
-      trace_out csv_out trace_capacity =
+      trace_out csv_out metrics_out contention_csv trace_capacity =
     let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
     let task_list = Workload.make spec in
     let mode = mode_of_fast fast in
@@ -237,17 +254,39 @@ let sim_cmd =
         res.Simulator.blocked_events res.Simulator.sched_invocations;
       Format.fprintf fmt "mean access time: %a@."
         Rtlf_engine.Stats.pp_summary res.Simulator.access_samples;
+      Format.fprintf fmt "%a@." Rtlf_sim.Audit.pp_report
+        res.Simulator.audit;
       print_observability res
     end;
     let dst = if json then Format.err_formatter else fmt in
-    export_trace ~dst ~trace_out ~csv_out res.Simulator.trace
+    Option.iter
+      (fun path ->
+        Obs.Result_json.write_metrics ~path res;
+        Format.fprintf dst "wrote metrics JSON to %s@." path)
+      metrics_out;
+    Option.iter
+      (fun path ->
+        Obs.Csv_export.write_contention_file ~path res.Simulator.contention;
+        Format.fprintf dst "wrote contention CSV to %s@." path)
+      contention_csv;
+    export_trace ~dst ~trace_out ~csv_out res.Simulator.trace;
+    if not (Rtlf_sim.Audit.ok res.Simulator.audit) then begin
+      (* Exit 4: Theorem-2 budget exceeded at runtime — distinct from
+         the checker's counterexample code (3) so CI can tell a retry
+         soundness bug from a linearizability one. *)
+      Format.eprintf
+        "rtlf sim: Theorem 2 retry budget violated (%d job(s))@."
+        (List.length res.Simulator.audit.Rtlf_sim.Audit.violations);
+      exit 4
+    end
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run one ad-hoc simulation and print a summary.")
     Term.(
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
       $ sched_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
-      $ trace_out_arg $ csv_out_arg $ trace_capacity_arg)
+      $ trace_out_arg $ csv_out_arg $ metrics_out_arg $ contention_csv_arg
+      $ trace_capacity_arg)
 
 (* --- rtlf trace ---------------------------------------------------------- *)
 
@@ -399,15 +438,46 @@ let check_cmd =
     let doc = "Write the shrunk counterexample to $(docv) on failure." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run target fast seed out =
+  let stats_flag =
+    let doc =
+      "Report shared-memory operation counters (gets/sets/CAS \
+       attempts+failures/lock contention) per structure, accumulated \
+       over its whole exploration."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run target fast seed stats out =
+    let module Shim = Rtlf_check.Shim in
+    (* With --stats, run structures one at a time so the shim's
+       process-wide counters can be reset around each exploration and
+       attributed to it. *)
+    let run_named name =
+      Shim.Stats.reset ();
+      Result.map
+        (fun r -> (r, if stats then Some (Shim.Stats.read ()) else None))
+        (C.run_one ~fast ~seed name)
+    in
     let reports =
-      if target = "all" then Ok (C.run_all ~fast ~seed ())
-      else Result.map (fun r -> [ r ]) (C.run_one ~fast ~seed target)
+      if target = "all" then
+        List.fold_left
+          (fun acc name ->
+            match (acc, run_named name) with
+            | Ok rs, Ok r -> Ok (rs @ [ r ])
+            | (Error _ as e), _ | _, (Error _ as e) -> e)
+          (Ok []) (C.structures ())
+      else Result.map (fun r -> [ r ]) (run_named target)
     in
     match reports with
     | Error msg -> `Error (false, msg)
-    | Ok reports ->
-      List.iter (fun r -> Format.fprintf fmt "%a@." S.pp_report r) reports;
+    | Ok annotated ->
+      let reports = List.map fst annotated in
+      List.iter
+        (fun (r, ops) ->
+          Format.fprintf fmt "%a@." S.pp_report r;
+          Option.iter
+            (fun s -> Format.fprintf fmt "  %a@." Shim.Stats.pp s)
+            ops)
+        annotated;
       let failures =
         List.filter_map (fun r -> r.S.counterexample) reports
       in
@@ -434,7 +504,9 @@ let check_cmd =
           interleavings deterministically and judge each execution \
           against a sequential specification (linearizability).")
     Term.(
-      ret (const run $ target_arg $ check_fast_flag $ check_seed_arg $ out_arg))
+      ret
+        (const run $ target_arg $ check_fast_flag $ check_seed_arg
+         $ stats_flag $ out_arg))
 
 (* --- rtlf bound ---------------------------------------------------------- *)
 

@@ -8,26 +8,81 @@
    guaranteed by construction. compare_and_set uses physical equality,
    exactly like [Stdlib.Atomic]. *)
 
+(* Operation counters: the whole checker is single-domain, so plain
+   mutable fields are exact. They survive across executions until
+   [Stats.reset], letting the CLI report how much shared-memory work a
+   structure's whole exploration performed. *)
+module Stats = struct
+  type t = {
+    mutable gets : int;
+    mutable sets : int;
+    mutable exchanges : int;
+    mutable cas_attempts : int;
+    mutable cas_failures : int;
+    mutable fetch_adds : int;
+    mutable locks : int;
+    mutable lock_waits : int;
+  }
+
+  let current =
+    {
+      gets = 0;
+      sets = 0;
+      exchanges = 0;
+      cas_attempts = 0;
+      cas_failures = 0;
+      fetch_adds = 0;
+      locks = 0;
+      lock_waits = 0;
+    }
+
+  let reset () =
+    current.gets <- 0;
+    current.sets <- 0;
+    current.exchanges <- 0;
+    current.cas_attempts <- 0;
+    current.cas_failures <- 0;
+    current.fetch_adds <- 0;
+    current.locks <- 0;
+    current.lock_waits <- 0
+
+  let read () = { current with gets = current.gets }
+
+  let total s =
+    s.gets + s.sets + s.exchanges + s.cas_attempts + s.fetch_adds + s.locks
+
+  let pp fmt s =
+    Format.fprintf fmt
+      "ops=%d (get=%d set=%d xchg=%d cas=%d[%d fail] faa=%d lock=%d[%d \
+       contended])"
+      (total s) s.gets s.sets s.exchanges s.cas_attempts s.cas_failures
+      s.fetch_adds s.locks s.lock_waits
+end
+
 module Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC = struct
   type 'a t = { id : int; mutable v : 'a }
 
   let make v = { id = Sched.fresh_atom (); v }
 
   let get r =
+    Stats.current.Stats.gets <- Stats.current.Stats.gets + 1;
     Sched.yield (Printf.sprintf "get a%d" r.id);
     r.v
 
   let set r v =
+    Stats.current.Stats.sets <- Stats.current.Stats.sets + 1;
     Sched.yield (Printf.sprintf "set a%d" r.id);
     r.v <- v
 
   let exchange r v =
+    Stats.current.Stats.exchanges <- Stats.current.Stats.exchanges + 1;
     Sched.yield (Printf.sprintf "xchg a%d" r.id);
     let old = r.v in
     r.v <- v;
     old
 
   let compare_and_set r old nv =
+    Stats.current.Stats.cas_attempts <- Stats.current.Stats.cas_attempts + 1;
     Sched.yield (Printf.sprintf "cas a%d" r.id);
     if r.v == old then begin
       r.v <- nv;
@@ -35,11 +90,14 @@ module Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC = struct
       true
     end
     else begin
+      Stats.current.Stats.cas_failures <-
+        Stats.current.Stats.cas_failures + 1;
       Sched.annotate " -> fail";
       false
     end
 
   let fetch_and_add r d =
+    Stats.current.Stats.fetch_adds <- Stats.current.Stats.fetch_adds + 1;
     Sched.yield (Printf.sprintf "faa a%d" r.id);
     let old = r.v in
     r.v <- old + d;
@@ -61,9 +119,12 @@ module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX = struct
      unlocks. When [block] returns, no other thread has run since the
      predicate was checked, so claiming the mutex is race-free. *)
   let lock m =
+    Stats.current.Stats.locks <- Stats.current.Stats.locks + 1;
     Sched.yield (Printf.sprintf "lock m%d" m.id);
-    if m.held then
-      Sched.block (fun () -> not m.held) (Printf.sprintf "wait m%d" m.id);
+    if m.held then begin
+      Stats.current.Stats.lock_waits <- Stats.current.Stats.lock_waits + 1;
+      Sched.block (fun () -> not m.held) (Printf.sprintf "wait m%d" m.id)
+    end;
     m.held <- true
 
   let unlock m =

@@ -7,6 +7,33 @@
     ones, so structures built with the shim remain usable
     sequentially. *)
 
+(** Shared-memory operation counters, accumulated across every
+    controlled execution since the last {!Stats.reset}. The checker is
+    single-domain, so the counts are exact. Backs
+    [rtlf check --stats]. *)
+module Stats : sig
+  type t = {
+    mutable gets : int;
+    mutable sets : int;
+    mutable exchanges : int;
+    mutable cas_attempts : int;
+    mutable cas_failures : int;  (** CAS attempts that returned false *)
+    mutable fetch_adds : int;
+    mutable locks : int;
+    mutable lock_waits : int;    (** lock calls that found it held *)
+  }
+
+  val reset : unit -> unit
+  val read : unit -> t
+  (** [read ()] is an independent copy of the counters. *)
+
+  val total : t -> int
+  (** Total shared-memory operations (failures are not double-counted:
+      a failed CAS is one attempt). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 module Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC
 
 module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX

@@ -174,3 +174,162 @@ let pp_histogram fmt h =
 
 let pp_summary fmt (s : summary) =
   Format.fprintf fmt "%.4g ± %.2g (n=%d)" s.mean s.ci95 s.n
+
+(* --- P² streaming quantile estimation -------------------------------- *)
+
+module P2 = struct
+  (* Jain & Chlamtac's P² algorithm: one quantile estimated from five
+     markers whose heights are adjusted piecewise-parabolically as
+     samples stream past — O(1) memory at any arrival volume, which is
+     what lets the engine keep tail statistics for 10⁵–10⁶ jobs without
+     retaining samples. The first five (non-NaN) observations are kept
+     exactly; until then [quantile] answers from a sort of that prefix,
+     so tiny-n behaviour matches the batch oracle. *)
+
+  type t = {
+    p : float;
+    q : float array;  (* marker heights *)
+    pos : int array;  (* actual marker positions, 1-based *)
+    np : float array; (* desired marker positions *)
+    dn : float array; (* desired-position increments per sample *)
+    mutable count : int;
+  }
+
+  let create ~p =
+    if not (p > 0.0 && p < 1.0) then
+      invalid_arg "Stats.P2.create: need 0 < p < 1";
+    {
+      p;
+      q = Array.make 5 0.0;
+      pos = [| 1; 2; 3; 4; 5 |];
+      np = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p);
+              3.0 +. (2.0 *. p); 5.0 |];
+      dn = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+      count = 0;
+    }
+
+  let count t = t.count
+
+  let parabolic t i d =
+    let q = t.q and n = t.pos in
+    let fi = float_of_int in
+    q.(i)
+    +. d
+       /. fi (n.(i + 1) - n.(i - 1))
+       *. ((fi (n.(i) - n.(i - 1)) +. d)
+           *. (q.(i + 1) -. q.(i))
+           /. fi (n.(i + 1) - n.(i))
+          +. (fi (n.(i + 1) - n.(i)) -. d)
+             *. (q.(i) -. q.(i - 1))
+             /. fi (n.(i) - n.(i - 1)))
+
+  let linear t i s =
+    t.q.(i)
+    +. float_of_int s
+       *. (t.q.(i + s) -. t.q.(i))
+       /. float_of_int (t.pos.(i + s) - t.pos.(i))
+
+  let add t x =
+    if not (Float.is_nan x) then begin
+      if t.count < 5 then begin
+        t.q.(t.count) <- x;
+        t.count <- t.count + 1;
+        if t.count = 5 then Array.sort Float.compare t.q
+      end
+      else begin
+        (* Locate the marker cell and clamp the extremes. *)
+        let k =
+          if x < t.q.(0) then begin
+            t.q.(0) <- x;
+            0
+          end
+          else if x >= t.q.(4) then begin
+            t.q.(4) <- x;
+            3
+          end
+          else begin
+            let k = ref 0 in
+            for i = 1 to 3 do
+              if t.q.(i) <= x then k := i
+            done;
+            !k
+          end
+        in
+        for i = k + 1 to 4 do
+          t.pos.(i) <- t.pos.(i) + 1
+        done;
+        for i = 0 to 4 do
+          t.np.(i) <- t.np.(i) +. t.dn.(i)
+        done;
+        (* Nudge interior markers towards their desired positions. *)
+        for i = 1 to 3 do
+          let d = t.np.(i) -. float_of_int t.pos.(i) in
+          if
+            (d >= 1.0 && t.pos.(i + 1) - t.pos.(i) > 1)
+            || (d <= -1.0 && t.pos.(i - 1) - t.pos.(i) < -1)
+          then begin
+            let s = if d >= 0.0 then 1 else -1 in
+            let qp = parabolic t i (float_of_int s) in
+            if t.q.(i - 1) < qp && qp < t.q.(i + 1) then t.q.(i) <- qp
+            else t.q.(i) <- linear t i s;
+            t.pos.(i) <- t.pos.(i) + s
+          end
+        done;
+        t.count <- t.count + 1
+      end
+    end
+
+  let quantile t =
+    if t.count = 0 then nan
+    else if t.count <= 5 then begin
+      (* Exact over the retained prefix, same interpolation as
+         [percentile]. *)
+      let sorted = Array.sub t.q 0 t.count in
+      Array.sort Float.compare sorted;
+      let rank = t.p *. float_of_int (t.count - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then sorted.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
+    else t.q.(2)
+
+  (* --- the standard four-tail tracker -------------------------------- *)
+
+  type tails = { n : int; p50 : float; p90 : float; p99 : float; p999 : float }
+
+  type tracker = { e50 : t; e90 : t; e99 : t; e999 : t }
+
+  let tracker () =
+    {
+      e50 = create ~p:0.5;
+      e90 = create ~p:0.9;
+      e99 = create ~p:0.99;
+      e999 = create ~p:0.999;
+    }
+
+  let track tr x =
+    add tr.e50 x;
+    add tr.e90 x;
+    add tr.e99 x;
+    add tr.e999 x
+
+  let tails tr =
+    {
+      n = tr.e50.count;
+      p50 = quantile tr.e50;
+      p90 = quantile tr.e90;
+      p99 = quantile tr.e99;
+      p999 = quantile tr.e999;
+    }
+
+  let empty_tails = { n = 0; p50 = nan; p90 = nan; p99 = nan; p999 = nan }
+
+  let pp_tails fmt t =
+    if t.n = 0 then Format.pp_print_string fmt "(no samples)"
+    else
+      Format.fprintf fmt "n=%d p50=%.4g p90=%.4g p99=%.4g p999=%.4g" t.n
+        t.p50 t.p90 t.p99 t.p999
+end

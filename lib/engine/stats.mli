@@ -89,3 +89,54 @@ val pp_histogram : Format.formatter -> histogram -> unit
 
 val pp_summary : Format.formatter -> summary -> unit
 (** [pp_summary fmt s] prints ["mean ± ci95 (n=..)"]. *)
+
+(** Streaming quantile estimation in O(1) memory (the P² algorithm of
+    Jain & Chlamtac, 1985).
+
+    Five markers track one quantile; heights are adjusted
+    piecewise-parabolically as samples stream past, so tail statistics
+    stay constant-memory at any arrival volume. Until five non-NaN
+    samples have arrived the estimate is exact (computed from the
+    retained prefix with the same interpolation as {!percentile}).
+    Accuracy after that is approximate but tight in practice — the
+    test suite validates it against the exact-percentile oracle. *)
+module P2 : sig
+  type t
+  (** Mutable single-quantile estimator. *)
+
+  val create : p:float -> t
+  (** [create ~p] estimates the [p]-quantile ([0 < p < 1] — e.g.
+      [0.99] for p99). Raises [Invalid_argument] otherwise. *)
+
+  val add : t -> float -> unit
+  (** [add t x] folds sample [x] in. NaN samples are skipped, matching
+      {!Stats.percentile}'s NaN-dropping semantics. O(1). *)
+
+  val count : t -> int
+  (** [count t] is the number of (non-NaN) samples folded so far. *)
+
+  val quantile : t -> float
+  (** [quantile t] is the current estimate ([nan] before any
+      sample; exact while [count t <= 5]). *)
+
+  type tails = {
+    n : int;       (** samples folded *)
+    p50 : float;   (** median estimate; [nan] when [n = 0] *)
+    p90 : float;   (** 90th-percentile estimate *)
+    p99 : float;   (** 99th-percentile estimate *)
+    p999 : float;  (** 99.9th-percentile estimate *)
+  }
+  (** The standard tail quartet used by telemetry series. *)
+
+  type tracker
+  (** Four estimators (p50/p90/p99/p999) fed together. *)
+
+  val tracker : unit -> tracker
+  val track : tracker -> float -> unit
+  val tails : tracker -> tails
+
+  val empty_tails : tails
+  (** The tails of no samples ([n = 0], quantiles [nan]). *)
+
+  val pp_tails : Format.formatter -> tails -> unit
+end

@@ -9,6 +9,7 @@ let experiments =
     ("fig13", Fig13.run);
     ("fig14", Fig14.run);
     ("thm2", Thm2.run);
+    ("retry_tails", Retry_tails.run);
     ("thm3", Thm3.run);
     ("lem45", Lem45.run);
     ("ablation", Ablation.run);

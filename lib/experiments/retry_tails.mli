@@ -1,0 +1,41 @@
+(** Retry-tail study: empirical P² retry percentiles vs Theorem 2.
+
+    Theorem 2 bounds the {e worst case}; this table shows where the
+    distribution actually sits. For each load point, lock-free RUA
+    runs over the mode's seeds feed every job's retry count through
+    the simulator's streaming P² estimators; the table reports
+    p50/p90/p99/p99.9 and the observed max next to the analytical
+    budget [f_i], and the runtime auditor's verdict (zero violations
+    expected — any violation is a soundness bug).
+
+    Seeds aggregate by max per quantile: P² summaries cannot be merged
+    exactly, and max is conservative in the direction a tail study
+    cares about. *)
+
+type row = {
+  task_id : int;
+  a_i : int;             (** UAM arrivals per window *)
+  bound : int;           (** Theorem 2 budget [f_i] *)
+  n : int;               (** jobs resolved across all seeds *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max_retries : int;     (** observed worst per-job retry count *)
+}
+
+type point = {
+  load : float;          (** target approximate load AL *)
+  rows : row list;
+  checked : int;         (** jobs audited against their budget *)
+  violations : int;      (** Theorem-2 violations (0 when sound) *)
+}
+
+val loads : float list
+
+val compute : ?mode:Common.mode -> ?jobs:int -> unit -> point list
+
+val holds : point list -> bool
+(** No auditor violation and every observed max within its bound. *)
+
+val run : ?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit

@@ -19,6 +19,14 @@ let create ?(min_spins = 4) ?(max_spins = 1024) ?jitter_seed () =
     jitter = Option.map (fun seed -> Prng.create ~seed) jitter_seed;
   }
 
+(* Spin observer: a single global hook (installed by the telemetry
+   layer, which sits above this library) receiving the spin count of
+   every [once]. A plain [ref] keeps the uninstrumented fast path to
+   one load-and-branch; the hook itself must be domain-safe. *)
+let observer : (int -> unit) option ref = ref None
+
+let set_observer f = observer := f
+
 let once b =
   (* Without jitter, equal-priority contenders that fail the same CAS
      back off for exactly the same budget and collide again in
@@ -34,7 +42,8 @@ let once b =
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done;
-  b.spins <- min b.max_spins (b.spins * 2)
+  b.spins <- min b.max_spins (b.spins * 2);
+  match !observer with None -> () | Some f -> f spins
 
 let last_spins b = b.last_spins
 

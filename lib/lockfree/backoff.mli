@@ -36,3 +36,11 @@ val reset : t -> unit
 (** [reset b] returns to the minimum budget (call after a success).
     The jitter stream is deliberately not rewound — two contenders
     must not fall back into phase after every success. *)
+
+val set_observer : (int -> unit) option -> unit
+(** [set_observer (Some f)] installs a global spin observer: every
+    {!once} reports its spin count (jitter included) to [f] after
+    spinning. Used by the telemetry layer to account backoff spins
+    without threading state through every structure; [f] runs on the
+    spinning domain and must be domain-safe. [set_observer None]
+    uninstalls (the default — one load-and-branch of overhead). *)

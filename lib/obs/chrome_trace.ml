@@ -58,6 +58,49 @@ let instant_event ~tid ~name ~time ~args =
       ("args", Json.Obj args);
     ]
 
+let counter_event ~name ~time ~value =
+  Json.Obj
+    [
+      ("ph", Json.Str "C");
+      ("pid", Json.Int pid);
+      ("name", Json.Str name);
+      ("ts", Json.Float (us time));
+      ("args", Json.Obj [ ("value", Json.Int value) ]);
+    ]
+
+(* Counter tracks: cumulative lock-free retries, per object and total.
+   Each [Retry] trace entry bumps its object's running count and emits
+   one counter sample, so Perfetto renders retry pressure as a
+   staircase aligned with the job lanes — flat stretches are
+   conflict-free, steep ones mark interference bursts. *)
+let counter_events trace =
+  let entries = Trace.entries trace in
+  let max_obj =
+    List.fold_left
+      (fun acc { Trace.kind; _ } ->
+        match kind with Trace.Retry (_, obj) -> max acc obj | _ -> acc)
+      (-1) entries
+  in
+  if max_obj < 0 then []
+  else begin
+    let per_obj = Array.make (max_obj + 1) 0 in
+    let total = ref 0 in
+    List.concat_map
+      (fun { Trace.time; kind } ->
+        match kind with
+        | Trace.Retry (_, obj) ->
+          per_obj.(obj) <- per_obj.(obj) + 1;
+          incr total;
+          [
+            counter_event
+              ~name:(Printf.sprintf "retries o%d" obj)
+              ~time ~value:per_obj.(obj);
+            counter_event ~name:"retries (total)" ~time ~value:!total;
+          ]
+        | _ -> [])
+      entries
+  end
+
 let span_name (s : Spans.span) =
   match s.Spans.obj with
   | Some obj -> Printf.sprintf "%s o%d" (Spans.kind_name s.Spans.kind) obj
@@ -126,7 +169,7 @@ let events trace =
           None)
       (Trace.entries trace)
   in
-  meta @ durations @ instants
+  meta @ durations @ instants @ counter_events trace
 
 let to_string trace = Json.lines_to_string (events trace)
 

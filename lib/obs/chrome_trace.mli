@@ -11,7 +11,10 @@
       retry and access spans (reconstructed by {!Spans}), and for each
       scheduler invocation with its op count and charged cost;
     - instant (["ph":"i"]) events for arrivals, preemptions, wakes,
-      completions and aborts.
+      completions and aborts;
+    - counter (["ph":"C"]) tracks charting cumulative lock-free
+      retries, one per contended object plus a process-wide total, so
+      interference bursts line up visually with the job lanes.
 
     Timestamps are microseconds, per the format; durations keep ns
     precision as fractional µs. *)

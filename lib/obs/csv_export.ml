@@ -1,4 +1,5 @@
 module Trace = Rtlf_sim.Trace
+module Contention = Rtlf_sim.Contention
 
 let header = "time_ns,event,jid,obj,extra"
 
@@ -39,3 +40,30 @@ let write_file ~path trace =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string trace))
+
+(* --- contention profile ------------------------------------------------- *)
+
+let contention_header =
+  "obj,acquires,conflicts,retries,blocked_ns,max_queue_depth"
+
+let contention_row (c : Contention.t) =
+  Printf.sprintf "%d,%d,%d,%d,%d,%d" c.Contention.obj c.Contention.acquires
+    c.Contention.conflicts c.Contention.retries c.Contention.blocked_ns
+    c.Contention.max_queue_depth
+
+let contention_to_string profile =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf contention_header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (contention_row c);
+      Buffer.add_char buf '\n')
+    profile;
+  Buffer.contents buf
+
+let write_contention_file ~path profile =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (contention_to_string profile))

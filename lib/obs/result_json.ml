@@ -1,6 +1,7 @@
 module Stats = Rtlf_engine.Stats
 module Simulator = Rtlf_sim.Simulator
 module Contention = Rtlf_sim.Contention
+module Audit = Rtlf_sim.Audit
 module Trace = Rtlf_sim.Trace
 
 let summary (s : Stats.summary) =
@@ -42,6 +43,39 @@ let contention (c : Contention.t) =
       ("max_queue_depth", Json.Int c.Contention.max_queue_depth);
     ]
 
+let retry_tails (t : Stats.P2.tails) =
+  Json.Obj
+    [
+      ("n", Json.Int t.Stats.P2.n);
+      ("p50", Json.Float t.Stats.P2.p50);
+      ("p90", Json.Float t.Stats.P2.p90);
+      ("p99", Json.Float t.Stats.P2.p99);
+      ("p999", Json.Float t.Stats.P2.p999);
+    ]
+
+let audit_violation (v : Audit.violation) =
+  Json.Obj
+    [
+      ("jid", Json.Int v.Audit.jid);
+      ("task_id", Json.Int v.Audit.task_id);
+      ("retries", Json.Int v.Audit.retries);
+      ("bound", Json.Int v.Audit.bound);
+      ("time_ns", Json.Int v.Audit.time);
+    ]
+
+let audit (r : Audit.report) =
+  Json.Obj
+    [
+      ("audited", Json.Bool r.Audit.audited);
+      ("checked", Json.Int r.Audit.checked);
+      ( "bounds",
+        Json.List
+          (Array.to_list (Array.map (fun b -> Json.Int b) r.Audit.bounds)) );
+      ("violations", Json.Int (List.length r.Audit.violations));
+      ( "violation_list",
+        Json.List (List.map audit_violation r.Audit.violations) );
+    ]
+
 let task_result (tr : Simulator.task_result) =
   Json.Obj
     [
@@ -54,6 +88,7 @@ let task_result (tr : Simulator.task_result) =
       ("max_possible", Json.Float tr.Simulator.max_possible);
       ("total_retries", Json.Int tr.Simulator.total_retries);
       ("max_retries", Json.Int tr.Simulator.max_retries);
+      ("retry_tails", retry_tails tr.Simulator.retry_tails);
       ("sojourn_ns", summary tr.Simulator.sojourn);
     ]
 
@@ -88,7 +123,68 @@ let result (res : Simulator.result) =
       ( "per_task",
         Json.List
           (Array.to_list (Array.map task_result res.Simulator.per_task)) );
+      ("audit", audit res.Simulator.audit);
       ("trace_dropped", Json.Int (Trace.dropped res.Simulator.trace));
     ]
 
 let to_string res = Json.to_string (result res)
+
+(* --- metrics document --------------------------------------------------- *)
+
+(* A compact, stable-schema companion to [result]: just the
+   observability sections (audit, retry tails, contention, telemetry
+   counter sites) without the bulky histograms — what CI and the bench
+   harness archive per run. *)
+
+let metrics ?(telemetry = []) (res : Simulator.result) =
+  let tails =
+    Array.to_list
+      (Array.map
+         (fun (tr : Simulator.task_result) ->
+           let bound =
+             let b = res.Simulator.audit.Audit.bounds in
+             if tr.Simulator.task_id < Array.length b then
+               b.(tr.Simulator.task_id)
+             else 0
+           in
+           match retry_tails tr.Simulator.retry_tails with
+           | Json.Obj fields ->
+             Json.Obj
+               (("task_id", Json.Int tr.Simulator.task_id)
+               :: fields
+               @ [
+                   ("max_retries", Json.Int tr.Simulator.max_retries);
+                   ("bound", Json.Int bound);
+                 ])
+           | j -> j)
+         res.Simulator.per_task)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlf-metrics-v1");
+      ("sync", Json.Str res.Simulator.sync_name);
+      ("scheduler", Json.Str res.Simulator.sched_name);
+      ("final_time_ns", Json.Int res.Simulator.final_time);
+      ("released", Json.Int res.Simulator.released);
+      ("completed", Json.Int res.Simulator.completed);
+      ("aur", Json.Float res.Simulator.aur);
+      ("cmr", Json.Float res.Simulator.cmr);
+      ("retries_total", Json.Int res.Simulator.retries_total);
+      ("audit", audit res.Simulator.audit);
+      ("retry_tails", Json.List tails);
+      ( "contention",
+        Json.List
+          (Array.to_list (Array.map contention res.Simulator.contention)) );
+      ( "telemetry",
+        Json.List (List.map Telemetry.snapshot_json telemetry) );
+      ("trace_dropped", Json.Int (Trace.dropped res.Simulator.trace));
+    ]
+
+let metrics_to_string ?telemetry res =
+  Json.to_string (metrics ?telemetry res)
+
+let write_metrics ?telemetry ~path res =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (metrics_to_string ?telemetry res))

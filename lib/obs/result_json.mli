@@ -15,6 +15,13 @@ val histogram : Rtlf_engine.Stats.histogram -> Json.t
 val contention : Rtlf_sim.Contention.t -> Json.t
 (** Serialise one object's contention counters. *)
 
+val retry_tails : Rtlf_engine.Stats.P2.tails -> Json.t
+(** Serialise streaming P² retry percentiles. *)
+
+val audit : Rtlf_sim.Audit.report -> Json.t
+(** Serialise the Theorem-2 budget auditor's report (budgets, checked
+    count, and every violation). *)
+
 val task_result : Rtlf_sim.Simulator.task_result -> Json.t
 (** Serialise one task's per-run summary. *)
 
@@ -23,3 +30,22 @@ val result : Rtlf_sim.Simulator.result -> Json.t
 
 val to_string : Rtlf_sim.Simulator.result -> string
 (** [to_string res] is [result res] serialised compactly. *)
+
+val metrics :
+  ?telemetry:Telemetry.snapshot list -> Rtlf_sim.Simulator.result -> Json.t
+(** [metrics res] is the "rtlf-metrics-v1" document: the observability
+    sections of a run — Theorem-2 audit, per-task P² retry tails with
+    their analytical bounds, per-object contention, optional telemetry
+    counter-site snapshots, and the trace-drop count — without the
+    bulky histograms. This is what [rtlf sim --metrics-out] writes and
+    CI archives. *)
+
+val metrics_to_string :
+  ?telemetry:Telemetry.snapshot list -> Rtlf_sim.Simulator.result -> string
+
+val write_metrics :
+  ?telemetry:Telemetry.snapshot list ->
+  path:string ->
+  Rtlf_sim.Simulator.result ->
+  unit
+(** [write_metrics ~path res] writes {!metrics_to_string} to [path]. *)

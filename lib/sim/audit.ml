@@ -1,0 +1,77 @@
+module Task = Rtlf_model.Task
+module Retry_bound = Rtlf_core.Retry_bound
+
+type violation = {
+  jid : int;
+  task_id : int;
+  retries : int;
+  bound : int;
+  time : int;
+}
+
+type report = {
+  audited : bool;
+  checked : int;
+  bounds : int array;
+  violations : violation list;
+}
+
+type t = {
+  enabled : bool;
+  r_bounds : int array;
+  mutable r_checked : int;
+  mutable r_violations : violation list; (* newest first while running *)
+}
+
+let bounds_of_tasks tasks =
+  let max_id = List.fold_left (fun acc t -> max acc t.Task.id) (-1) tasks in
+  let bounds = Array.make (max_id + 1) 0 in
+  List.iter
+    (fun t ->
+      bounds.(t.Task.id) <- Retry_bound.bound ~tasks ~i:t.Task.id)
+    tasks;
+  bounds
+
+let create ~tasks ~enabled =
+  {
+    enabled;
+    r_bounds = bounds_of_tasks tasks;
+    r_checked = 0;
+    r_violations = [];
+  }
+
+let observe a ~task_id ~jid ~retries ~time =
+  if a.enabled then begin
+    a.r_checked <- a.r_checked + 1;
+    let bound = a.r_bounds.(task_id) in
+    if retries > bound then
+      a.r_violations <-
+        { jid; task_id; retries; bound; time } :: a.r_violations
+  end
+
+let report a =
+  {
+    audited = a.enabled;
+    checked = a.r_checked;
+    bounds = a.r_bounds;
+    violations = List.rev a.r_violations;
+  }
+
+let ok r = r.violations = []
+
+let pp_violation fmt v =
+  Format.fprintf fmt
+    "J%d (task %d) retried %d times, Theorem 2 budget is %d (at t=%dns)"
+    v.jid v.task_id v.retries v.bound v.time
+
+let pp_report fmt r =
+  if not r.audited then Format.pp_print_string fmt "auditor: not applicable"
+  else if r.violations = [] then
+    Format.fprintf fmt "auditor: %d jobs within Theorem 2 retry budget"
+      r.checked
+  else begin
+    Format.fprintf fmt "auditor: %d VIOLATION(S) in %d jobs"
+      (List.length r.violations) r.checked;
+    List.iter (fun v -> Format.fprintf fmt "@.  %a" pp_violation v)
+      r.violations
+  end

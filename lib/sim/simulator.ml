@@ -76,6 +76,7 @@ type task_result = {
   max_possible : float;
   total_retries : int;
   max_retries : int;
+  retry_tails : Stats.P2.tails;
   sojourn : Stats.summary;
 }
 
@@ -105,6 +106,7 @@ type result = {
   sched_hist : Stats.histogram;
   contention : Contention.t array;
   per_task : task_result array;
+  audit : Audit.report;
   trace : Trace.t;
 }
 
@@ -133,6 +135,8 @@ type state = {
       (* jid -> (obj, block start ns) for open blocking spans *)
   blocking_spans : Float_buffer.t;
   sched_costs : Float_buffer.t;
+  audit : Audit.t;
+  retry_tails : Stats.P2.tracker array; (* indexed by task id *)
 }
 
 let validate cfg =
@@ -189,7 +193,14 @@ let remaining_cost sync job =
 
 (* --- job lifecycle ------------------------------------------------- *)
 
+(* Every job leaves the live set exactly once, through here — the one
+   point where its final retry count is known, so both the Theorem-2
+   auditor and the per-task retry-tail estimators feed off it. *)
 let resolve st job =
+  let task_id = job.Job.task.Task.id in
+  Audit.observe st.audit ~task_id ~jid:job.Job.jid ~retries:job.Job.retries
+    ~time:st.now;
+  Stats.P2.track st.retry_tails.(task_id) (float_of_int job.Job.retries);
   Live_view.remove st.live ~jid:job.Job.jid;
   st.resolved <- job :: st.resolved
 
@@ -635,6 +646,7 @@ let summarise st =
           max_possible = max_possible.(i);
           total_retries = total_retries.(i);
           max_retries = max_retries.(i);
+          retry_tails = Stats.P2.tails st.retry_tails.(i);
           sojourn = Stats.summary sojourns.(i);
         })
   in
@@ -675,6 +687,7 @@ let summarise st =
     sched_hist = Stats.histogram (Float_buffer.to_array st.sched_costs);
     contention = st.contention;
     per_task;
+    audit = Audit.report st.audit;
     trace = st.trace;
   }
 
@@ -682,6 +695,17 @@ let run cfg =
   validate cfg;
   let objects = Resource.create ~n:cfg.n_objects in
   let locks = Lock_manager.create ~objects in
+  (* Theorem 2 is proved for RUA scheduling of lock-free sharing; the
+     auditor stays disarmed elsewhere (lock-based jobs never retry,
+     and EDF is not a UA scheduler, so the bound does not apply). *)
+  let audit_enabled =
+    match (cfg.sync, cfg.sched) with
+    | Sync.Lock_free _, Rua -> true
+    | _ -> false
+  in
+  let n_tasks =
+    1 + List.fold_left (fun acc t -> max acc t.Task.id) (-1) cfg.tasks
+  in
   let st =
     {
       cfg;
@@ -705,6 +729,8 @@ let run cfg =
       block_since = Hashtbl.create 16;
       blocking_spans = Float_buffer.create ();
       sched_costs = Float_buffer.create ();
+      audit = Audit.create ~tasks:cfg.tasks ~enabled:audit_enabled;
+      retry_tails = Array.init n_tasks (fun _ -> Stats.P2.tracker ());
     }
   in
   let root = Prng.create ~seed:cfg.seed in

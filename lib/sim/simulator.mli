@@ -68,6 +68,9 @@ type task_result = {
   max_possible : float;  (** Σ Uᵢ(0) over resolved jobs *)
   total_retries : int;
   max_retries : int;     (** worst per-job retry count (Theorem 2) *)
+  retry_tails : Rtlf_engine.Stats.P2.tails;
+      (** streaming P² percentiles of per-job retry counts — the
+          empirical tail Theorem 2's budget bounds *)
   sojourn : Rtlf_engine.Stats.summary;  (** of completed jobs, ns *)
 }
 
@@ -102,6 +105,9 @@ type result = {
       (** distribution of per-invocation scheduler costs, ns *)
   contention : Contention.t array;  (** per-object profile, by index *)
   per_task : task_result array;  (** indexed by task id *)
+  audit : Audit.report;
+      (** Theorem-2 budget audit: armed for lock-free + RUA runs,
+          every resolved job checked against its task's retry budget *)
   trace : Trace.t;
 }
 

@@ -207,6 +207,88 @@ let test_json_emitter () =
   Alcotest.(check string) "integral float" "2.0"
     (Json.to_string (Json.Float 2.0))
 
+let field name = function
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let test_json_parser () =
+  (* Round-trip: parse(emit(v)) = v on a nested document. *)
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "he\"llo\n");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 2.5);
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Obj [ ("k", Json.Str "v") ] ]);
+        ("e", Json.Obj []);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | got when got = v -> ()
+  | got ->
+    Alcotest.failf "round-trip mismatch: %s vs %s" (Json.to_string got)
+      (Json.to_string v));
+  (* Whitespace tolerated, integral floats come back as Float. *)
+  Alcotest.(check bool) "whitespace"
+    true
+    (Json.of_string " { \"a\" : [ 1 , 2.0 ] } "
+    = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.0 ]) ]);
+  (* Malformed inputs are rejected, of_string_opt is total. *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" bad)
+        true
+        (Json.of_string_opt bad = None))
+    [ "{"; "[1,]"; "\"unterminated"; "{\"a\":1} garbage"; "nul"; "" ];
+  Alcotest.(check bool) "member" true
+    (Json.member "a" (Json.Obj [ ("a", Json.Int 3) ]) = Some (Json.Int 3))
+
+(* --- counter tracks ------------------------------------------------------ *)
+
+let test_chrome_counter_tracks () =
+  let t = Trace.create ~enabled:true () in
+  let r time kind = Trace.record t ~time kind in
+  r 0 (Trace.Arrive (0, 0));
+  r 10 (Trace.Start 0);
+  r 20 (Trace.Retry (0, 2));
+  r 30 (Trace.Retry (0, 2));
+  r 40 (Trace.Retry (0, 0));
+  r 50 (Trace.Complete 0);
+  let events = Chrome_trace.events t in
+  let counters =
+    List.filter_map
+      (fun ev ->
+        match (field "ph" ev, field "name" ev, field "args" ev) with
+        | ( Some (Json.Str "C"),
+            Some (Json.Str name),
+            Some (Json.Obj [ ("value", Json.Int v) ]) ) -> Some (name, v)
+        | _ -> None)
+      events
+  in
+  (* Cumulative staircase per object, plus the process-wide total. *)
+  Alcotest.(check (list (pair string int)))
+    "cumulative counters"
+    [
+      ("retries o2", 1); ("retries (total)", 1);
+      ("retries o2", 2); ("retries (total)", 2);
+      ("retries o0", 1); ("retries (total)", 3);
+    ]
+    counters
+
+let test_chrome_no_counters_without_retries () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:0 (Trace.Start 0);
+  Trace.record t ~time:9 (Trace.Complete 0);
+  let has_counter =
+    List.exists
+      (fun ev -> field "ph" ev = Some (Json.Str "C"))
+      (Chrome_trace.events t)
+  in
+  Alcotest.(check bool) "no counter events" false has_counter
+
 (* --- golden exporter checks --------------------------------------------- *)
 
 (* A tiny deterministic two-task workload contending on object 0 under
@@ -254,10 +336,6 @@ let test_golden_csv () =
   let want = read_file "golden/trace_small.csv" in
   Alcotest.(check string) "csv trace matches golden" want got
 
-let field name = function
-  | Json.Obj kvs -> List.assoc_opt name kvs
-  | _ -> None
-
 let test_chrome_schema () =
   let res = golden_result () in
   let events = Chrome_trace.events res.Simulator.trace in
@@ -265,10 +343,13 @@ let test_chrome_schema () =
   List.iter
     (fun ev ->
       (match field "ph" ev with
-      | Some (Json.Str ("M" | "X" | "i")) -> ()
+      | Some (Json.Str ("M" | "X" | "i" | "C")) -> ()
       | _ -> Alcotest.fail "event without valid ph");
       (match (field "pid" ev, field "tid" ev) with
       | Some (Json.Int _), Some (Json.Int _) -> ()
+      | Some (Json.Int _), None when field "ph" ev = Some (Json.Str "C") ->
+        (* counter tracks are per-process, no thread lane *)
+        ()
       | _ -> Alcotest.fail "event without pid/tid");
       (match field "name" ev with
       | Some (Json.Str _) -> ()
@@ -286,6 +367,12 @@ let test_chrome_schema () =
           match field "args" ev with
           | Some (Json.Obj [ ("name", Json.Str _) ]) -> ()
           | _ -> Alcotest.fail "M event without args.name")
+      | Some (Json.Str "C") -> (
+          match (field "ts" ev, field "args" ev) with
+          | Some (Json.Float _), Some (Json.Obj [ ("value", Json.Int _) ])
+            ->
+            ()
+          | _ -> Alcotest.fail "C event without ts/args.value")
       | _ -> ())
     events;
   (* The document itself parses line-per-event and has metadata for
@@ -367,7 +454,17 @@ let () =
             test_spans_open_at_horizon;
         ] );
       ( "json",
-        [ Alcotest.test_case "emitter" `Quick test_json_emitter ] );
+        [
+          Alcotest.test_case "emitter" `Quick test_json_emitter;
+          Alcotest.test_case "parser round-trip" `Quick test_json_parser;
+        ] );
+      ( "counter-tracks",
+        [
+          Alcotest.test_case "cumulative retries" `Quick
+            test_chrome_counter_tracks;
+          Alcotest.test_case "absent without retries" `Quick
+            test_chrome_no_counters_without_retries;
+        ] );
       ( "exporters",
         [
           Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome;
