@@ -91,6 +91,18 @@ let hetero_arg =
   let doc = "Use the heterogeneous TUF class (step+linear+parabolic)." in
   Arg.(value & flag & info [ "heterogeneous" ] ~doc)
 
+let queue_arg =
+  let doc =
+    "Event-queue implementation: heap (binary heap) or wheel \
+     (hierarchical timing wheel, amortised-O(1) insert). Results are \
+     bit-identical either way."
+  in
+  let queues =
+    [ ("heap", Simulator.Binary_heap); ("wheel", Simulator.Wheel) ]
+  in
+  Arg.(value & opt (enum queues) Simulator.Binary_heap
+       & info [ "queue" ] ~doc)
+
 let make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed =
   {
     Workload.default with
@@ -225,7 +237,7 @@ let print_observability res =
   Report.contention fmt res.Simulator.contention
 
 let sim_cmd =
-  let run tasks objects load exec_us sync sched hetero seed fast json
+  let run tasks objects load exec_us sync sched queue hetero seed fast json
       trace_out csv_out metrics_out contention_csv trace_capacity =
     let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
     let task_list = Workload.make spec in
@@ -233,7 +245,7 @@ let sim_cmd =
     let trace = Option.is_some trace_out || Option.is_some csv_out in
     let res =
       Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~trace
-        ?trace_capacity ~seed task_list
+        ?trace_capacity ~queue ~seed task_list
     in
     if json then print_string (Obs.Result_json.to_string res)
     else begin
@@ -284,7 +296,7 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run one ad-hoc simulation and print a summary.")
     Term.(
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
-      $ sched_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
+      $ sched_arg $ queue_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
       $ trace_out_arg $ csv_out_arg $ metrics_out_arg $ contention_csv_arg
       $ trace_capacity_arg)
 

@@ -1,11 +1,36 @@
 module Job = Rtlf_model.Job
 
-(* Arena-backed hot path: one scratch cell per live job, in-place sort,
-   speculative insertion with rollback instead of one O(n) schedule
-   copy per candidate. Differentially tested bit-identical (decision
-   and charged ops) to [Reference.rua_lock_free]. *)
+(* Incremental, scale-ready decider. Two layers on top of the abstract
+   algorithm (which is unchanged — [Reference.rua_lock_free] remains
+   the oracle, and the differential suite pins decisions AND charged
+   ops bit-identical):
 
-type scratch = { arena : Arena.t; sched : Tentative_schedule.t }
+   1. Within one invocation, the greedy admission loop runs in
+      O(n log n) instead of O(n²). Candidates are laid out once in the
+      final schedule's total order — (eff_ct, admission rank): ECF with
+      ties resolved by admission order, exactly the order
+      [Tentative_schedule.insert_at_ecf] produces — so admitting a
+      candidate never shifts anything physically, and both feasibility
+      conditions become Fenwick / segment-tree queries ({!Slack_tree}).
+
+   2. Across invocations, a validity cache skips the rebuild entirely
+      when no job's feasibility inputs changed. The decision is a pure
+      function of (candidate order, per-candidate (eff_ct, rem), now);
+      re-scoring is O(1) per job, and monotonicity makes the cached
+      decision exact for any [now' >= now] up to the schedule's minimum
+      slack: admitted entries keep non-negative slack (their slacks
+      only dominate the intermediate states the greedy saw), and a
+      candidate rejected at [now] fails the same comparison at any
+      later instant. Any detected change — array identity, liveness,
+      runnability, remaining cost, or PUD — falls back to the full
+      rebuild.
+
+   The abstract ops charges are the paper's complexity model, not a
+   measure of this implementation: both layers charge exactly what the
+   reference list walk would have charged (per candidate probed with k
+   entries admitted: two ordered-structure charges of ceil-log2(k+1)
+   plus a feasibility walk of k+1; plus the n scoring and
+   n*ceil-log2(n) sort charges). *)
 
 (* Non-increasing PUD; ties by jid for determinism. Total order, so the
    in-place sort agrees with the reference [List.sort]. *)
@@ -14,52 +39,221 @@ let by_pud (a : Arena.cell) (b : Arena.cell) =
   | 0 -> Int.compare a.Arena.jid b.Arena.jid
   | c -> c
 
-let decide scratch ~now ~jobs ~remaining =
-  let ops = ref 0 in
-  let cells = Arena.cells scratch.arena ~n:(Array.length jobs) in
-  (* PUD of each live job: O(1) per job without dependency chains. *)
-  let n = ref 0 in
-  Array.iter
-    (fun j ->
-      if Job.is_live j then begin
-        let c = cells.(!n) in
-        c.Arena.key <- Pud.of_job ~now ~remaining j;
-        c.Arena.jid <- j.Job.jid;
-        c.Arena.job <- j;
-        incr n
-      end)
-    jobs;
-  let n = !n in
-  ops := !ops + n;
-  Arena.sort cells ~n ~cmp:by_pud;
-  ops := !ops + (n * Log2.ceil (max n 2));
-  (* Greedy schedule construction: highest PUD first, keep if the
-     tentative schedule stays feasible. *)
-  let sched = scratch.sched in
-  Tentative_schedule.reset sched ~ops ~now ~remaining;
-  let rejected = ref [] in
+(* Schedule-position order: eff_ct ascending (widened to float — exact
+   below 2^53), ties by admission rank, stored in the [jid] field. This
+   is the stable-ECF insertion order of the reference schedule. *)
+let by_ecf (a : Arena.cell) (b : Arena.cell) =
+  match Float.compare a.Arena.key b.Arena.key with
+  | 0 -> Int.compare a.Arena.jid b.Arena.jid
+  | c -> c
+
+(* Last decision plus everything needed to prove it still holds. The
+   per-index arrays shadow the jobs array the decision was made from
+   (identity-checked — the Live_view cache hands the scheduler the same
+   physical array while membership is unchanged). *)
+type cache = {
+  mutable valid : bool;
+  mutable jobs_arr : Job.t array;
+  mutable prev_now : int;
+  mutable min_slack : int; (* cached decision exact while now <= this *)
+  mutable live : bool array;
+  mutable runnable : bool array;
+  mutable pud : float array;
+  mutable rem : int array;
+  mutable decision : Scheduler.decision;
+}
+
+type scratch = {
+  arena : Arena.t; (* candidates in PUD (admission) order *)
+  ecf : Arena.t; (* candidates in schedule-position order *)
+  tree : Slack_tree.t;
+  mutable rem_of_rank : int array; (* admission rank -> remaining cost *)
+  mutable ect_of_rank : int array; (* admission rank -> eff_ct *)
+  mutable pos_of_rank : int array; (* admission rank -> schedule position *)
+  mutable admitted : bool array; (* schedule position -> admitted? *)
+  cache : cache;
+}
+
+let empty_decision =
+  { Scheduler.dispatch = None; aborts = []; rejected = []; schedule = []; ops = 0 }
+
+let ensure n arr = if Array.length arr >= n then arr else Array.make (max n 16) 0
+let ensure_bool n arr =
+  if Array.length arr >= n then arr else Array.make (max n 16) false
+let ensure_float n arr =
+  if Array.length arr >= n then arr else Array.make (max n 16) 0.0
+
+(* --- cached fast path -------------------------------------------------- *)
+
+(* O(n) revalidation: the cached decision is returned verbatim iff no
+   job's feasibility inputs changed and [now] has not passed the
+   schedule's minimum slack. PUD is recomputed at the current [now] and
+   compared bitwise — a step TUF's PUD is constant over the job's
+   feasible window, so steady states validate; any drift rebuilds. *)
+let cache_hit scratch ~now ~jobs ~remaining =
+  let c = scratch.cache in
+  c.valid && jobs == c.jobs_arr && now >= c.prev_now && now <= c.min_slack
+  &&
+  let n = Array.length jobs in
+  let rec check i =
+    i >= n
+    ||
+    let j = jobs.(i) in
+    let live = Job.is_live j in
+    live = c.live.(i)
+    && (not live
+       || Job.is_runnable j = c.runnable.(i)
+          && remaining j = c.rem.(i)
+          && Float.equal (Pud.of_job ~now ~remaining j) c.pud.(i))
+    && check (i + 1)
+  in
+  check 0
+
+(* Record the inputs the decision depended on, for the next hit test. *)
+let cache_store scratch ~now ~jobs ~remaining ~min_slack decision =
+  let c = scratch.cache in
+  let n = Array.length jobs in
+  c.live <- ensure_bool n c.live;
+  c.runnable <- ensure_bool n c.runnable;
+  c.pud <- ensure_float n c.pud;
+  c.rem <- ensure n c.rem;
   for i = 0 to n - 1 do
-    let job = cells.(i).Arena.job in
-    if not (Tentative_schedule.try_insert_job sched job) then
-      rejected := job.Job.jid :: !rejected
+    let j = jobs.(i) in
+    let live = Job.is_live j in
+    c.live.(i) <- live;
+    if live then begin
+      c.runnable.(i) <- Job.is_runnable j;
+      c.rem.(i) <- remaining j;
+      c.pud.(i) <- Pud.of_job ~now ~remaining j
+    end
   done;
-  let schedule = Tentative_schedule.jobs sched in
-  let dispatch = List.find_opt Job.is_runnable schedule in
-  Arena.scrub cells ~n;
-  {
-    Scheduler.dispatch;
-    aborts = [];
-    rejected = List.rev !rejected;
-    schedule;
-    ops = !ops;
-  }
+  c.jobs_arr <- jobs;
+  c.prev_now <- now;
+  c.min_slack <- min_slack;
+  c.decision <- decision;
+  c.valid <- true
+
+(* --- full rebuild ------------------------------------------------------ *)
+
+let decide scratch ~now ~jobs ~remaining =
+  if cache_hit scratch ~now ~jobs ~remaining then scratch.cache.decision
+  else begin
+    let ops = ref 0 in
+    let cells = Arena.cells scratch.arena ~n:(Array.length jobs) in
+    (* PUD of each live job: O(1) per job without dependency chains. *)
+    let n = ref 0 in
+    Array.iter
+      (fun j ->
+        if Job.is_live j then begin
+          let c = cells.(!n) in
+          c.Arena.key <- Pud.of_job ~now ~remaining j;
+          c.Arena.jid <- j.Job.jid;
+          c.Arena.job <- j;
+          incr n
+        end)
+      jobs;
+    let n = !n in
+    ops := !ops + n;
+    Arena.sort cells ~n ~cmp:by_pud;
+    ops := !ops + (n * Log2.ceil (max n 2));
+    (* Fixed schedule positions: candidates ordered by (eff_ct,
+       admission rank). The admitted subset read in position order is
+       exactly the reference's stable-ECF schedule. *)
+    scratch.rem_of_rank <- ensure n scratch.rem_of_rank;
+    scratch.ect_of_rank <- ensure n scratch.ect_of_rank;
+    scratch.pos_of_rank <- ensure n scratch.pos_of_rank;
+    scratch.admitted <- ensure_bool n scratch.admitted;
+    let ecf_cells = Arena.cells scratch.ecf ~n in
+    for r = 0 to n - 1 do
+      let job = cells.(r).Arena.job in
+      let ect = Job.absolute_critical_time job in
+      scratch.rem_of_rank.(r) <- remaining job;
+      scratch.ect_of_rank.(r) <- ect;
+      let e = ecf_cells.(r) in
+      e.Arena.key <- float_of_int ect;
+      e.Arena.jid <- r;
+      e.Arena.job <- job
+    done;
+    Arena.sort ecf_cells ~n ~cmp:by_ecf;
+    for p = 0 to n - 1 do
+      scratch.pos_of_rank.(ecf_cells.(p).Arena.jid) <- p;
+      scratch.admitted.(p) <- false
+    done;
+    Slack_tree.reset scratch.tree ~n;
+    (* Greedy admission, highest PUD first. Feasibility of candidate c
+       at position p, against the admitted set S (all currently
+       feasible): c itself must finish by its eff_ct after the admitted
+       work before it, and every admitted entry after p must absorb
+       rem c without going negative. Charges mirror the reference list
+       walk exactly (see module comment). *)
+    let rejected = ref [] in
+    let admitted_count = ref 0 in
+    for r = 0 to n - 1 do
+      let k = !admitted_count in
+      ops := !ops + (2 * Log2.ceil (k + 1)) + (k + 1);
+      let p = scratch.pos_of_rank.(r) in
+      let rem = scratch.rem_of_rank.(r) in
+      let ect = scratch.ect_of_rank.(r) in
+      let before = Slack_tree.prefix_rem scratch.tree ~pos:p in
+      let slack = ect - before - rem - now in
+      if
+        slack >= 0
+        && Slack_tree.suffix_min scratch.tree ~pos:(p + 1) >= now + rem
+      then begin
+        Slack_tree.admit scratch.tree ~pos:p ~rem ~slack:(ect - before - rem);
+        scratch.admitted.(p) <- true;
+        incr admitted_count
+      end
+      else rejected := cells.(r).Arena.jid :: !rejected
+    done;
+    let schedule = ref [] in
+    for p = n - 1 downto 0 do
+      if scratch.admitted.(p) then
+        schedule := ecf_cells.(p).Arena.job :: !schedule
+    done;
+    let schedule = !schedule in
+    let dispatch = List.find_opt Job.is_runnable schedule in
+    (* The decision stays valid while now <= min over admitted of
+       (eff_ct_i - prefix_rem_i): every admitted entry still feasible,
+       every rejection still forced. *)
+    let min_slack = Slack_tree.min_all scratch.tree in
+    Arena.scrub cells ~n;
+    Arena.scrub ecf_cells ~n;
+    let decision =
+      {
+        Scheduler.dispatch;
+        aborts = [];
+        rejected = List.rev !rejected;
+        schedule;
+        ops = !ops;
+      }
+    in
+    cache_store scratch ~now ~jobs ~remaining ~min_slack decision;
+    decision
+  end
 
 let make () =
   let scratch =
     {
       arena = Arena.create ();
-      sched =
-        Tentative_schedule.create ~ops:(ref 0) ~now:0 ~remaining:(fun _ -> 0);
+      ecf = Arena.create ();
+      tree = Slack_tree.create ();
+      rem_of_rank = [||];
+      ect_of_rank = [||];
+      pos_of_rank = [||];
+      admitted = [||];
+      cache =
+        {
+          valid = false;
+          jobs_arr = [||];
+          prev_now = 0;
+          min_slack = 0;
+          live = [||];
+          runnable = [||];
+          pud = [||];
+          rem = [||];
+          decision = empty_decision;
+        };
     }
   in
   {

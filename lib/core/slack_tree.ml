@@ -1,0 +1,118 @@
+(* Fenwick tree (prefix sums of admitted rem) + lazy range-add /
+   range-min segment tree (per-position slack) over a fixed position
+   range. Storage is grow-only and reused across decisions. *)
+
+(* Far above any reachable slack (eff_ct minus work sums, both bounded
+   by the virtual-time horizon), far below overflow even after every
+   admitted rem is subtracted from it. *)
+let sentinel = max_int / 4
+
+type t = {
+  mutable n : int;
+  mutable size : int; (* power of two >= n; tree nodes are 1 .. 2*size-1 *)
+  mutable minv : int array; (* node -> min slack of its segment *)
+  mutable lzy : int array; (* node -> add pending for its children *)
+  mutable fen : int array; (* 1-based Fenwick over rem *)
+}
+
+let create () = { n = 0; size = 1; minv = [||]; lzy = [||]; fen = [||] }
+
+let reset t ~n =
+  let size = ref 1 in
+  while !size < max n 1 do
+    size := !size * 2
+  done;
+  let size = !size in
+  t.n <- n;
+  t.size <- size;
+  if Array.length t.minv < 2 * size then begin
+    t.minv <- Array.make (2 * size) sentinel;
+    t.lzy <- Array.make (2 * size) 0;
+    t.fen <- Array.make (size + 1) 0
+  end
+  else begin
+    Array.fill t.minv 0 (2 * size) sentinel;
+    Array.fill t.lzy 0 (2 * size) 0;
+    Array.fill t.fen 0 (size + 1) 0
+  end
+
+(* --- Fenwick ---------------------------------------------------------- *)
+
+let fen_add t i v =
+  let i = ref (i + 1) in
+  while !i <= t.size do
+    t.fen.(!i) <- t.fen.(!i) + v;
+    i := !i + (!i land - !i)
+  done
+
+(* Sum over positions <= pos. *)
+let prefix_rem t ~pos =
+  let acc = ref 0 in
+  let i = ref (pos + 1) in
+  while !i > 0 do
+    acc := !acc + t.fen.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+(* --- segment tree ----------------------------------------------------- *)
+
+let push t node =
+  let lz = t.lzy.(node) in
+  if lz <> 0 then begin
+    let l = 2 * node and r = (2 * node) + 1 in
+    t.minv.(l) <- t.minv.(l) + lz;
+    t.minv.(r) <- t.minv.(r) + lz;
+    if l < t.size then begin
+      t.lzy.(l) <- t.lzy.(l) + lz;
+      t.lzy.(r) <- t.lzy.(r) + lz
+    end;
+    t.lzy.(node) <- 0
+  end
+
+let rec range_add t node lo hi l r v =
+  if not (r < lo || hi < l) then
+    if l <= lo && hi <= r then begin
+      t.minv.(node) <- t.minv.(node) + v;
+      if node < t.size then t.lzy.(node) <- t.lzy.(node) + v
+    end
+    else begin
+      push t node;
+      let mid = (lo + hi) / 2 in
+      range_add t (2 * node) lo mid l r v;
+      range_add t ((2 * node) + 1) (mid + 1) hi l r v;
+      t.minv.(node) <- min t.minv.(2 * node) t.minv.((2 * node) + 1)
+    end
+
+let rec range_min t node lo hi l r =
+  if r < lo || hi < l then sentinel
+  else if l <= lo && hi <= r then t.minv.(node)
+  else begin
+    push t node;
+    let mid = (lo + hi) / 2 in
+    min
+      (range_min t (2 * node) lo mid l r)
+      (range_min t ((2 * node) + 1) (mid + 1) hi l r)
+  end
+
+let rec point_set t node lo hi i v =
+  if lo = hi then t.minv.(node) <- v
+  else begin
+    push t node;
+    let mid = (lo + hi) / 2 in
+    if i <= mid then point_set t (2 * node) lo mid i v
+    else point_set t ((2 * node) + 1) (mid + 1) hi i v;
+    t.minv.(node) <- min t.minv.(2 * node) t.minv.((2 * node) + 1)
+  end
+
+(* --- public queries --------------------------------------------------- *)
+
+let suffix_min t ~pos =
+  if pos >= t.n then sentinel else range_min t 1 0 (t.size - 1) pos (t.n - 1)
+
+let min_all t = if t.n = 0 then sentinel else t.minv.(1)
+
+let admit t ~pos ~rem ~slack =
+  fen_add t pos rem;
+  if pos + 1 <= t.n - 1 then range_add t 1 0 (t.size - 1) (pos + 1) (t.n - 1) (-rem);
+  point_set t 1 0 (t.size - 1) pos slack

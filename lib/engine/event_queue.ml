@@ -98,8 +98,17 @@ let pop_exn q =
   | None -> invalid_arg "Event_queue.pop_exn: empty queue"
 
 let clear q =
-  q.heap <- [||];
+  (* Retain the backing array: a cleared queue is about to be refilled
+     (sweeps reuse one queue per run), and dropping to [||] forces the
+     next run to re-grow from capacity 16 doubling by doubling. Only the
+     live prefix needs scrubbing — slots >= size already hold the
+     sentinel. *)
+  for i = 0 to q.size - 1 do
+    q.heap.(i) <- dummy_cell ()
+  done;
   q.size <- 0
+
+let capacity q = Array.length q.heap
 
 let drain q =
   let rec loop acc =

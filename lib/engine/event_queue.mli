@@ -36,10 +36,17 @@ val pop_exn : 'a t -> int * 'a
     queue. *)
 
 val clear : 'a t -> unit
-(** [clear q] removes every event and drops the backing storage, so
-    cleared payloads become collectable immediately. The queue never
-    keeps more payloads reachable than {!length} reports: popped,
-    filtered and cleared events are released to the GC. *)
+(** [clear q] removes every event. Cleared payloads become collectable
+    immediately (live slots are scrubbed with a sentinel), but the
+    backing storage is retained so a clear-then-refill cycle performs no
+    fresh allocation up to the previous capacity. The queue never keeps
+    more payloads reachable than {!length} reports: popped, filtered and
+    cleared events are released to the GC. *)
+
+val capacity : 'a t -> int
+(** [capacity q] is the current size of the backing storage (slots, not
+    live events). Exposed so reuse-sensitive callers and tests can
+    verify that {!clear} retains capacity. *)
 
 val drain : 'a t -> (int * 'a) list
 (** [drain q] removes and returns all events in dequeue order. *)

@@ -1,0 +1,242 @@
+(* Hierarchical timing wheel: [levels] rings of [wsize] buckets, one
+   radix-[wsize] digit of the key per level. Level l holds events whose
+   delay past the wheel origin [base] fits in wsize^(l+1) ticks; its
+   bucket index is digit l of the key. Pops advance [base] to the next
+   occupied tick; crossing a block boundary at level l cascades that
+   block's level-l bucket down (each cell re-hashed against the new
+   origin), so a cell moves at most [levels] times over its lifetime —
+   amortised O(1) per event.
+
+   Determinism contract (shared with Event_queue): every insert draws a
+   monotone sequence number from one counter, and events dequeue in
+   (time, seq) order. Level-0 buckets hold a single tick's events in
+   arbitrary list order; the minimum-seq cell is extracted at pop.
+
+   Keys below [base] ("scheduled in the past" — Event_queue allows it)
+   and keys at or beyond the 2^48 horizon fall back to two sidecar
+   Event_queue heaps storing whole cells. Both receive inserts in
+   global seq order, so their internal FIFO tiebreak agrees with the
+   wheel's; pop takes the (time, seq)-minimum of the three sources. *)
+
+type 'a cell = { time : int; seq : int; payload : 'a }
+
+let bits = 8
+let wsize = 1 lsl bits
+let mask = wsize - 1
+let levels = 6
+let horizon = 1 lsl (bits * levels)
+
+type 'a t = {
+  mutable base : int; (* wheel origin: every wheel cell has time >= base *)
+  slots : 'a cell list array; (* levels * wsize bucket lists *)
+  counts : int array; (* live cells per level *)
+  mutable wheel_live : int; (* sum of counts *)
+  mutable next_seq : int;
+  past : 'a cell Event_queue.t; (* inserts with time < base *)
+  far : 'a cell Event_queue.t; (* inserts with time - base >= horizon *)
+}
+
+let create () =
+  {
+    base = 0;
+    slots = Array.make (levels * wsize) [];
+    counts = Array.make levels 0;
+    wheel_live = 0;
+    next_seq = 0;
+    past = Event_queue.create ();
+    far = Event_queue.create ();
+  }
+
+let length q = q.wheel_live + Event_queue.length q.past + Event_queue.length q.far
+let is_empty q = length q = 0
+
+(* Place [c] (with c.time >= base and delay < horizon) into the
+   highest-resolution level that covers its delay. *)
+let insert_cell q c =
+  let d = c.time - q.base in
+  let rec level l = if d < 1 lsl (bits * (l + 1)) then l else level (l + 1) in
+  let l = level 0 in
+  let s = (l * wsize) + ((c.time lsr (bits * l)) land mask) in
+  q.slots.(s) <- c :: q.slots.(s);
+  q.counts.(l) <- q.counts.(l) + 1
+
+let add q ~time payload =
+  let c = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if time < q.base then Event_queue.add q.past ~time c
+  else if time - q.base >= horizon then Event_queue.add q.far ~time c
+  else begin
+    insert_cell q c;
+    q.wheel_live <- q.wheel_live + 1
+  end
+
+(* Empty the level-l bucket [s], re-hashing its cells against the
+   current origin. Called right after [base] lands on the block this
+   bucket represents, so every cell re-places at a strictly lower
+   level. *)
+let cascade q l s =
+  let idx = (l * wsize) + s in
+  let cells = q.slots.(idx) in
+  if cells <> [] then begin
+    q.slots.(idx) <- [];
+    q.counts.(l) <- q.counts.(l) - List.length cells;
+    List.iter (insert_cell q) cells
+  end
+
+(* Move the origin to [time] (strictly ahead, block-aligned), cascading
+   every bucket whose block boundary [time] lies on, coarsest first.
+   Re-placed cells land strictly below the level being cascaded and
+   never in a bucket cascaded later in the same crossing (a cell whose
+   level-l block equals the new origin's has delay < wsize^l and hashes
+   below level l), so one top-down sweep suffices. *)
+let cross_to q time =
+  q.base <- time;
+  for l = levels - 1 downto 1 do
+    if time land ((1 lsl (bits * l)) - 1) = 0 then
+      cascade q l ((time lsr (bits * l)) land mask)
+  done
+
+(* Advance [base] to the earliest wheel event's tick. Precondition:
+   wheel_live > 0. Postcondition: the level-0 bucket at [base] is
+   non-empty (level-0 buckets are single-tick: digit-0 hashing over the
+   256 consecutive ticks [base, base+255] is injective). *)
+let rec advance q =
+  if q.counts.(0) > 0 then begin
+    (* Earliest level-0 cell lies in [base, base+255]; scan only up to
+       the current 256-block boundary — beyond it, coarser buckets must
+       cascade first or their earlier events would be skipped. *)
+    let block_end = q.base lor mask in
+    let rec scan tm =
+      if tm > block_end then None
+      else if q.slots.(tm land mask) <> [] then Some tm
+      else scan (tm + 1)
+    in
+    match scan q.base with
+    | Some tm -> q.base <- tm
+    | None ->
+      cross_to q (block_end + 1);
+      advance q
+  end
+  else begin
+    (* No level-0 cells at all: jump to the lowest occupied level's
+       first occupied block — or, if that level's occupied blocks sit
+       past the next coarser boundary, exactly to that boundary (its
+       crossing cascades the buckets that cover them). Scans are bounded
+       by one wsize ring; empty space is skipped in O(wsize) not O(gap). *)
+    let rec find l =
+      if q.counts.(l) = 0 then find (l + 1)
+      else begin
+        let shift = bits * l in
+        let cur = q.base lsr shift in
+        let limit = ((cur lsr bits) + 1) lsl bits in
+        let rec scan k =
+          if cur + k >= limit then None
+          else if q.slots.((l * wsize) + ((cur + k) land mask)) <> [] then
+            Some (cur + k)
+          else scan (k + 1)
+        in
+        match scan 1 with
+        | Some b -> b lsl shift
+        | None -> limit lsl shift
+      end
+    in
+    cross_to q (find 1);
+    advance q
+  end
+
+(* Minimum-seq cell of the level-0 bucket at [base] (all cells there
+   share tick [base]). *)
+let wheel_peek q =
+  if q.wheel_live = 0 then None
+  else begin
+    advance q;
+    let rec min_cell best = function
+      | [] -> best
+      | c :: rest -> min_cell (if c.seq < best.seq then c else best) rest
+    in
+    match q.slots.(q.base land mask) with
+    | [] -> assert false
+    | c :: rest -> Some (min_cell c rest)
+  end
+
+let wheel_remove q cell =
+  let idx = q.base land mask in
+  q.slots.(idx) <- List.filter (fun c -> c != cell) q.slots.(idx);
+  q.counts.(0) <- q.counts.(0) - 1;
+  q.wheel_live <- q.wheel_live - 1
+
+(* Global minimum across the three sources, by (time, seq). The heaps'
+   internal FIFO tiebreak matches global seq order (inserts arrive in
+   seq order), so their heads are their (time, seq)-minima. *)
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+type 'a source = Past | Far | Wheel of 'a cell
+
+let best_source q =
+  let best = ref None in
+  let consider src c =
+    match !best with
+    | Some (_, b) when not (cell_lt c b) -> ()
+    | _ -> best := Some (src, c)
+  in
+  (match Event_queue.peek q.past with
+  | Some (_, c) -> consider Past c
+  | None -> ());
+  (match Event_queue.peek q.far with
+  | Some (_, c) -> consider Far c
+  | None -> ());
+  (match wheel_peek q with
+  | Some c -> consider (Wheel c) c
+  | None -> ());
+  !best
+
+let peek q =
+  match best_source q with
+  | None -> None
+  | Some (_, c) -> Some (c.time, c.payload)
+
+let peek_time q = match best_source q with None -> None | Some (_, c) -> Some c.time
+
+let pop q =
+  match best_source q with
+  | None -> None
+  | Some (src, c) ->
+    (match src with
+    | Past -> ignore (Event_queue.pop q.past)
+    | Far -> ignore (Event_queue.pop q.far)
+    | Wheel cell -> wheel_remove q cell);
+    Some (c.time, c.payload)
+
+let pop_exn q =
+  match pop q with
+  | Some x -> x
+  | None -> invalid_arg "Timing_wheel.pop_exn: empty queue"
+
+let clear q =
+  Array.fill q.slots 0 (levels * wsize) [];
+  Array.fill q.counts 0 levels 0;
+  q.wheel_live <- 0;
+  q.base <- 0;
+  Event_queue.clear q.past;
+  Event_queue.clear q.far
+
+let drain q =
+  let rec loop acc =
+    match pop q with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []
+
+let to_list q =
+  let cells = ref [] in
+  Array.iter (fun l -> List.iter (fun c -> cells := c :: !cells) l) q.slots;
+  List.iter
+    (fun eq ->
+      List.iter (fun (_, c) -> cells := c :: !cells) (Event_queue.to_list eq))
+    [ q.past; q.far ];
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c)
+      !cells
+  in
+  List.map (fun c -> (c.time, c.payload)) sorted

@@ -1,0 +1,66 @@
+(** Hierarchical timing-wheel event queue.
+
+    Drop-in alternative to {!Event_queue} for the simulator hot path:
+    same observable contract — events dequeue in non-decreasing key
+    order, ties on the key dequeue in insertion (FIFO) order — but with
+    amortised-O(1) insert instead of the binary heap's O(log n). The
+    simulator selects between the two via {!Simulator.config}, and a
+    differential test suite replays seeded workloads through both and
+    asserts bit-identical pop order.
+
+    Structure: 6 levels of 256 buckets each (one radix-256 digit of the
+    key per level), covering a 2^48-tick horizon past the wheel's
+    current origin. Inserts hash into the highest-resolution level that
+    can hold their delay; pops advance the origin and cascade coarser
+    buckets down one level at a time as block boundaries are crossed,
+    so every event is moved at most [levels] times. Keys below the
+    origin (an event scheduled "in the past", which {!Event_queue}
+    permits) and keys beyond the horizon go to two small sidecar heaps
+    that are merged at pop by the global (key, sequence) order, keeping
+    the tie-order contract exact in all cases. *)
+
+type 'a t
+(** Mutable timing wheel holding elements of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty wheel with origin 0. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [true] iff [q] holds no event. *)
+
+val length : 'a t -> int
+(** [length q] is the number of queued events. *)
+
+val add : 'a t -> time:int -> 'a -> unit
+(** [add q ~time e] schedules event [e] at key [time]. Amortised O(1)
+    for keys within the 2^48-tick horizon of the wheel origin;
+    O(log n) via the sidecar heaps otherwise. Any [int] key is
+    accepted, as with {!Event_queue.add}. *)
+
+val peek : 'a t -> (int * 'a) option
+(** [peek q] is the earliest [(time, event)] pair without removing it,
+    or [None] if [q] is empty. May advance the wheel origin (amortised
+    housekeeping); the observable contents are unchanged. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time q] is the key of the earliest event, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes and returns the earliest [(time, event)] pair —
+    ties broken by insertion order, exactly as {!Event_queue.pop} — or
+    [None] if [q] is empty. *)
+
+val pop_exn : 'a t -> int * 'a
+(** [pop_exn q] is [pop q] but raises [Invalid_argument] on an empty
+    queue. *)
+
+val clear : 'a t -> unit
+(** [clear q] removes every event; cleared payloads become collectable
+    immediately. Bucket storage is retained for reuse. *)
+
+val drain : 'a t -> (int * 'a) list
+(** [drain q] removes and returns all events in dequeue order. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** [to_list q] is the queue contents in dequeue order, without
+    modifying [q]. *)

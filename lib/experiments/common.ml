@@ -30,11 +30,11 @@ let horizon_for mode tasks =
   windows * max_window
 
 let simulate ?(mode = Full) ?(sync = lock_free) ?(sched = Simulator.Rua)
-    ?(trace = false) ?trace_capacity ~seed tasks =
+    ?(trace = false) ?trace_capacity ?queue ~seed tasks =
   let horizon = horizon_for mode tasks in
   Simulator.run
     (Simulator.config ~tasks ~sync ~sched ~horizon ~seed ~sched_base
-       ~sched_per_op ~trace ?trace_capacity ())
+       ~sched_per_op ~trace ?trace_capacity ?queue ())
 
 let measure ?(mode = Full) ?jobs ~sync tasks =
   Metrics.repeat ?jobs ~seeds:(seeds mode)

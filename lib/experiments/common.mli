@@ -44,12 +44,13 @@ val simulate :
   ?sched:Rtlf_sim.Simulator.sched_kind ->
   ?trace:bool ->
   ?trace_capacity:int ->
+  ?queue:Rtlf_sim.Simulator.queue_impl ->
   seed:int ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Simulator.result
 (** [simulate ~seed tasks] runs one simulation with the shared cost
-    constants (defaults: [Full] mode, lock-free sync, RUA, no
-    trace). *)
+    constants (defaults: [Full] mode, lock-free sync, RUA, no trace,
+    binary-heap event queue). *)
 
 val measure :
   ?mode:mode ->

@@ -65,10 +65,10 @@ let to_string j =
 
 (* --- parsing ----------------------------------------------------------- *)
 
-(* Recursive-descent parser for the subset this module emits (which is
-   all of RFC 8259 minus \u escapes beyond the BMP-literal form we
-   never produce). Numbers parse as [Int] when they have no fraction,
-   exponent, or overflow; [Float] otherwise — mirroring the emitter. *)
+(* Recursive-descent parser for RFC 8259, including \u surrogate pairs
+   (decoded to UTF-8; lone surrogates are a parse error). Numbers parse
+   as [Int] when they have no fraction, exponent, or overflow; [Float]
+   otherwise — mirroring the emitter. *)
 
 exception Parse_error of string
 
@@ -120,26 +120,66 @@ let of_string s =
         | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
         | Some 'u' ->
           advance ();
-          if !pos + 4 > n then parse_error !pos "truncated \\u escape";
-          let hex = String.sub s !pos 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code when code < 0x80 ->
-            Buffer.add_char buf (Char.chr code)
-          | Some code ->
-            (* Encode the BMP code point as UTF-8 (surrogate pairs are
-               not recombined — the emitter never writes them). *)
-            if code < 0x800 then begin
-              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          let read_hex4 () =
+            if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+            let code = ref 0 in
+            for i = !pos to !pos + 3 do
+              let d =
+                match s.[i] with
+                | '0' .. '9' as c -> Char.code c - Char.code '0'
+                | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                | _ -> parse_error i "invalid \\u escape"
+              in
+              code := (!code lsl 4) lor d
+            done;
+            pos := !pos + 4;
+            !code
+          in
+          let start = !pos - 2 in
+          let code = read_hex4 () in
+          let cp =
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              (* High surrogate: RFC 8259 encodes astral code points as
+                 a \u pair; recombine it. *)
+              if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                pos := !pos + 2;
+                let low = read_hex4 () in
+                if low >= 0xDC00 && low <= 0xDFFF then
+                  0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                else
+                  parse_error start
+                    (Printf.sprintf
+                       "high surrogate \\u%04X followed by \\u%04X (want \
+                        \\uDC00-\\uDFFF)"
+                       code low)
+              end
+              else
+                parse_error start
+                  (Printf.sprintf "lone high surrogate \\u%04X" code)
             end
-            else begin
-              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-              Buffer.add_char buf
-                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end
-          | None -> parse_error !pos "invalid \\u escape");
-          pos := !pos + 4;
+            else if code >= 0xDC00 && code <= 0xDFFF then
+              parse_error start
+                (Printf.sprintf "lone low surrogate \\u%04X" code)
+            else code
+          in
+          (* UTF-8-encode the code point (1-4 bytes). *)
+          if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+          else if cp < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+          else if cp < 0x10000 then begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end;
           go ()
         | _ -> parse_error !pos "invalid escape")
       | Some c ->

@@ -1,4 +1,5 @@
 module Event_queue = Rtlf_engine.Event_queue
+module Timing_wheel = Rtlf_engine.Timing_wheel
 module Float_buffer = Rtlf_engine.Float_buffer
 module Prng = Rtlf_engine.Prng
 module Stats = Rtlf_engine.Stats
@@ -11,6 +12,7 @@ module Lock_manager = Rtlf_model.Lock_manager
 module Scheduler = Rtlf_core.Scheduler
 
 type sched_kind = Edf | Edf_pip | Rua
+type queue_impl = Binary_heap | Wheel
 
 type config = {
   tasks : Task.t list;
@@ -24,7 +26,37 @@ type config = {
   retry_on_any_preemption : bool;
   trace : bool;
   trace_capacity : int option;
+  queue : queue_impl;
 }
+
+(* Both event-queue implementations share the same observable contract
+   (pop in (time, seq) order — pinned by the differential suite in
+   test_timing_wheel), so runs are bit-identical whichever is picked;
+   the choice only trades insert cost against pop cost. *)
+type 'a equeue =
+  | Heap_q of 'a Event_queue.t
+  | Wheel_q of 'a Timing_wheel.t
+
+let equeue_create = function
+  | Binary_heap -> Heap_q (Event_queue.create ())
+  | Wheel -> Wheel_q (Timing_wheel.create ())
+
+let equeue_add q ~time e =
+  match q with
+  | Heap_q h -> Event_queue.add h ~time e
+  | Wheel_q w -> Timing_wheel.add w ~time e
+
+let equeue_peek = function
+  | Heap_q h -> Event_queue.peek h
+  | Wheel_q w -> Timing_wheel.peek w
+
+let equeue_peek_time = function
+  | Heap_q h -> Event_queue.peek_time h
+  | Wheel_q w -> Timing_wheel.peek_time w
+
+let equeue_pop_exn = function
+  | Heap_q h -> Event_queue.pop_exn h
+  | Wheel_q w -> Timing_wheel.pop_exn w
 
 let infer_objects tasks =
   let scan = List.fold_left (fun acc (obj, _) -> max acc (obj + 1)) in
@@ -48,7 +80,8 @@ let infer_objects tasks =
 
 let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     ?(sched_base = 200) ?(sched_per_op = 25)
-    ?(retry_on_any_preemption = false) ?(trace = false) ?trace_capacity () =
+    ?(retry_on_any_preemption = false) ?(trace = false) ?trace_capacity
+    ?(queue = Binary_heap) () =
   let n_objects =
     match n_objects with Some n -> n | None -> infer_objects tasks
   in
@@ -64,6 +97,7 @@ let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     retry_on_any_preemption;
     trace;
     trace_capacity;
+    queue;
   }
 
 type task_result = {
@@ -114,7 +148,7 @@ type event = Arrival of Task.t | Expiry of int
 
 type state = {
   cfg : config;
-  queue : event Event_queue.t;
+  queue : event equeue;
   objects : Resource.t;
   locks : Lock_manager.t;
   scheduler : Scheduler.t;
@@ -338,7 +372,7 @@ let handle_event st time ev =
     st.next_jid <- st.next_jid + 1;
     let job = Job.create ~task ~jid ~arrival:time in
     Live_view.add st.live job;
-    Event_queue.add st.queue
+    equeue_add st.queue
       ~time:(Job.absolute_critical_time job)
       (Expiry jid);
     Trace.record st.trace ~time:st.now (Trace.Arrive (jid, task.Task.id))
@@ -351,9 +385,9 @@ let handle_event st time ev =
    horizon). Returns the number handled. *)
 let process_due_events st =
   let rec go n =
-    match Event_queue.peek st.queue with
+    match equeue_peek st.queue with
     | Some (t, _) when t <= st.now && t < st.cfg.horizon ->
-      let t, ev = Event_queue.pop_exn st.queue in
+      let t, ev = equeue_pop_exn st.queue in
       handle_event st t ev;
       go (n + 1)
     | Some _ | None -> n
@@ -544,7 +578,7 @@ let run_slice st job =
   prepare_attempt st job;
   let step = next_step st job in
   let next_ev =
-    match Event_queue.peek_time st.queue with
+    match equeue_peek_time st.queue with
     | Some t -> min t st.cfg.horizon
     | None -> st.cfg.horizon
   in
@@ -578,7 +612,7 @@ let rec main_loop st =
         run_slice st job;
         main_loop st
       | None -> (
-        match Event_queue.peek_time st.queue with
+        match equeue_peek_time st.queue with
         | None -> () (* no events, nothing running: done *)
         | Some t when t >= st.cfg.horizon -> ()
         | Some t ->
@@ -709,7 +743,7 @@ let run cfg =
   let st =
     {
       cfg;
-      queue = Event_queue.create ();
+      queue = equeue_create cfg.queue;
       objects;
       locks;
       scheduler = make_scheduler cfg locks;
@@ -741,7 +775,7 @@ let run cfg =
         Uam.generate task.Task.arrival g ~start:0 ~horizon:cfg.horizon
       in
       List.iter
-        (fun t -> Event_queue.add st.queue ~time:t (Arrival task))
+        (fun t -> equeue_add st.queue ~time:t (Arrival task))
         arrivals)
     cfg.tasks;
   main_loop st;

@@ -21,6 +21,13 @@ type sched_kind =
   | Edf_pip  (** EDF with priority inheritance (Sha et al. [23]) *)
   | Rua      (** RUA, specialised by the sync discipline *)
 
+type queue_impl =
+  | Binary_heap  (** {!Rtlf_engine.Event_queue}: O(log n) insert/pop *)
+  | Wheel
+      (** {!Rtlf_engine.Timing_wheel}: amortised-O(1) insert, for runs
+          with 10⁵+ live jobs. Bit-identical results either way — both
+          queues obey the same (time, insertion-order) pop contract. *)
+
 type config = {
   tasks : Rtlf_model.Task.t list;  (** unique ids [0 .. n−1] expected *)
   sync : Sync.t;
@@ -37,6 +44,7 @@ type config = {
   trace_capacity : int option;
       (** bound the trace to a drop-oldest ring buffer of this many
           entries; [None] keeps the full history *)
+  queue : queue_impl;  (** event-queue implementation for the run *)
 }
 
 val config :
@@ -51,12 +59,14 @@ val config :
   ?retry_on_any_preemption:bool ->
   ?trace:bool ->
   ?trace_capacity:int ->
+  ?queue:queue_impl ->
   unit ->
   config
 (** [config ~tasks ~sync ~horizon ()] fills in defaults: RUA
     scheduling, object count inferred from the tasks' accesses, seed 1,
     [sched_base = 200] ns, [sched_per_op = 25] ns, realistic conflict
-    detection, no trace (and, when tracing, an unbounded trace). *)
+    detection, no trace (and, when tracing, an unbounded trace), binary
+    heap event queue. *)
 
 type task_result = {
   task_id : int;

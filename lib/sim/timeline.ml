@@ -23,9 +23,13 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
   (match entries with
   | [] -> invalid_arg "Timeline.build: empty trace"
   | _ -> ());
-  let times = List.map (fun e -> e.Trace.time) entries in
-  let origin = List.fold_left min max_int times in
-  let finish = List.fold_left max min_int times in
+  let origin, finish =
+    (* One pass, no intermediate times list — traces can carry hundreds
+       of thousands of entries. *)
+    List.fold_left
+      (fun (lo, hi) e -> (min lo e.Trace.time, max hi e.Trace.time))
+      (max_int, min_int) entries
+  in
   let span = max 1 (finish - origin) in
   let bucket_ns = max 1 ((span + buckets - 1) / buckets) in
   let col time = min (buckets - 1) ((time - origin) / bucket_ns) in

@@ -61,6 +61,29 @@ let test_eq_clear () =
   Event_queue.clear q;
   Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
 
+let test_eq_clear_retains_capacity () =
+  (* clear must scrub payloads but keep the backing array: a
+     clear-then-refill sweep should perform no re-allocation (no
+     capacity change) beyond the first run's growth. *)
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    Event_queue.add q ~time:i i
+  done;
+  let cap = Event_queue.capacity q in
+  Alcotest.(check bool) "grown past the 16-slot seed" true (cap >= 1000);
+  for run = 1 to 5 do
+    Event_queue.clear q;
+    Alcotest.(check int)
+      (Printf.sprintf "capacity retained after clear %d" run)
+      cap (Event_queue.capacity q);
+    for i = 0 to 999 do
+      Event_queue.add q ~time:i i
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "no re-growth on refill %d" run)
+      cap (Event_queue.capacity q)
+  done
+
 let test_eq_grow () =
   (* Force several capacity doublings. *)
   let q = Event_queue.create () in
@@ -360,6 +383,8 @@ let () =
           Alcotest.test_case "to_list non-destructive" `Quick
             test_eq_to_list_nondestructive;
           Alcotest.test_case "clear" `Quick test_eq_clear;
+          Alcotest.test_case "clear retains capacity" `Quick
+            test_eq_clear_retains_capacity;
           Alcotest.test_case "growth preserves order" `Quick test_eq_grow;
           Alcotest.test_case "pop releases payloads" `Quick
             test_eq_pop_releases_payloads;

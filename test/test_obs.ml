@@ -246,6 +246,50 @@ let test_json_parser () =
   Alcotest.(check bool) "member" true
     (Json.member "a" (Json.Obj [ ("a", Json.Int 3) ]) = Some (Json.Int 3))
 
+let test_json_unicode_escapes () =
+  (* BMP escapes decode to UTF-8 across the 1/2/3-byte boundaries. *)
+  List.iter
+    (fun (input, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decodes %s" input)
+        true
+        (Json.of_string input = Json.Str expect))
+    [
+      ({|"\u0041"|}, "A");
+      ({|"\u00e9"|}, "\xc3\xa9") (* e-acute: 2-byte UTF-8 *);
+      ({|"\u20ac"|}, "\xe2\x82\xac") (* euro sign: 3-byte UTF-8 *);
+      ({|"\uFFFD"|}, "\xef\xbf\xbd") (* replacement char, upper hex *);
+    ];
+  (* Astral code points arrive as RFC 8259 surrogate pairs and must
+     recombine into one 4-byte UTF-8 sequence. *)
+  Alcotest.(check bool) "surrogate pair U+1F600" true
+    (Json.of_string {|"\ud83d\ude00"|} = Json.Str "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "surrogate pair U+10000" true
+    (Json.of_string {|"\ud800\udc00"|} = Json.Str "\xf0\x90\x80\x80");
+  Alcotest.(check bool) "surrogate pair U+10FFFF" true
+    (Json.of_string {|"\udbff\udfff"|} = Json.Str "\xf4\x8f\xbf\xbf");
+  (* The emitter passes UTF-8 through raw, so astral strings round-trip
+     whichever way they were spelled on the wire. *)
+  let smiley = Json.Str "pre \xf0\x9f\x98\x80 post" in
+  Alcotest.(check bool) "astral round-trip" true
+    (Json.of_string (Json.to_string smiley) = smiley);
+  (* Lone or malformed surrogates are parse errors, not mojibake. *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %s" bad)
+        true
+        (Json.of_string_opt bad = None))
+    [
+      {|"\ud83d"|} (* lone high *);
+      {|"\ud83d x"|} (* high then literal *);
+      {|"\ude00"|} (* lone low *);
+      {|"\ud83dA"|} (* high then non-surrogate escape *);
+      {|"\ud83d\ud83d"|} (* high then high *);
+      {|"\u12G4"|} (* bad hex digit *);
+      {|"\u12|} (* truncated *);
+    ]
+
 (* --- counter tracks ------------------------------------------------------ *)
 
 let test_chrome_counter_tracks () =
@@ -457,6 +501,8 @@ let () =
         [
           Alcotest.test_case "emitter" `Quick test_json_emitter;
           Alcotest.test_case "parser round-trip" `Quick test_json_parser;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escapes;
         ] );
       ( "counter-tracks",
         [

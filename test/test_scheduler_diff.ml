@@ -144,6 +144,77 @@ let run_diff kind () =
     [ 1; 2; 8; 64 ];
   Alcotest.(check bool) "at least 100 scenes" true (!count >= 100)
 
+(* --- incremental sequences ---------------------------------------------- *)
+
+(* The lock-oblivious schedulers carry a cross-invocation decision cache
+   (see [Rua_lock_free], [Edf]): a persistent instance decided against
+   the same evolving jobs array must stay bit-identical to a fresh
+   [Reference] at EVERY step — through cache hits (steady states where
+   only [now] advances or a job flips Ready<->Running) and through
+   rebuilds (segment progress, completions, unblocking, [now] passing
+   the schedule's minimum slack). Mutations are biased toward no-ops so
+   both paths are exercised many times per sequence. *)
+let run_incremental kind () =
+  let rs = Test_support.rand_state () in
+  List.iter
+    (fun n ->
+      for rep = 1 to 8 do
+        let with_chains = n >= 4 && Random.State.bool rs in
+        let jobs, _locks = scene rs ~n ~with_chains in
+        let opt =
+          match kind with
+          | `Edf -> Rtlf_core.Edf.make ()
+          | `Lock_free -> Rtlf_core.Rua_lock_free.make ()
+        in
+        let now = ref (Random.State.int rs 50) in
+        for step = 1 to 40 do
+          (match Random.State.int rs 8 with
+          | 0 | 1 | 2 | 3 ->
+            (* Steady state: at most the clock moves. *)
+            ()
+          | 4 ->
+            (* Execution progress inside the current segment: the job's
+               remaining cost shrinks. *)
+            let j = jobs.(Random.State.int rs n) in
+            if Job.is_live j && Job.remaining_nominal j > 1 then
+              j.Job.seg_progress <- j.Job.seg_progress + 1
+          | 5 ->
+            (* Dispatch / preempt / unblock: Ready<->Running keeps the
+               runnable flag (and the cached decision) valid; leaving
+               Blocked does not. *)
+            let j = jobs.(Random.State.int rs n) in
+            (match j.Job.state with
+            | Job.Ready -> j.Job.state <- Job.Running
+            | Job.Running -> j.Job.state <- Job.Ready
+            | Job.Blocked _ -> j.Job.state <- Job.Ready
+            | Job.Completed | Job.Aborted -> ())
+          | 6 ->
+            (* Departure: the job leaves the live set. *)
+            let j = jobs.(Random.State.int rs n) in
+            if Job.is_live j then j.Job.state <- Job.Completed
+          | _ ->
+            (* Abort (e.g. deadlock victim elsewhere in the system). *)
+            let j = jobs.(Random.State.int rs n) in
+            if Job.is_live j then j.Job.state <- Job.Aborted);
+          now := !now + Random.State.int rs 30;
+          let reference =
+            match kind with
+            | `Edf -> Reference.edf ()
+            | `Lock_free -> Reference.rua_lock_free ()
+          in
+          let expected =
+            reference.Scheduler.decide ~now:!now ~jobs ~remaining
+          in
+          let msg =
+            Printf.sprintf "incremental %s n=%d chains=%b rep=%d step=%d"
+              reference.Scheduler.name n with_chains rep step
+          in
+          check_same ~msg expected
+            (opt.Scheduler.decide ~now:!now ~jobs ~remaining)
+        done
+      done)
+    [ 1; 4; 16; 64 ]
+
 (* --- Log2 --------------------------------------------------------------- *)
 
 let test_log2_boundaries () =
@@ -179,5 +250,12 @@ let () =
             (run_diff `Lock_free);
           Alcotest.test_case "rua-lock-based = reference" `Quick
             (run_diff `Lock_based);
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "edf sequences = reference" `Quick
+            (run_incremental `Edf);
+          Alcotest.test_case "rua-lock-free sequences = reference" `Quick
+            (run_incremental `Lock_free);
         ] );
     ]

@@ -451,6 +451,52 @@ let test_retry_tails_per_task () =
       end)
     res.Simulator.per_task
 
+(* The incremental deciders key their cross-invocation caches on the
+   physical identity of the jobs array [Live_view.view] hands them.
+   That contract has two sides: the view returns the same array while
+   membership is unchanged, and a decide must never mutate that cached
+   array in place (neither the slots nor which job each slot holds). *)
+let test_live_view_decide_aliasing () =
+  let module Live_view = Rtlf_sim.Live_view in
+  let lv = Live_view.create () in
+  let mk jid =
+    let task =
+      Task.make ~id:jid
+        ~tuf:(Tuf.step ~height:(5.0 +. float_of_int jid) ~c:(1_000 + jid))
+        ~arrival:(Uam.periodic ~period:4_000)
+        ~exec:(50 + (7 * jid))
+        ()
+    in
+    Job.create ~task ~jid ~arrival:0
+  in
+  for jid = 0 to 31 do
+    Live_view.add lv (mk jid)
+  done;
+  let view = Live_view.view lv in
+  let before = Array.copy view in
+  let remaining = Job.remaining_nominal in
+  List.iter
+    (fun s ->
+      for i = 0 to 5 do
+        ignore (s.Rtlf_core.Scheduler.decide ~now:(i * 37) ~jobs:view ~remaining)
+      done)
+    [ Rtlf_core.Edf.make (); Rtlf_core.Rua_lock_free.make () ];
+  Alcotest.(check bool) "view is the same physical array" true
+    (Live_view.view lv == view);
+  Array.iteri
+    (fun i j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d holds the same job" i)
+        true (before.(i) == j);
+      Alcotest.(check int) (Printf.sprintf "slot %d jid" i) i j.Job.jid)
+    view;
+  (* Membership change: the next view is a fresh snapshot, so cached
+     decisions keyed on the old array can never be served against a
+     different live set. *)
+  Live_view.remove lv ~jid:7;
+  Alcotest.(check bool) "membership change breaks identity" true
+    (Live_view.view lv != view)
+
 let () =
   Test_support.run "sim"
     [
@@ -459,6 +505,8 @@ let () =
           Alcotest.test_case "released = completed + aborted" `Quick
             test_conservation;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "live-view aliasing across decides" `Quick
+            test_live_view_decide_aliasing;
         ] );
       ( "scheduling",
         [

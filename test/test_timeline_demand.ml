@@ -56,6 +56,28 @@ let test_timeline_shows_runs_and_completions () =
   Alcotest.(check bool) "no aborts in underload" false
     (List.mem Timeline.Killed all_cells)
 
+let test_timeline_large_trace () =
+  (* Hundreds of thousands of entries: [Timeline.build] must stay a
+     single pass over the entry list (no intermediate per-entry lists)
+     and finish promptly. *)
+  let n = 200_000 in
+  let trace = Trace.create ~enabled:true () in
+  for i = 0 to n - 1 do
+    let jid = i mod 1_000 in
+    let t = i * 5_000 in
+    Trace.record trace ~time:t (Trace.Arrive (jid, jid));
+    Trace.record trace ~time:(t + 1_000) (Trace.Start jid);
+    Trace.record trace ~time:(t + 4_000) (Trace.Complete jid)
+  done;
+  let tl = Timeline.build ~buckets:72 ~max_jobs:20 trace in
+  Alcotest.(check int) "origin" 0 tl.Timeline.origin;
+  Alcotest.(check bool) "rows bounded" true
+    (List.length tl.Timeline.rows <= 20);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "row width" 72 (Array.length row.Timeline.cells))
+    tl.Timeline.rows
+
 let test_timeline_shows_aborts () =
   (* exec > c: every job aborts. *)
   let tasks =
@@ -202,6 +224,7 @@ let () =
           Alcotest.test_case "runs and completions" `Quick
             test_timeline_shows_runs_and_completions;
           Alcotest.test_case "aborts visible" `Quick test_timeline_shows_aborts;
+          Alcotest.test_case "large trace" `Quick test_timeline_large_trace;
           Alcotest.test_case "render shape" `Quick test_timeline_render_shape;
           Alcotest.test_case "validation" `Quick test_timeline_validation;
           Alcotest.test_case "cell chars distinct" `Quick

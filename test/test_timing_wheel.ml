@@ -1,0 +1,277 @@
+(* Timing-wheel tests: unit behaviour plus the differential suite that
+   pins the wheel to Event_queue — seeded workloads replayed through
+   both queues must produce bit-identical pop order (time and payload),
+   which is the contract that lets Simulator swap one for the other. *)
+
+module Event_queue = Rtlf_engine.Event_queue
+module Timing_wheel = Rtlf_engine.Timing_wheel
+module Prng = Rtlf_engine.Prng
+
+(* --- unit ------------------------------------------------------------- *)
+
+let test_tw_empty () =
+  let q = Timing_wheel.create () in
+  Alcotest.(check bool) "empty" true (Timing_wheel.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Timing_wheel.length q);
+  Alcotest.(check bool) "pop none" true (Timing_wheel.pop q = None);
+  Alcotest.(check bool) "peek none" true (Timing_wheel.peek q = None)
+
+let test_tw_ordering () =
+  let q = Timing_wheel.create () in
+  List.iter
+    (fun t -> Timing_wheel.add q ~time:t t)
+    [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let order = List.map fst (Timing_wheel.drain q) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_tw_fifo_ties () =
+  let q = Timing_wheel.create () in
+  List.iteri
+    (fun i label -> Timing_wheel.add q ~time:(i mod 2) label)
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  let order = List.map snd (Timing_wheel.drain q) in
+  Alcotest.(check (list string)) "stable ties"
+    [ "a"; "c"; "e"; "b"; "d"; "f" ]
+    order
+
+let test_tw_peek_pop_consistency () =
+  let q = Timing_wheel.create () in
+  Timing_wheel.add q ~time:3 "x";
+  Timing_wheel.add q ~time:1 "y";
+  Alcotest.(check bool) "peek min" true (Timing_wheel.peek q = Some (1, "y"));
+  Alcotest.(check bool) "peek_time" true (Timing_wheel.peek_time q = Some 1);
+  Alcotest.(check bool) "pop min" true (Timing_wheel.pop q = Some (1, "y"));
+  Alcotest.(check bool) "next" true (Timing_wheel.pop q = Some (3, "x"))
+
+let test_tw_clear () =
+  let q = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.add q ~time:t t) [ 1; 300; 70_000 ];
+  Timing_wheel.clear q;
+  Alcotest.(check bool) "cleared" true (Timing_wheel.is_empty q);
+  (* Reusable after clear, including times below the pre-clear origin. *)
+  Timing_wheel.add q ~time:2 20;
+  Timing_wheel.add q ~time:1 10;
+  Alcotest.(check bool) "refill pops in order" true
+    (Timing_wheel.drain q = [ (1, 10); (2, 20) ])
+
+let test_tw_to_list_nondestructive () =
+  let q = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.add q ~time:t t) [ 3; 1; 70_000; 2 ];
+  let snapshot = Timing_wheel.to_list q in
+  Alcotest.(check (list int)) "snapshot sorted" [ 1; 2; 3; 70_000 ]
+    (List.map fst snapshot);
+  Alcotest.(check int) "queue intact" 4 (Timing_wheel.length q)
+
+let test_tw_past_inserts () =
+  (* Event_queue allows scheduling below the last popped time; the
+     wheel must too (origin has advanced past the key). *)
+  let q = Timing_wheel.create () in
+  Timing_wheel.add q ~time:1000 "late";
+  Alcotest.(check bool) "advance origin" true
+    (Timing_wheel.pop q = Some (1000, "late"));
+  Timing_wheel.add q ~time:5 "past";
+  Timing_wheel.add q ~time:1001 "next";
+  Alcotest.(check bool) "past key pops first" true
+    (Timing_wheel.pop q = Some (5, "past"));
+  Alcotest.(check bool) "then next" true
+    (Timing_wheel.pop q = Some (1001, "next"))
+
+let test_tw_far_horizon () =
+  (* Keys beyond the 2^48 horizon take the overflow sidecar but keep
+     global order. *)
+  let far = (1 lsl 48) + 7 in
+  let q = Timing_wheel.create () in
+  Timing_wheel.add q ~time:far "far";
+  Timing_wheel.add q ~time:3 "near";
+  Alcotest.(check bool) "near first" true (Timing_wheel.pop q = Some (3, "near"));
+  Alcotest.(check bool) "far second" true
+    (Timing_wheel.pop q = Some (far, "far"))
+
+let test_tw_negative_times () =
+  let q = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.add q ~time:t t) [ 4; -7; 0; -1 ];
+  Alcotest.(check (list int)) "negative keys order" [ -7; -1; 0; 4 ]
+    (List.map fst (Timing_wheel.drain q))
+
+let test_tw_boundary_crossings () =
+  (* Exercise cascades across level-1/2/3 block boundaries. *)
+  let times =
+    [ 255; 256; 257; 511; 512; 65_535; 65_536; 65_537;
+      (1 lsl 24) - 1; 1 lsl 24; (1 lsl 24) + 1; (1 lsl 32) + 42 ]
+  in
+  let q = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.add q ~time:t t) (List.rev times);
+  Alcotest.(check (list int)) "cascade order" times
+    (List.map fst (Timing_wheel.drain q))
+
+(* --- differential vs Event_queue -------------------------------------- *)
+
+(* One scripted workload, driven by a seed: interleaved adds and pops
+   with the time distribution chosen per step. Both queues see the
+   identical operation sequence; every pop must agree exactly. *)
+let replay ~seed ~steps ~time_of =
+  let g = Prng.create ~seed in
+  let heap = Event_queue.create () in
+  let wheel = Timing_wheel.create () in
+  let payload = ref 0 in
+  let check_pop () =
+    let a = Event_queue.pop heap and b = Timing_wheel.pop wheel in
+    if a <> b then
+      Alcotest.failf "pop diverged: heap %s, wheel %s"
+        (match a with
+        | None -> "None"
+        | Some (t, p) -> Printf.sprintf "(%d,#%d)" t p)
+        (match b with
+        | None -> "None"
+        | Some (t, p) -> Printf.sprintf "(%d,#%d)" t p)
+  in
+  for step = 1 to steps do
+    if Prng.int g ~bound:3 < 2 then begin
+      let time = time_of g step in
+      incr payload;
+      Event_queue.add heap ~time !payload;
+      Timing_wheel.add wheel ~time !payload
+    end
+    else check_pop ()
+  done;
+  (* Drain the rest in lockstep. *)
+  while not (Event_queue.is_empty heap) || not (Timing_wheel.is_empty wheel) do
+    check_pop ()
+  done;
+  check_pop ()
+
+let test_diff_dense_ties () =
+  (* Narrow time range: many exact ties, stressing the seq tiebreak. *)
+  List.iter
+    (fun seed ->
+      replay ~seed ~steps:2000 ~time_of:(fun g _ -> Prng.int g ~bound:16))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_diff_wide_range () =
+  (* Keys spanning all wheel levels, including past-due and overflow. *)
+  List.iter
+    (fun seed ->
+      replay ~seed ~steps:2000 ~time_of:(fun g _ ->
+          match Prng.int g ~bound:6 with
+          | 0 -> Prng.int g ~bound:256
+          | 1 -> Prng.int g ~bound:65_536
+          | 2 -> Prng.int g ~bound:(1 lsl 24)
+          | 3 -> Prng.int g ~bound:(1 lsl 40)
+          | 4 -> (1 lsl 48) + Prng.int g ~bound:1_000_000
+          | _ -> Prng.int_in g ~lo:(-1000) ~hi:1000))
+    [ 11; 12; 13; 14 ]
+
+let test_diff_advancing_clock () =
+  (* Simulator-shaped workload: times drift forward from a moving
+     "now", so the wheel origin advances steadily and inserts land a
+     bounded distance ahead — with occasional behind-now stragglers. *)
+  List.iter
+    (fun seed ->
+      replay ~seed ~steps:4000 ~time_of:(fun g step ->
+          (step * 10) + Prng.int_in g ~lo:(-50) ~hi:5000))
+    [ 21; 22; 23 ]
+
+let test_diff_hold_pattern () =
+  (* The bench kernel's shape: prefill n, then pop-one push-one. *)
+  let n = 1024 in
+  let heap = Event_queue.create () in
+  let wheel = Timing_wheel.create () in
+  let g = Prng.create ~seed:99 in
+  for i = 0 to n - 1 do
+    let time = Prng.int g ~bound:(4 * n) in
+    Event_queue.add heap ~time i;
+    Timing_wheel.add wheel ~time i
+  done;
+  for i = n to n + 8192 do
+    let a = Event_queue.pop_exn heap and b = Timing_wheel.pop_exn wheel in
+    if a <> b then
+      Alcotest.failf "hold-pattern diverged at %d: heap (%d,#%d) wheel (%d,#%d)"
+        i (fst a) (snd a) (fst b) (snd b);
+    let time = fst a + 1 + Prng.int g ~bound:(4 * n) in
+    Event_queue.add heap ~time i;
+    Timing_wheel.add wheel ~time i
+  done
+
+let test_diff_simulator_end_to_end () =
+  (* Whole-simulator differential: identical config, queue impl swapped
+     — every observable of the run must agree exactly. *)
+  let module Workload = Rtlf_workload.Workload in
+  let module Simulator = Rtlf_sim.Simulator in
+  let module Common = Rtlf_experiments.Common in
+  List.iter
+    (fun (sync, sched) ->
+      let tasks =
+        Workload.make
+          { Workload.default with Workload.n_tasks = 8; seed = 42 }
+      in
+      let run queue =
+        Common.simulate ~mode:Common.Fast ~sync ~sched ~queue ~seed:7 tasks
+      in
+      let a = run Simulator.Binary_heap and b = run Simulator.Wheel in
+      Alcotest.(check int) "final_time" a.Simulator.final_time
+        b.Simulator.final_time;
+      Alcotest.(check int) "released" a.Simulator.released
+        b.Simulator.released;
+      Alcotest.(check int) "completed" a.Simulator.completed
+        b.Simulator.completed;
+      Alcotest.(check int) "aborted" a.Simulator.aborted b.Simulator.aborted;
+      Alcotest.(check int) "sched_invocations" a.Simulator.sched_invocations
+        b.Simulator.sched_invocations;
+      Alcotest.(check int) "retries" a.Simulator.retries_total
+        b.Simulator.retries_total;
+      Alcotest.(check int) "preemptions" a.Simulator.preemptions
+        b.Simulator.preemptions;
+      Alcotest.(check (float 0.0)) "accrued utility" a.Simulator.accrued
+        b.Simulator.accrued;
+      Alcotest.(check (float 0.0)) "aur" a.Simulator.aur b.Simulator.aur;
+      Alcotest.(check (float 0.0)) "cmr" a.Simulator.cmr b.Simulator.cmr)
+    [
+      (Common.lock_free, Simulator.Rua);
+      (Common.lock_based, Simulator.Rua);
+      (Common.lock_free, Simulator.Edf);
+    ]
+
+let prop_diff_random =
+  QCheck.Test.make ~name:"wheel pops identically to heap" ~count:100
+    QCheck.(list (int_bound 100_000))
+    (fun times ->
+      let heap = Event_queue.create () in
+      let wheel = Timing_wheel.create () in
+      List.iteri
+        (fun i t ->
+          Event_queue.add heap ~time:t i;
+          Timing_wheel.add wheel ~time:t i)
+        times;
+      Event_queue.drain heap = Timing_wheel.drain wheel)
+
+let () =
+  Test_support.run "timing_wheel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty behaviour" `Quick test_tw_empty;
+          Alcotest.test_case "dequeues in time order" `Quick test_tw_ordering;
+          Alcotest.test_case "FIFO on equal times" `Quick test_tw_fifo_ties;
+          Alcotest.test_case "peek/pop consistent" `Quick
+            test_tw_peek_pop_consistency;
+          Alcotest.test_case "clear" `Quick test_tw_clear;
+          Alcotest.test_case "to_list non-destructive" `Quick
+            test_tw_to_list_nondestructive;
+          Alcotest.test_case "past-due inserts" `Quick test_tw_past_inserts;
+          Alcotest.test_case "beyond-horizon inserts" `Quick
+            test_tw_far_horizon;
+          Alcotest.test_case "negative keys" `Quick test_tw_negative_times;
+          Alcotest.test_case "level boundary cascades" `Quick
+            test_tw_boundary_crossings;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "dense ties" `Quick test_diff_dense_ties;
+          Alcotest.test_case "all-level key range" `Quick test_diff_wide_range;
+          Alcotest.test_case "advancing clock" `Quick test_diff_advancing_clock;
+          Alcotest.test_case "hold pattern" `Quick test_diff_hold_pattern;
+          Alcotest.test_case "simulator end-to-end" `Quick
+            test_diff_simulator_end_to_end;
+          Test_support.to_alcotest prop_diff_random;
+        ] );
+    ]
