@@ -489,6 +489,44 @@ let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
   Format.fprintf fmt "wrote %s%s@." path
     (if append then " (appended)" else "")
 
+(* --- attribution pass (rtlf explain hot path) -------------------------- *)
+
+(* One traced run, attributed repeatedly: the cost of the causal
+   sweep itself per call (and, via the event count printed alongside,
+   per trace event) — the self-overhead figure the blame experiment
+   quotes. *)
+let attribution_tests () =
+  let tasks =
+    Workload.make
+      {
+        Workload.default with
+        Workload.n_tasks = 8;
+        n_objects = 2;
+        accesses_per_job = 6;
+        burst = 3;
+        seed = 11;
+      }
+  in
+  let res = E.Common.simulate ~mode:E.Common.Fast ~trace:true ~seed:7 tasks in
+  let trace = res.Simulator.trace in
+  let events = List.length (Rtlf_sim.Trace.entries trace) in
+  Format.fprintf fmt "attribution kernel input: %d trace events@." events;
+  [
+    Test.make ~name:"attribution sweep"
+      (Staged.stage (fun () ->
+           match Rtlf_obs.Attribution.of_trace ~tasks trace with
+           | Ok a -> ignore (Sys.opaque_identity a)
+           | Error msg -> failwith msg));
+    Test.make ~name:"blame graph fold"
+      (let a =
+         match Rtlf_obs.Attribution.of_trace ~tasks trace with
+         | Ok a -> a
+         | Error msg -> failwith msg
+       in
+       Staged.stage (fun () ->
+           ignore (Sys.opaque_identity (Rtlf_obs.Blame.of_attribution a))));
+  ]
+
 (* --- CAS retry profile (counting-instrumented structures) -------------- *)
 
 (* Rebuilds three representative structures through their [Make]
@@ -694,6 +732,10 @@ let () =
       ~name:"Scheduler decision cost (3.6: O(n^2 log n) vs O(n^2))"
       scheduler_tests
   in
+  let attr_rows =
+    run_group ~quota ~name:"Attribution pass (rtlf explain hot path)"
+      (attribution_tests ())
+  in
   let scale_rows =
     if not scale then []
     else begin
@@ -718,5 +760,5 @@ let () =
   end;
   let wall_s = Unix.gettimeofday () -. t0 in
   emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s
-    (sched_rows @ scale_rows);
+    (sched_rows @ attr_rows @ scale_rows);
   Format.fprintf fmt "@.done.@."

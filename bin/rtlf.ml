@@ -8,6 +8,10 @@
      rtlf sim [options]          run a single ad-hoc simulation
                                  (--json, --trace-out, --csv-out)
      rtlf trace [experiment]     record one traced run and export it
+     rtlf explain [experiment]   attribute sojourn/utility loss to causes
+                                 (--from-trace FILE, --job, --top,
+                                 --blame-out; exit 5 on conservation
+                                 violation)
      rtlf bound [options]        print Theorem 2 bounds for a workload *)
 
 open Cmdliner
@@ -377,6 +381,9 @@ let trace_cmd =
         (List.length spans.Obs.Spans.retries)
         (List.length spans.Obs.Spans.accesses)
         (List.length spans.Obs.Spans.sched);
+      (match Obs.Attribution.of_trace ~tasks:task_list res.Simulator.trace with
+      | Ok a -> Obs.Blame.render_summary fmt a
+      | Error msg -> Format.fprintf fmt "attribution skipped: %s@." msg);
       print_observability res;
       export_trace ~trace_out:(Some out) ~csv_out res.Simulator.trace;
       `Ok ()
@@ -391,6 +398,127 @@ let trace_cmd =
         (const run $ name_arg $ tasks_arg $ objects_arg $ load_arg $ exec_arg
          $ sync_arg $ sched_arg $ hetero_arg $ seed_arg $ out_arg
          $ csv_out_arg $ trace_capacity_arg))
+
+(* --- rtlf explain --------------------------------------------------------- *)
+
+let explain_cmd =
+  let name_arg =
+    let doc =
+      "Experiment whose representative configuration to attribute (see \
+       $(b,rtlf list)); defaults to the workload options. Ignored with \
+       $(b,--from-trace)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let from_trace_arg =
+    let doc =
+      "Attribute an already-recorded CSV trace (as written by $(b,rtlf sim \
+       --csv-out)) instead of simulating. Utility losses are omitted — the \
+       trace does not carry the TUFs."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "from-trace" ] ~docv:"FILE" ~doc)
+  in
+  let job_arg =
+    let doc = "Drill into one job: its full decomposition and charges." in
+    Arg.(value & opt (some int) None & info [ "job" ] ~docv:"JID" ~doc)
+  in
+  let task_arg2 =
+    let doc = "Keep only blame edges where $(docv) is victim or culprit." in
+    Arg.(value & opt (some int) None & info [ "task" ] ~docv:"TID" ~doc)
+  in
+  let top_arg =
+    let doc = "Show only the $(docv) heaviest blame edges." in
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let blame_out_arg =
+    let doc = "Write the rtlf-blame-v1 JSON blame graph to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "blame-out" ] ~docv:"FILE" ~doc)
+  in
+  let run name tasks objects load exec_us sync sched hetero seed from_trace
+      job task top blame_out =
+    let attributed =
+      match from_trace with
+      | Some path ->
+        Result.bind (Obs.Csv_export.read_file ~path) (fun trace ->
+            Obs.Attribution.of_trace trace)
+      | None -> (
+        let picked =
+          match name with
+          | None -> Ok (load, hetero, sync, sched)
+          | Some n -> (
+            match List.assoc_opt n representative with
+            | Some r -> Ok r
+            | None ->
+              Error (Printf.sprintf "unknown experiment %S (see `rtlf list')" n))
+        in
+        match picked with
+        | Error _ as e -> e
+        | Ok (load, hetero, sync, sched) ->
+          let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
+          let task_list = Workload.make spec in
+          let horizon =
+            Experiments.Common.horizon_for Experiments.Common.Fast task_list / 4
+          in
+          let res =
+            Simulator.run
+              (Simulator.config ~tasks:task_list ~sync:(sync_of sync) ~sched
+                 ~horizon ~seed
+                 ~sched_base:Experiments.Common.sched_base
+                 ~sched_per_op:Experiments.Common.sched_per_op ~trace:true ())
+          in
+          Format.fprintf fmt "workload: %a@." Workload.pp_spec spec;
+          Format.fprintf fmt "scheduler=%s sync=%s AUR=%.1f%% CMR=%.1f%%@."
+            res.Simulator.sched_name res.Simulator.sync_name
+            (100.0 *. res.Simulator.aur)
+            (100.0 *. res.Simulator.cmr);
+          Obs.Attribution.of_trace ~tasks:task_list res.Simulator.trace)
+    in
+    match attributed with
+    | Error msg -> `Error (false, msg)
+    | Ok a ->
+      Obs.Blame.render_summary fmt a;
+      let blame = Obs.Blame.of_attribution a in
+      Format.fprintf fmt "@.blame graph (task -> task):@.";
+      Obs.Blame.render ?top ?task fmt blame;
+      (match job with
+      | None -> ()
+      | Some jid -> (
+        Format.fprintf fmt "@.";
+        match Obs.Attribution.find a ~jid with
+        | Some j -> Obs.Blame.render_job fmt j
+        | None -> Format.fprintf fmt "J%d: not resolved in this trace@." jid));
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Obs.Json.to_string (Obs.Blame.to_json blame)));
+          Format.fprintf fmt "wrote blame JSON to %s@." path)
+        blame_out;
+      (match Obs.Attribution.check a with
+      | Ok () -> `Ok ()
+      | Error msg ->
+        (* Exit 5: the attribution itself is inconsistent — distinct
+           from the checker (3) and the Theorem-2 auditor (4). *)
+        Format.eprintf
+          "rtlf explain: conservation invariant violated@.%s@." msg;
+        exit 5)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every job's sojourn and utility loss to named causes \
+          (own execution, blocking, preemption, lock-free retries, \
+          scheduler overhead, abort handlers) and print the task-level \
+          blame graph.")
+    Term.(
+      ret
+        (const run $ name_arg $ tasks_arg $ objects_arg $ load_arg $ exec_arg
+         $ sync_arg $ sched_arg $ hetero_arg $ seed_arg $ from_trace_arg
+         $ job_arg $ task_arg2 $ top_arg $ blame_out_arg))
 
 (* --- rtlf timeline -------------------------------------------------------- *)
 
@@ -545,7 +673,7 @@ let main =
   let doc = "Lock-free synchronization for dynamic embedded real-time systems" in
   Cmd.group
     (Cmd.info "rtlf" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; sim_cmd; trace_cmd; timeline_cmd; bound_cmd;
-      check_cmd ]
+    [ list_cmd; run_cmd; sim_cmd; trace_cmd; explain_cmd; timeline_cmd;
+      bound_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

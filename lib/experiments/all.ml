@@ -14,6 +14,7 @@ let experiments =
     ("lem45", Lem45.run);
     ("ablation", Ablation.run);
     ("baselines", Baselines.run);
+    ("blame", Blame.run);
   ]
 
 let run ?(mode = Common.Full) ?jobs fmt =

@@ -68,6 +68,22 @@ let counter_event ~name ~time ~value =
       ("args", Json.Obj [ ("value", Json.Int value) ]);
     ]
 
+(* Flow events ("ph":"s"/"f") draw arrows between lanes. Perfetto
+   binds each endpoint to the slice enclosing its timestamp, so the
+   start sits on the culprit's lane and the finish on the victim's. *)
+let flow_event ~ph ~tid ~id ~name ~time =
+  Json.Obj
+    (("ph", Json.Str ph)
+     :: (if ph = "f" then [ ("bp", Json.Str "e") ] else [])
+    @ [
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("id", Json.Int id);
+        ("cat", Json.Str "blame");
+        ("name", Json.Str name);
+        ("ts", Json.Float (us time));
+      ])
+
 (* Counter tracks: cumulative lock-free retries, per object and total.
    Each [Retry] trace entry bumps its object's running count and emits
    one counter sample, so Perfetto renders retry pressure as a
@@ -78,7 +94,7 @@ let counter_events trace =
   let max_obj =
     List.fold_left
       (fun acc { Trace.kind; _ } ->
-        match kind with Trace.Retry (_, obj) -> max acc obj | _ -> acc)
+        match kind with Trace.Retry (_, obj, _, _) -> max acc obj | _ -> acc)
       (-1) entries
   in
   if max_obj < 0 then []
@@ -88,7 +104,7 @@ let counter_events trace =
     List.concat_map
       (fun { Trace.time; kind } ->
         match kind with
-        | Trace.Retry (_, obj) ->
+        | Trace.Retry (_, obj, _, _) ->
           per_obj.(obj) <- per_obj.(obj) + 1;
           incr total;
           [
@@ -100,6 +116,68 @@ let counter_events trace =
         | _ -> [])
       entries
   end
+
+(* Blame flows: one arrow per causal hand-off.
+
+   - blocking: [Block (v, obj)] while [h] holds [obj] → arrow from the
+     holder's lane at the block instant to the victim's lane at its
+     [Wake] (or terminal event, for waiters that abort while parked);
+   - retry: [Retry (v, obj, by, _)] with a known invalidator → arrow
+     from the invalidator's lane (at its last committed access to
+     [obj], when traced) to the victim's lane at the retry instant. *)
+let flow_events trace lane_of =
+  let next_id = ref 0 in
+  let fresh () =
+    incr next_id;
+    !next_id
+  in
+  let holder = Hashtbl.create 16 in (* obj -> jid *)
+  let pending = Hashtbl.create 16 in (* victim jid -> (id, name) *)
+  let last_commit = Hashtbl.create 16 in (* (jid, obj) -> time *)
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let finish_pending jid time =
+    match Hashtbl.find_opt pending jid with
+    | None -> ()
+    | Some (id, name) ->
+      emit (flow_event ~ph:"f" ~tid:(lane_of jid) ~id ~name ~time);
+      Hashtbl.remove pending jid
+  in
+  List.iter
+    (fun { Trace.time; kind } ->
+      match kind with
+      | Trace.Acquire (jid, obj) -> Hashtbl.replace holder obj jid
+      | Trace.Release (_, obj) -> Hashtbl.remove holder obj
+      | Trace.Block (jid, obj) -> (
+        match Hashtbl.find_opt holder obj with
+        | None -> ()
+        | Some h ->
+          let id = fresh () in
+          let name = Printf.sprintf "blocks o%d" obj in
+          emit (flow_event ~ph:"s" ~tid:(lane_of h) ~id ~name ~time);
+          Hashtbl.replace pending jid (id, name))
+      | Trace.Wake (jid, _) -> finish_pending jid time
+      | Trace.Complete jid | Trace.Abort (jid, _) ->
+        (* A waiter that never woke still terminates its arrow. *)
+        finish_pending jid time
+      | Trace.Access_done (jid, obj) ->
+        Hashtbl.replace last_commit (jid, obj) time
+      | Trace.Retry (jid, obj, by, _) ->
+        if by >= 0 then begin
+          let id = fresh () in
+          let name = Printf.sprintf "invalidates o%d" obj in
+          let start =
+            match Hashtbl.find_opt last_commit (by, obj) with
+            | Some t when t <= time -> t
+            | Some _ | None -> time
+          in
+          emit (flow_event ~ph:"s" ~tid:(lane_of by) ~id ~name ~time:start);
+          emit (flow_event ~ph:"f" ~tid:(lane_of jid) ~id ~name ~time)
+        end
+      | Trace.Arrive _ | Trace.Start _ | Trace.Preempt _ | Trace.Sched _ ->
+        ())
+    (Trace.entries trace);
+  List.rev !events
 
 let span_name (s : Spans.span) =
   match s.Spans.obj with
@@ -158,18 +236,21 @@ let events trace =
                ~args:(("jid", Json.Int jid) :: extra))
         in
         match kind with
-        | Trace.Arrive (jid, task) ->
-          inst jid "arrive" [ ("task", Json.Int task) ]
-        | Trace.Preempt jid -> inst jid "preempt" []
+        | Trace.Arrive (jid, task, at) ->
+          inst jid "arrive" [ ("task", Json.Int task); ("at", Json.Int at) ]
+        | Trace.Preempt (jid, by) ->
+          inst jid "preempt"
+            (if by >= 0 then [ ("by", Json.Int by) ] else [])
         | Trace.Wake (jid, obj) -> inst jid "wake" [ ("obj", Json.Int obj) ]
         | Trace.Complete jid -> inst jid "complete" []
-        | Trace.Abort jid -> inst jid "abort" []
+        | Trace.Abort (jid, handler) ->
+          inst jid "abort" [ ("handler_ns", Json.Int handler) ]
         | Trace.Start _ | Trace.Block _ | Trace.Acquire _ | Trace.Release _
         | Trace.Retry _ | Trace.Access_done _ | Trace.Sched _ ->
           None)
       (Trace.entries trace)
   in
-  meta @ durations @ instants @ counter_events trace
+  meta @ durations @ instants @ counter_events trace @ flow_events trace lane_of
 
 let to_string trace = Json.lines_to_string (events trace)
 

@@ -14,7 +14,13 @@
       completions and aborts;
     - counter (["ph":"C"]) tracks charting cumulative lock-free
       retries, one per contended object plus a process-wide total, so
-      interference bursts line up visually with the job lanes.
+      interference bursts line up visually with the job lanes;
+    - blame flow (["ph":"s"]/["ph":"f"]) arrows linking each lock
+      holder to the job it blocked (start at the victim's [Block] on
+      the holder's lane, finish at its [Wake]) and each lock-free
+      invalidator to the retry it caused (start at the invalidator's
+      committed access, finish at the victim's [Retry]) — Perfetto
+      renders the causal hand-offs the attribution pass accounts for.
 
     Timestamps are microseconds, per the format; durations keep ns
     precision as fractional µs. *)

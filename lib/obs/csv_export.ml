@@ -9,18 +9,21 @@ let row { Trace.time; kind } =
     Printf.sprintf "%d,%s,%s,%s,%s" time name (cell jid) (cell obj) extra
   in
   match kind with
-  | Trace.Arrive (jid, task) ->
-    r "arrive" ~jid ~extra:(Printf.sprintf "task=%d" task) ()
+  | Trace.Arrive (jid, task, at) ->
+    r "arrive" ~jid ~extra:(Printf.sprintf "task=%d;at=%d" task at) ()
   | Trace.Start jid -> r "start" ~jid ()
-  | Trace.Preempt jid -> r "preempt" ~jid ()
+  | Trace.Preempt (jid, by) ->
+    r "preempt" ~jid ~extra:(Printf.sprintf "by=%d" by) ()
   | Trace.Block (jid, obj) -> r "block" ~jid ~obj ()
   | Trace.Wake (jid, obj) -> r "wake" ~jid ~obj ()
   | Trace.Acquire (jid, obj) -> r "acquire" ~jid ~obj ()
   | Trace.Release (jid, obj) -> r "release" ~jid ~obj ()
-  | Trace.Retry (jid, obj) -> r "retry" ~jid ~obj ()
+  | Trace.Retry (jid, obj, by, lost) ->
+    r "retry" ~jid ~obj ~extra:(Printf.sprintf "by=%d;lost=%d" by lost) ()
   | Trace.Access_done (jid, obj) -> r "access_done" ~jid ~obj ()
   | Trace.Complete jid -> r "complete" ~jid ()
-  | Trace.Abort jid -> r "abort" ~jid ()
+  | Trace.Abort (jid, handler) ->
+    r "abort" ~jid ~extra:(Printf.sprintf "handler=%d" handler) ()
   | Trace.Sched (ops, cost) ->
     r "sched" ~extra:(Printf.sprintf "ops=%d;cost=%d" ops cost) ()
 
@@ -40,6 +43,99 @@ let write_file ~path trace =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string trace))
+
+(* --- parser -------------------------------------------------------------- *)
+
+(* The CSV export is lossless, so a trace written by [to_string] can be
+   re-ingested for offline analysis ([rtlf explain --from-trace]). *)
+
+exception Bad_row of string
+
+let parse_extra extra =
+  (* "k1=v1;k2=v2" -> assoc list; empty string -> []. *)
+  if extra = "" then []
+  else
+    String.split_on_char ';' extra
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> raise (Bad_row ("malformed extra field: " ^ kv))
+           | Some i ->
+             ( String.sub kv 0 i,
+               String.sub kv (i + 1) (String.length kv - i - 1) ))
+
+let parse_row line =
+  let fail msg = raise (Bad_row (msg ^ ": " ^ line)) in
+  let int_field name v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail (Printf.sprintf "bad %s %S" name v)
+  in
+  match String.split_on_char ',' line with
+  | [ time; event; jid; obj; extra ] ->
+    let time = int_field "time" time in
+    let jid () = int_field "jid" jid in
+    let obj () = int_field "obj" obj in
+    let extras = parse_extra extra in
+    let extra_int ?default key =
+      match (List.assoc_opt key extras, default) with
+      | Some v, _ -> int_field key v
+      | None, Some d -> d
+      | None, None -> fail (Printf.sprintf "missing extra %S" key)
+    in
+    let kind =
+      match event with
+      | "arrive" ->
+        (* Traces written before the causal-attribution payloads carry
+           no [at=]; fall back to the processing time. *)
+        Trace.Arrive (jid (), extra_int "task", extra_int ~default:time "at")
+      | "start" -> Trace.Start (jid ())
+      | "preempt" -> Trace.Preempt (jid (), extra_int ~default:(-1) "by")
+      | "block" -> Trace.Block (jid (), obj ())
+      | "wake" -> Trace.Wake (jid (), obj ())
+      | "acquire" -> Trace.Acquire (jid (), obj ())
+      | "release" -> Trace.Release (jid (), obj ())
+      | "retry" ->
+        Trace.Retry
+          (jid (), obj (), extra_int ~default:(-1) "by",
+           extra_int ~default:0 "lost")
+      | "access_done" -> Trace.Access_done (jid (), obj ())
+      | "complete" -> Trace.Complete (jid ())
+      | "abort" -> Trace.Abort (jid (), extra_int ~default:0 "handler")
+      | "sched" -> Trace.Sched (extra_int "ops", extra_int "cost")
+      | other -> fail (Printf.sprintf "unknown event %S" other)
+    in
+    { Trace.time; kind }
+  | _ -> fail "expected 5 comma-separated fields"
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "empty trace CSV"
+  | hd :: rows ->
+    if String.trim hd <> header then
+      Error (Printf.sprintf "bad header %S (expected %S)" hd header)
+    else begin
+      try
+        let trace = Trace.create ~enabled:true () in
+        List.iter
+          (fun line ->
+            if String.trim line <> "" then begin
+              let e = parse_row line in
+              Trace.record trace ~time:e.Trace.time e.Trace.kind
+            end)
+          rows;
+        Ok trace
+      with Bad_row msg -> Error msg
+    end
+
+let read_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
 
 (* --- contention profile ------------------------------------------------- *)
 

@@ -19,6 +19,18 @@ val to_string : Rtlf_sim.Trace.t -> string
 val write_file : path:string -> Rtlf_sim.Trace.t -> unit
 (** [write_file ~path trace] writes {!to_string} to [path]. *)
 
+val of_string : string -> (Rtlf_sim.Trace.t, string) result
+(** [of_string s] parses a document produced by {!to_string} back into
+    a trace — the CSV export is lossless, so round-tripping preserves
+    every entry. Rows written before the causal-attribution payload
+    enrichment (no [at=]/[by=]/[lost=]/[handler=] extras) parse with
+    conservative defaults. Returns [Error] with a row-level message on
+    malformed input. *)
+
+val read_file : path:string -> (Rtlf_sim.Trace.t, string) result
+(** [read_file ~path] is {!of_string} on the contents of [path]
+    ([Error] on I/O failure). *)
+
 val contention_header : string
 (** Header row for the per-object contention profile:
     [obj,acquires,conflicts,retries,blocked_ns,max_queue_depth]. *)

@@ -136,6 +136,37 @@ let to_string res = Json.to_string (result res)
    counter sites) without the bulky histograms — what CI and the bench
    harness archive per run. *)
 
+(* Attribution totals ride along in the metrics doc when the run kept
+   a complete trace; [Null] otherwise (tracing off, or ring-buffered
+   with drops — attribution refuses partial histories). *)
+let attribution_totals (res : Simulator.result) =
+  let tr = res.Simulator.trace in
+  if Trace.entries tr = [] then Json.Null
+  else
+    match Attribution.of_trace tr with
+    | Error msg -> Json.Obj [ ("error", Json.Str msg) ]
+    | Ok a ->
+      let total f =
+        List.fold_left (fun s j -> s + f j) 0 a.Attribution.jobs
+      in
+      Json.Obj
+        [
+          ("jobs", Json.Int (List.length a.Attribution.jobs));
+          ("sojourn_ns", Json.Int (total (fun j -> j.Attribution.sojourn)));
+          ("own_ns", Json.Int (total (fun j -> j.Attribution.own)));
+          ("retry_ns", Json.Int (total (fun j -> j.Attribution.retry)));
+          ("blocked_ns", Json.Int (total (fun j -> j.Attribution.blocked)));
+          ( "preempted_ns",
+            Json.Int (total (fun j -> j.Attribution.preempted)) );
+          ("sched_ns", Json.Int (total (fun j -> j.Attribution.sched)));
+          ( "abort_ns",
+            Json.Int (total (fun j -> j.Attribution.abort_handler)) );
+          ("idle_ns", Json.Int (total (fun j -> j.Attribution.idle)));
+          ( "conservation_ok",
+            Json.Bool (Result.is_ok (Attribution.check a)) );
+          ("elapsed_s", Json.Float a.Attribution.elapsed_s);
+        ]
+
 let metrics ?(telemetry = []) (res : Simulator.result) =
   let tails =
     Array.to_list
@@ -177,6 +208,7 @@ let metrics ?(telemetry = []) (res : Simulator.result) =
           (Array.to_list (Array.map contention res.Simulator.contention)) );
       ( "telemetry",
         Json.List (List.map Telemetry.snapshot_json telemetry) );
+      ("attribution", attribution_totals res);
       ("trace_dropped", Json.Int (Trace.dropped res.Simulator.trace));
     ]
 

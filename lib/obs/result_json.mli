@@ -36,7 +36,8 @@ val metrics :
 (** [metrics res] is the "rtlf-metrics-v1" document: the observability
     sections of a run — Theorem-2 audit, per-task P² retry tails with
     their analytical bounds, per-object contention, optional telemetry
-    counter-site snapshots, and the trace-drop count — without the
+    counter-site snapshots, per-component attribution totals (when the
+    run kept a complete trace), and the trace-drop count — without the
     bulky histograms. This is what [rtlf sim --metrics-out] writes and
     CI archives. *)
 

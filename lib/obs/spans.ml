@@ -19,6 +19,7 @@ type t = {
   sched : span list;
   task_of : (int * int) list;
   last_time : int;
+  orphans : int;
 }
 
 let kind_name = function
@@ -50,11 +51,18 @@ let of_trace trace =
   and retries = ref []
   and accesses = ref []
   and sched = ref [] in
+  (* Events whose matching open interval is missing — possible only
+     when a ring buffer dropped the opening entry. Reconstruction
+     degrades gracefully (zero-width or best-effort spans) and the
+     count is surfaced so consumers know the spans are partial. *)
+  let orphans = ref 0 in
   let set_anchor jid time = Hashtbl.replace anchor jid time in
   let attempt_span jid time =
     match Hashtbl.find_opt anchor jid with
     | Some since -> since
-    | None -> time
+    | None ->
+      incr orphans;
+      time
   in
   let close_running time =
     match !running_since with
@@ -79,23 +87,29 @@ let of_trace trace =
   List.iter
     (fun { Trace.time; kind } ->
       match kind with
-      | Trace.Arrive (jid, task) ->
+      | Trace.Arrive (jid, task, _) ->
         Hashtbl.replace tasks jid task;
         set_anchor jid time
       | Trace.Start jid ->
         close_running time;
         running_since := Some (jid, time);
         set_anchor jid time
-      | Trace.Preempt jid ->
-        close_running time;
-        ignore jid
+      | Trace.Preempt (jid, _) ->
+        (match !running_since with
+        | Some (r, _) when r = jid -> ()
+        | Some _ | None -> incr orphans);
+        close_running time
       | Trace.Block (jid, obj) ->
+        (match !running_since with
+        | Some (r, _) when r = jid -> ()
+        | Some _ | None -> incr orphans);
         close_running time;
         Hashtbl.replace block_since jid (obj, time)
       | Trace.Wake (jid, _) ->
+        if not (Hashtbl.mem block_since jid) then incr orphans;
         close_block jid time;
         set_anchor jid time
-      | Trace.Retry (jid, obj) ->
+      | Trace.Retry (jid, obj, _, _) ->
         retries :=
           { kind = Retry; jid; obj = Some obj;
             start = attempt_span jid time; stop = time; ops = 0 }
@@ -107,8 +121,13 @@ let of_trace trace =
             start = attempt_span jid time; stop = time; ops = 0 }
           :: !accesses;
         set_anchor jid time
-      | Trace.Complete jid | Trace.Abort jid ->
-        close_running time;
+      | Trace.Complete jid | Trace.Abort (jid, _) ->
+        (* Only close the running span when it belongs to the ending
+           job: an expiry can abort a blocked/ready job while another
+           job keeps the CPU (and gets no fresh [Start]). *)
+        (match !running_since with
+        | Some (r, _) when r = jid -> close_running time
+        | Some _ | None -> ());
         close_block jid time
       | Trace.Sched (ops, cost) ->
         sched :=
@@ -135,6 +154,7 @@ let of_trace trace =
     sched = List.rev !sched;
     task_of = Hashtbl.fold (fun jid task acc -> (jid, task) :: acc) tasks [];
     last_time;
+    orphans = !orphans;
   }
 
 let task_of t ~jid = List.assoc_opt jid t.task_of

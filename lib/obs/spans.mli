@@ -37,6 +37,11 @@ type t = {
   sched : span list;
   task_of : (int * int) list; (** jid → task id, from [Arrive] events *)
   last_time : int;            (** greatest timestamp in the trace *)
+  orphans : int;
+      (** events whose matching opening entry was missing — non-zero
+          only when a ring buffer dropped entries ({!val:
+          Rtlf_sim.Trace.dropped}); reconstruction degrades to
+          zero-width / best-effort spans instead of raising *)
 }
 
 val of_trace : Rtlf_sim.Trace.t -> t

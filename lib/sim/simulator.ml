@@ -167,6 +167,10 @@ type state = {
   contention : Contention.t array;
   block_since : (int, int * int) Hashtbl.t;
       (* jid -> (obj, block start ns) for open blocking spans *)
+  last_writer : int array;
+      (* per object: jid of the most recent committed write (-1 when
+         none yet) — the invalidator blamed for validation-failure
+         retries in the causal-attribution trace payloads *)
   blocking_spans : Float_buffer.t;
   sched_costs : Float_buffer.t;
   audit : Audit.t;
@@ -300,28 +304,38 @@ let abort_job st job =
   | Sync.Lock_free _ | Sync.Ideal -> ());
   close_block_span st job.Job.jid;
   job.Job.state <- Job.Aborted;
-  Trace.record st.trace ~time:st.now (Trace.Abort job.Job.jid);
+  (* The exception handler runs immediately on the CPU (§3.5); the
+     charged duration rides in the trace payload so attribution can
+     bill the post-abort interval to this job exactly. *)
+  let handler = max 0 job.Job.task.Task.abort_cost in
+  Trace.record st.trace ~time:st.now (Trace.Abort (job.Job.jid, handler));
   if st.running = Some job then st.running <- None;
-  (* The exception handler runs immediately on the CPU (§3.5). *)
-  let handler = job.Job.task.Task.abort_cost in
   if handler > 0 then begin
     st.now <- st.now + handler;
     st.busy <- st.busy + handler
   end;
   resolve st job
 
-let preempt st job =
+let preempt st ~by job =
   job.Job.state <- Job.Ready;
   job.Job.preemptions <- job.Job.preemptions + 1;
-  Trace.record st.trace ~time:st.now (Trace.Preempt job.Job.jid);
+  Trace.record st.trace ~time:st.now (Trace.Preempt (job.Job.jid, by));
   (match (st.cfg.sync, job.Job.segments) with
   | Sync.Lock_free _, Segment.Access { obj; _ } :: _
     when st.cfg.retry_on_any_preemption && job.Job.seg_progress > 0 ->
+    let lost = job.Job.seg_progress in
     Job.restart_access job;
     Contention.note_retry st.contention.(obj);
-    Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj))
+    Trace.record st.trace ~time:st.now
+      (Trace.Retry (job.Job.jid, obj, by, lost))
   | _ -> ());
   st.running <- None
+
+(* Commit a write to [obj]: bump the version (invalidating in-flight
+   lock-free attempts) and remember the writer for retry blame. *)
+let commit_write st jid obj =
+  Resource.bump st.objects obj;
+  st.last_writer.(obj) <- jid
 
 let set_running st job =
   job.Job.state <- Job.Running;
@@ -357,9 +371,9 @@ let invoke_scheduler st =
   match (st.running, target) with
   | Some cur, Some j when cur.Job.jid = j.Job.jid -> ()
   | Some cur, Some j ->
-    preempt st cur;
+    preempt st ~by:j.Job.jid cur;
     set_running st j
-  | Some cur, None -> preempt st cur
+  | Some cur, None -> preempt st ~by:(-1) cur
   | None, Some j -> set_running st j
   | None, None -> ()
 
@@ -375,7 +389,8 @@ let handle_event st time ev =
     equeue_add st.queue
       ~time:(Job.absolute_critical_time job)
       (Expiry jid);
-    Trace.record st.trace ~time:st.now (Trace.Arrive (jid, task.Task.id))
+    Trace.record st.trace ~time:st.now
+      (Trace.Arrive (jid, task.Task.id, time))
   | Expiry jid -> (
     match Live_view.find st.live ~jid with
     | None -> () (* already resolved *)
@@ -498,7 +513,7 @@ let boundary st job =
       job.Job.holding <- List.filter (fun o -> o <> obj) job.Job.holding;
       Trace.record st.trace ~time:st.now (Trace.Release (job.Job.jid, obj));
       wake_new_owner st obj new_owner;
-      Resource.bump st.objects obj;
+      commit_write st job.Job.jid obj;
       Resource.record_access st.objects obj;
       Job.finish_segment job;
       if job.Job.segments = [] then complete_job st job;
@@ -507,7 +522,7 @@ let boundary st job =
     match st.cfg.sync with
     | Sync.Ideal ->
       Resource.record_access st.objects obj;
-      if write then Resource.bump st.objects obj;
+      if write then commit_write st job.Job.jid obj;
       Contention.note_acquire st.contention.(obj);
       record_access_sample st job;
       Trace.record st.trace ~time:st.now
@@ -523,13 +538,15 @@ let boundary st job =
       let current = Resource.version st.objects obj in
       match job.Job.attempt_snapshot with
       | Some snap when snap <> current ->
+        let lost = job.Job.seg_progress in
         Job.restart_access job;
         Contention.note_retry st.contention.(obj);
-        Trace.record st.trace ~time:st.now (Trace.Retry (job.Job.jid, obj));
+        Trace.record st.trace ~time:st.now
+          (Trace.Retry (job.Job.jid, obj, st.last_writer.(obj), lost));
         `Continue
       | Some _ | None ->
         (* Only writers invalidate peers' in-flight attempts. *)
-        if write then Resource.bump st.objects obj;
+        if write then commit_write st job.Job.jid obj;
         Resource.record_access st.objects obj;
         Contention.note_acquire st.contention.(obj);
         record_access_sample st job;
@@ -564,7 +581,7 @@ let boundary st job =
         Trace.record st.trace ~time:st.now
           (Trace.Release (job.Job.jid, obj));
         wake_new_owner st obj new_owner;
-        if write then Resource.bump st.objects obj;
+        if write then commit_write st job.Job.jid obj;
         Resource.record_access st.objects obj;
         record_access_sample st job;
         Trace.record st.trace ~time:st.now
@@ -761,6 +778,7 @@ let run cfg =
       access_samples = Stats.create ();
       contention = Contention.make_array ~n:cfg.n_objects;
       block_since = Hashtbl.create 16;
+      last_writer = Array.make (max 1 cfg.n_objects) (-1);
       blocking_spans = Float_buffer.create ();
       sched_costs = Float_buffer.create ();
       audit = Audit.create ~tasks:cfg.tasks ~enabled:audit_enabled;

@@ -2,7 +2,7 @@ type cell = Idle | Run | Blocked | Retried | Done | Killed
 
 type row = { jid : int; label : string; cells : cell array }
 
-type t = { bucket_ns : int; origin : int; rows : row list }
+type t = { bucket_ns : int; origin : int; rows : row list; truncated : int }
 
 (* Priority when several events land in one bucket: terminal states
    beat retries beat blocking beats running. *)
@@ -64,22 +64,22 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
   List.iter
     (fun { Trace.time; kind } ->
       match kind with
-      | Trace.Arrive (jid, _) -> ignore (touch jid)
+      | Trace.Arrive (jid, _, _) -> ignore (touch jid)
       | Trace.Start jid ->
         close_run time;
         running := Some (jid, time)
-      | Trace.Preempt jid ->
+      | Trace.Preempt (jid, _) ->
         close_run time;
         ignore jid
       | Trace.Block (jid, _) ->
         close_run time;
         mark jid time Blocked
       | Trace.Wake (jid, _) -> ignore (touch jid)
-      | Trace.Retry (jid, _) -> mark jid time Retried
+      | Trace.Retry (jid, _, _, _) -> mark jid time Retried
       | Trace.Complete jid ->
         close_run time;
         mark jid time Done
-      | Trace.Abort jid ->
+      | Trace.Abort (jid, _) ->
         close_run time;
         mark jid time Killed
       | Trace.Acquire _ | Trace.Release _ | Trace.Access_done _
@@ -87,8 +87,10 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
         ())
     entries;
   close_run finish;
+  let all = List.rev !order in
+  let total = List.length all in
   let rows =
-    !order |> List.rev
+    all
     |> List.filteri (fun i _ -> i < max_jobs)
     |> List.map (fun jid ->
            {
@@ -97,7 +99,7 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
              cells = Hashtbl.find jobs jid;
            })
   in
-  { bucket_ns; origin; rows }
+  { bucket_ns; origin; rows; truncated = max 0 (total - max_jobs) }
 
 let cell_char = function
   | Idle -> '.'
@@ -121,6 +123,9 @@ let render timeline =
       Array.iter (fun c -> Buffer.add_char buf (cell_char c)) row.cells;
       Buffer.add_char buf '\n')
     timeline.rows;
+  if timeline.truncated > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "… +%d job(s) beyond max_jobs\n" timeline.truncated);
   Buffer.contents buf
 
 let pp fmt timeline = Format.pp_print_string fmt (render timeline)

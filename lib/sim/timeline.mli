@@ -20,12 +20,16 @@ type t = {
   bucket_ns : int;     (** time width of one column *)
   origin : int;        (** virtual time of the first column *)
   rows : row list;     (** one per job, by jid *)
+  truncated : int;     (** jobs beyond the [max_jobs] cap, not rendered *)
 }
 
 val build : ?buckets:int -> ?max_jobs:int -> Trace.t -> t
 (** [build trace] lays the trace out over [buckets] columns (default
-    72), keeping the first [max_jobs] jobs (default 20). Raises
-    [Invalid_argument] on an empty trace or non-positive sizes. *)
+    72), keeping the first [max_jobs] jobs (default 20). Jobs beyond
+    the cap are counted in {!field-t.truncated} rather than silently
+    dropped; {!render} appends a "… +N job(s)" footer when non-zero.
+    Raises [Invalid_argument] on an empty trace or non-positive
+    sizes. *)
 
 val cell_char : cell -> char
 (** [cell_char c] is the character used for [c]: ['.'] idle, ['#'] run,

@@ -1,15 +1,15 @@
 type kind =
-  | Arrive of int * int
+  | Arrive of int * int * int
   | Start of int
-  | Preempt of int
+  | Preempt of int * int
   | Block of int * int
   | Wake of int * int
   | Acquire of int * int
   | Release of int * int
-  | Retry of int * int
+  | Retry of int * int * int * int
   | Access_done of int * int
   | Complete of int
-  | Abort of int
+  | Abort of int * int
   | Sched of int * int
 
 type entry = { time : int; kind : kind }
@@ -112,7 +112,7 @@ let check_abort_releases tr =
       | Release (jid, obj) ->
         Hashtbl.replace held jid (List.filter (( <> ) obj) (holding jid));
         go rest
-      | Complete jid | Abort jid ->
+      | Complete jid | Abort (jid, _) ->
         if holding jid <> [] then
           Error
             (Printf.sprintf "t=%d: J%d ended while holding %d object(s)"
@@ -179,7 +179,7 @@ let check_wake_follows_block tr =
             (Printf.sprintf
                "t=%d: J%d woken with object %d without a prior block" time
                jid obj))
-      | Complete jid | Abort jid ->
+      | Complete jid | Abort (jid, _) ->
         (* Aborting a blocked job legitimately ends its wait. *)
         Hashtbl.remove blocked jid;
         go rest
@@ -201,17 +201,25 @@ let scheduler_invocations tr =
   count tr (function Sched _ -> true | _ -> false)
 
 let pp_kind fmt = function
-  | Arrive (jid, task) -> Format.fprintf fmt "arrive J%d (task %d)" jid task
+  | Arrive (jid, task, at) ->
+    Format.fprintf fmt "arrive J%d (task %d, at=%dns)" jid task at
   | Start jid -> Format.fprintf fmt "start J%d" jid
-  | Preempt jid -> Format.fprintf fmt "preempt J%d" jid
+  | Preempt (jid, by) ->
+    if by < 0 then Format.fprintf fmt "preempt J%d" jid
+    else Format.fprintf fmt "preempt J%d by J%d" jid by
   | Block (jid, obj) -> Format.fprintf fmt "block J%d on o%d" jid obj
   | Wake (jid, obj) -> Format.fprintf fmt "wake J%d with o%d" jid obj
   | Acquire (jid, obj) -> Format.fprintf fmt "acquire J%d o%d" jid obj
   | Release (jid, obj) -> Format.fprintf fmt "release J%d o%d" jid obj
-  | Retry (jid, obj) -> Format.fprintf fmt "retry J%d o%d" jid obj
+  | Retry (jid, obj, by, lost) ->
+    if by < 0 then
+      Format.fprintf fmt "retry J%d o%d (lost=%dns)" jid obj lost
+    else
+      Format.fprintf fmt "retry J%d o%d by J%d (lost=%dns)" jid obj by lost
   | Access_done (jid, obj) -> Format.fprintf fmt "access J%d o%d" jid obj
   | Complete jid -> Format.fprintf fmt "complete J%d" jid
-  | Abort jid -> Format.fprintf fmt "abort J%d" jid
+  | Abort (jid, handler) ->
+    Format.fprintf fmt "abort J%d (handler=%dns)" jid handler
   | Sched (ops, cost) ->
     Format.fprintf fmt "sched(ops=%d,cost=%dns)" ops cost
 

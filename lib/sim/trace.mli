@@ -7,17 +7,32 @@
     in [Rtlf_obs] turn a trace into Chrome trace-event JSON or CSV. *)
 
 type kind =
-  | Arrive of int * int      (** jid arrived (payload: jid, task id) *)
+  | Arrive of int * int * int
+      (** jid arrived (payload: jid, task id, true arrival time ns). The
+          entry's [time] is when the simulator processed the arrival,
+          which can lag the true arrival when a scheduler-cost or
+          abort-handler interval straddles it; causal attribution needs
+          the exact release time, so it rides in the payload. *)
   | Start of int             (** jid dispatched onto the CPU *)
-  | Preempt of int           (** jid lost the CPU to another job *)
+  | Preempt of int * int
+      (** jid lost the CPU (payload: victim jid, preemptor jid).
+          The preemptor is [-1] when the victim was descheduled with no
+          successor (e.g. the decider left the CPU idle). *)
   | Block of int * int       (** jid blocked on object *)
   | Wake of int * int        (** jid granted object after waiting *)
   | Acquire of int * int     (** jid locked object *)
   | Release of int * int     (** jid unlocked object *)
-  | Retry of int * int       (** jid retried its access to object *)
+  | Retry of int * int * int * int
+      (** jid retried its access to object (payload: jid, object,
+          invalidator jid, lost ns). The invalidator is the job whose
+          interleaved write invalidated the attempt ([-1] when
+          unknown); [lost] is the discarded attempt's CPU time — the
+          segment progress thrown away by the restart. *)
   | Access_done of int * int (** jid completed an access to object *)
   | Complete of int          (** jid finished *)
-  | Abort of int             (** jid aborted at its critical time *)
+  | Abort of int * int
+      (** jid aborted at its critical time (payload: jid, abort-handler
+          ns actually charged to the CPU after this entry's time). *)
   | Sched of int * int       (** scheduler invoked (payload: ops, cost ns) *)
 
 type entry = { time : int; kind : kind }

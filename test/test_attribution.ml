@@ -1,0 +1,478 @@
+(* Causal attribution: the conservation invariant (components sum to
+   sojourn bit-exactly) across every sync x sched combination, exact
+   hand-trace decompositions, the sojourn multiset cross-check against
+   the simulator's own samples, utility-loss reconstruction, blame
+   aggregation, and the refusal / degradation paths for ring-buffered
+   traces. *)
+
+module Task = Rtlf_model.Task
+module Sync = Rtlf_sim.Sync
+module Simulator = Rtlf_sim.Simulator
+module Trace = Rtlf_sim.Trace
+module Workload = Rtlf_workload.Workload
+module Attribution = Rtlf_obs.Attribution
+module Blame = Rtlf_obs.Blame
+module Spans = Rtlf_obs.Spans
+module Csv = Rtlf_obs.Csv_export
+
+(* --- randomised conservation across all configurations ---------------- *)
+
+let spec_gen =
+  QCheck.Gen.(
+    let* n_tasks = int_range 2 8 in
+    let* n_objects = int_range 1 6 in
+    let* accesses = int_range 0 6 in
+    let* load10 = int_range 2 14 in
+    let* burst = int_range 1 3 in
+    let* hetero = bool in
+    let* seed = int_range 1 10_000 in
+    return
+      {
+        Workload.default with
+        Workload.n_tasks;
+        n_objects;
+        accesses_per_job = accesses;
+        target_al = float_of_int load10 /. 10.0;
+        tuf_class =
+          (if hetero then Workload.Heterogeneous else Workload.Step_only);
+        mean_exec = 50_000;
+        access_work = 2_000;
+        burst;
+        seed;
+      })
+
+let spec_arb =
+  QCheck.make spec_gen ~print:(fun spec ->
+      Format.asprintf "%a (seed %d)" Workload.pp_spec spec
+        spec.Workload.seed)
+
+let sync_of_int = function
+  | 0 -> Sync.Ideal
+  | 1 -> Sync.Lock_free { overhead = 150 }
+  | _ -> Sync.Lock_based { overhead = 2_000 }
+
+let simulate ?(sync = 1) ?(sched = Simulator.Rua) ?trace_capacity spec =
+  let tasks = Workload.make spec in
+  let horizon = 40 * 50_000 * spec.Workload.n_tasks in
+  ( tasks,
+    Simulator.run
+      (Simulator.config ~tasks ~sync:(sync_of_int sync) ~sched ~horizon
+         ~seed:99 ~sched_base:200 ~sched_per_op:25 ~trace:true
+         ?trace_capacity ()) )
+
+let attribute_exn ~tasks trace =
+  match Attribution.of_trace ~tasks trace with
+  | Ok a -> a
+  | Error msg -> QCheck.Test.fail_report ("attribution refused: " ^ msg)
+
+(* Components sum to the sojourn on every job, for every discipline and
+   scheduler; the utility-loss reconstruction identity holds; simulator
+   traces never need the retry-transfer clamp. *)
+let conservation_all_configs =
+  QCheck.Test.make ~name:"attribution conserves on every sync x sched"
+    ~count:8 spec_arb
+    (fun spec ->
+      List.for_all
+        (fun sync ->
+          List.for_all
+            (fun sched ->
+              let tasks, res = simulate ~sync ~sched spec in
+              let a = attribute_exn ~tasks res.Simulator.trace in
+              (match Attribution.check a with
+              | Ok () -> ()
+              | Error msg -> QCheck.Test.fail_report msg);
+              if a.Attribution.anomalies <> 0 then
+                QCheck.Test.fail_report "retry clamp on a simulator trace";
+              List.for_all
+                (fun (j : Attribution.job) ->
+                  Attribution.components_total j = j.Attribution.sojourn
+                  && j.Attribution.loss <> None)
+                a.Attribution.jobs)
+            [ Simulator.Rua; Simulator.Edf; Simulator.Edf_pip ])
+        [ 0; 1; 2 ])
+
+(* The attributed completed-job sojourns are exactly the simulator's
+   own samples (as multisets) — attribution reconstructs arrival and
+   completion times from the trace alone. *)
+let sojourn_multiset =
+  QCheck.Test.make ~name:"attributed sojourns match simulator samples"
+    ~count:10
+    QCheck.(pair spec_arb (int_bound 2))
+    (fun (spec, sync) ->
+      let tasks, res = simulate ~sync spec in
+      let a = attribute_exn ~tasks res.Simulator.trace in
+      let attributed =
+        List.filter_map
+          (fun (j : Attribution.job) ->
+            match j.Attribution.outcome with
+            | Attribution.Completed ->
+              Some (float_of_int j.Attribution.sojourn)
+            | Attribution.Aborted -> None)
+          a.Attribution.jobs
+        |> List.sort compare
+      in
+      let samples =
+        Array.to_list res.Simulator.sojourn_samples |> List.sort compare
+      in
+      if attributed <> samples then
+        QCheck.Test.fail_reportf "multiset mismatch: %d attributed, %d samples"
+          (List.length attributed) (List.length samples)
+      else true)
+
+(* --- exact hand-trace decompositions ----------------------------------- *)
+
+let tr entries =
+  let t = Trace.create ~enabled:true () in
+  List.iter (fun (time, kind) -> Trace.record t ~time kind) entries;
+  t
+
+let attribute_hand entries =
+  match Attribution.of_trace (tr entries) with
+  | Ok a -> a
+  | Error msg -> Alcotest.fail ("attribution refused: " ^ msg)
+
+let job a jid =
+  match Attribution.find a ~jid with
+  | Some j -> j
+  | None -> Alcotest.failf "J%d not resolved" jid
+
+let check_ok a =
+  match Attribution.check a with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_preemption_decomposition () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Arrive (1, 1, 0));
+        (0, Trace.Start 0);
+        (10, Trace.Preempt (0, 1));
+        (10, Trace.Start 1);
+        (30, Trace.Complete 1);
+        (30, Trace.Start 0);
+        (50, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 and j1 = job a 1 in
+  Alcotest.(check int) "J0 own" 30 j0.Attribution.own;
+  Alcotest.(check int) "J0 preempted" 20 j0.Attribution.preempted;
+  Alcotest.(check int) "J0 sojourn" 50 j0.Attribution.sojourn;
+  Alcotest.(check int) "J1 own" 20 j1.Attribution.own;
+  Alcotest.(check int) "J1 preempted" 10 j1.Attribution.preempted;
+  (* J0's lost time is charged to the specific preemptor. *)
+  let charge =
+    List.find
+      (fun (c : Attribution.charge) -> c.Attribution.comp = Attribution.Preempted)
+      j0.Attribution.charges
+  in
+  Alcotest.(check int) "J0 charged to J1" 1 charge.Attribution.by;
+  Alcotest.(check int) "J0 charge ns" 20 charge.Attribution.ns
+
+let test_blocking_decomposition () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Arrive (1, 1, 0));
+        (0, Trace.Acquire (1, 0));
+        (0, Trace.Start 1);
+        (5, Trace.Block (0, 0));
+        (15, Trace.Release (1, 0));
+        (15, Trace.Wake (0, 0));
+        (20, Trace.Complete 1);
+        (20, Trace.Start 0);
+        (30, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 in
+  Alcotest.(check int) "J0 blocked" 10 j0.Attribution.blocked;
+  Alcotest.(check int) "J0 preempted" 10 j0.Attribution.preempted;
+  Alcotest.(check int) "J0 own" 10 j0.Attribution.own;
+  let blocked =
+    List.find
+      (fun (c : Attribution.charge) -> c.Attribution.comp = Attribution.Blocked)
+      j0.Attribution.charges
+  in
+  Alcotest.(check int) "blocked on holder" 1 blocked.Attribution.by;
+  Alcotest.(check int) "blocked via object" 0 blocked.Attribution.obj
+
+let test_retry_transfer () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Start 0);
+        (10, Trace.Retry (0, 1, 7, 4));
+        (12, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 in
+  Alcotest.(check int) "own excludes discarded attempt" 8
+    j0.Attribution.own;
+  Alcotest.(check int) "retry charged" 4 j0.Attribution.retry;
+  Alcotest.(check int) "no anomaly" 0 a.Attribution.anomalies;
+  let retry =
+    List.find
+      (fun (c : Attribution.charge) -> c.Attribution.comp = Attribution.Retry)
+      j0.Attribution.charges
+  in
+  Alcotest.(check int) "invalidator blamed" 7 retry.Attribution.by;
+  Alcotest.(check int) "object recorded" 1 retry.Attribution.obj
+
+let test_retry_clamp_counts_anomaly () =
+  (* lost > accumulated own time: the transfer clamps and is counted. *)
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Start 0);
+        (3, Trace.Retry (0, 1, -1, 9));
+        (5, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 in
+  Alcotest.(check int) "own" 2 j0.Attribution.own;
+  Alcotest.(check int) "retry clamped to own" 3 j0.Attribution.retry;
+  Alcotest.(check int) "anomaly counted" 1 a.Attribution.anomalies
+
+let test_sched_and_abort_handler () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Arrive (1, 1, 0));
+        (0, Trace.Sched (1, 5));
+        (5, Trace.Start 1);
+        (10, Trace.Abort (1, 5));
+        (15, Trace.Start 0);
+        (20, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 and j1 = job a 1 in
+  Alcotest.(check int) "J1 aborted with own time" 5 j1.Attribution.own;
+  Alcotest.(check bool) "J1 outcome" true
+    (j1.Attribution.outcome = Attribution.Aborted);
+  Alcotest.(check int) "J0 sched share" 5 j0.Attribution.sched;
+  Alcotest.(check int) "J0 preempted by J1" 5 j0.Attribution.preempted;
+  Alcotest.(check int) "J0 behind J1's abort handler" 5
+    j0.Attribution.abort_handler;
+  Alcotest.(check int) "J0 own" 5 j0.Attribution.own;
+  let handler =
+    List.find
+      (fun (c : Attribution.charge) ->
+        c.Attribution.comp = Attribution.Abort_handler)
+      j0.Attribution.charges
+  in
+  Alcotest.(check int) "handler charged to aborted job" 1
+    handler.Attribution.by
+
+let test_idle_dispatch_latency () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (7, Trace.Start 0);
+        (10, Trace.Complete 0);
+      ]
+  in
+  check_ok a;
+  let j0 = job a 0 in
+  Alcotest.(check int) "idle before dispatch" 7 j0.Attribution.idle;
+  Alcotest.(check int) "own" 3 j0.Attribution.own
+
+(* Arrival admitted at the true release time even though the Arrive
+   record lags (scheduler cost straddled the release). *)
+let test_late_arrive_record_uses_true_arrival () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Start 0);
+        (8, Trace.Arrive (1, 1, 4));
+        (10, Trace.Complete 0);
+        (10, Trace.Start 1);
+        (16, Trace.Complete 1);
+      ]
+  in
+  check_ok a;
+  let j1 = job a 1 in
+  Alcotest.(check int) "sojourn from true arrival" 12
+    j1.Attribution.sojourn;
+  Alcotest.(check int) "preempted from release onward" 6
+    j1.Attribution.preempted;
+  Alcotest.(check int) "own" 6 j1.Attribution.own
+
+(* --- utility-loss decomposition ---------------------------------------- *)
+
+let test_utility_loss_reconstruction () =
+  let spec = { Workload.default with Workload.n_tasks = 4; seed = 5 } in
+  let tasks, res = simulate ~sync:2 spec in
+  let a = attribute_exn ~tasks res.Simulator.trace in
+  Alcotest.(check bool) "jobs resolved" true (a.Attribution.jobs <> []);
+  List.iter
+    (fun (j : Attribution.job) ->
+      match j.Attribution.loss with
+      | None -> Alcotest.fail "loss missing with ~tasks"
+      | Some l ->
+        let s =
+          l.Attribution.u_retry +. l.Attribution.u_blocked
+          +. l.Attribution.u_preempted +. l.Attribution.u_sched
+          +. l.Attribution.u_abort +. l.Attribution.u_idle
+        in
+        let loss = j.Attribution.max_utility -. j.Attribution.accrued in
+        Alcotest.(check bool) "u_self reconstructs loss exactly" true
+          (l.Attribution.u_self = loss -. s))
+    a.Attribution.jobs;
+  check_ok a
+
+(* --- blame aggregation -------------------------------------------------- *)
+
+let test_blame_edges () =
+  let a =
+    attribute_hand
+      [
+        (0, Trace.Arrive (0, 0, 0));
+        (0, Trace.Arrive (1, 1, 0));
+        (0, Trace.Acquire (1, 0));
+        (0, Trace.Start 1);
+        (5, Trace.Block (0, 0));
+        (15, Trace.Release (1, 0));
+        (15, Trace.Wake (0, 0));
+        (20, Trace.Complete 1);
+        (20, Trace.Start 0);
+        (30, Trace.Complete 0);
+      ]
+  in
+  let b = Blame.of_attribution a in
+  let blocking =
+    List.find (fun (e : Blame.edge) -> e.Blame.cause = Blame.Blocking) b.Blame.edges
+  in
+  Alcotest.(check int) "victim task" 0 blocking.Blame.victim_task;
+  Alcotest.(check int) "culprit task" 1 blocking.Blame.culprit_task;
+  Alcotest.(check int) "ns" 10 blocking.Blame.ns;
+  Alcotest.(check int) "object" 0 blocking.Blame.obj;
+  (* JSON doc carries the schema marker. *)
+  (match Blame.to_json b with
+  | Rtlf_obs.Json.Obj fields ->
+    Alcotest.(check bool) "schema" true
+      (List.assoc_opt "schema" fields
+      = Some (Rtlf_obs.Json.Str "rtlf-blame-v1"))
+  | _ -> Alcotest.fail "blame json not an object");
+  (* total_ns covers every culprit-bearing charge. *)
+  Alcotest.(check bool) "total >= blocking edge" true
+    (b.Blame.total_ns >= blocking.Blame.ns)
+
+(* --- ring-buffered (dropped) traces ------------------------------------- *)
+
+let dropped_run () =
+  let spec =
+    { Workload.default with Workload.n_tasks = 6; target_al = 0.9; seed = 3 }
+  in
+  let _, res = simulate ~sync:2 ~trace_capacity:64 spec in
+  res.Simulator.trace
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_attribution_refuses_dropped_trace () =
+  let trace = dropped_run () in
+  Alcotest.(check bool) "entries dropped" true (Trace.dropped trace > 0);
+  match Attribution.of_trace trace with
+  | Ok _ -> Alcotest.fail "attribution accepted an incomplete trace"
+  | Error msg ->
+    (* the error names the drop so the operator knows the remedy *)
+    Alcotest.(check bool) "error names the drop" true
+      (contains (String.lowercase_ascii msg) "dropped")
+
+let test_spans_degrade_on_dropped_trace () =
+  let trace = dropped_run () in
+  (* Must not raise; unmatched opens surface as the orphan count. *)
+  let spans = Spans.of_trace trace in
+  Alcotest.(check bool) "orphans reported" true (spans.Spans.orphans >= 0);
+  Alcotest.(check bool) "spans still built" true
+    (List.length spans.Spans.running > 0)
+
+(* --- CSV round-trip ------------------------------------------------------ *)
+
+let test_csv_round_trip_preserves_attribution () =
+  let spec =
+    { Workload.default with Workload.n_tasks = 5; target_al = 0.8; seed = 9 }
+  in
+  let tasks, res = simulate ~sync:1 spec in
+  let a1 = attribute_exn ~tasks res.Simulator.trace in
+  let csv = Csv.to_string res.Simulator.trace in
+  match Csv.of_string csv with
+  | Error msg -> Alcotest.fail ("csv parse failed: " ^ msg)
+  | Ok trace2 ->
+    let a2 = attribute_exn ~tasks trace2 in
+    Alcotest.(check int) "same job count"
+      (List.length a1.Attribution.jobs)
+      (List.length a2.Attribution.jobs);
+    List.iter2
+      (fun (x : Attribution.job) (y : Attribution.job) ->
+        Alcotest.(check int) "jid" x.Attribution.jid y.Attribution.jid;
+        Alcotest.(check int) "sojourn" x.Attribution.sojourn
+          y.Attribution.sojourn;
+        Alcotest.(check int) "own" x.Attribution.own y.Attribution.own;
+        Alcotest.(check int) "retry" x.Attribution.retry y.Attribution.retry;
+        Alcotest.(check int) "blocked" x.Attribution.blocked
+          y.Attribution.blocked;
+        Alcotest.(check int) "preempted" x.Attribution.preempted
+          y.Attribution.preempted;
+        Alcotest.(check int) "sched" x.Attribution.sched y.Attribution.sched;
+        Alcotest.(check int) "abort" x.Attribution.abort_handler
+          y.Attribution.abort_handler;
+        Alcotest.(check int) "idle" x.Attribution.idle y.Attribution.idle)
+      a1.Attribution.jobs a2.Attribution.jobs
+
+let () =
+  Test_support.run "attribution"
+    [
+      ( "conservation",
+        List.map Test_support.to_alcotest
+          [ conservation_all_configs; sojourn_multiset ] );
+      ( "hand traces",
+        [
+          Alcotest.test_case "preemption split" `Quick
+            test_preemption_decomposition;
+          Alcotest.test_case "blocking charged to holder" `Quick
+            test_blocking_decomposition;
+          Alcotest.test_case "retry transfer" `Quick test_retry_transfer;
+          Alcotest.test_case "retry clamp -> anomaly" `Quick
+            test_retry_clamp_counts_anomaly;
+          Alcotest.test_case "sched + abort handler" `Quick
+            test_sched_and_abort_handler;
+          Alcotest.test_case "idle dispatch latency" `Quick
+            test_idle_dispatch_latency;
+          Alcotest.test_case "late Arrive uses true arrival" `Quick
+            test_late_arrive_record_uses_true_arrival;
+        ] );
+      ( "utility",
+        [
+          Alcotest.test_case "loss reconstruction exact" `Quick
+            test_utility_loss_reconstruction;
+        ] );
+      ( "blame",
+        [ Alcotest.test_case "task edges + json" `Quick test_blame_edges ] );
+      ( "dropped traces",
+        [
+          Alcotest.test_case "attribution refuses" `Quick
+            test_attribution_refuses_dropped_trace;
+          Alcotest.test_case "spans degrade gracefully" `Quick
+            test_spans_degrade_on_dropped_trace;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "round-trip preserves decomposition" `Quick
+            test_csv_round_trip_preserves_attribution;
+        ] );
+    ]

@@ -22,7 +22,7 @@ let tr entries =
 
 let test_trace_disabled_records_nothing () =
   let t = Trace.create ~enabled:false () in
-  Trace.record t ~time:0 (Trace.Arrive (1, 0));
+  Trace.record t ~time:0 (Trace.Arrive (1, 0, 0));
   Alcotest.(check int) "empty" 0 (List.length (Trace.entries t))
 
 let test_mutual_exclusion_ok () =
@@ -47,12 +47,12 @@ let test_release_without_acquire () =
 
 let test_abort_releases_ok () =
   let t =
-    tr [ Trace.Acquire (1, 0); Trace.Release (1, 0); Trace.Abort 1 ]
+    tr [ Trace.Acquire (1, 0); Trace.Release (1, 0); Trace.Abort (1, 0) ]
   in
   Alcotest.(check bool) "ok" true (Trace.check_abort_releases t = Ok ())
 
 let test_abort_holding_violation () =
-  let t = tr [ Trace.Acquire (1, 0); Trace.Abort 1 ] in
+  let t = tr [ Trace.Acquire (1, 0); Trace.Abort (1, 0) ] in
   match Trace.check_abort_releases t with
   | Ok () -> Alcotest.fail "held lock at abort not caught"
   | Error _ -> ()
@@ -60,8 +60,8 @@ let test_abort_holding_violation () =
 let test_trace_counters () =
   let t =
     tr
-      [ Trace.Preempt 1; Trace.Preempt 2; Trace.Sched (10, 450);
-        Trace.Arrive (3, 0) ]
+      [ Trace.Preempt (1, 2); Trace.Preempt (2, -1); Trace.Sched (10, 450);
+        Trace.Arrive (3, 0, 3) ]
   in
   Alcotest.(check int) "preemptions" 2 (Trace.preemptions t);
   Alcotest.(check int) "sched" 1 (Trace.scheduler_invocations t)

@@ -94,7 +94,7 @@ let test_ring_buffer_under_capacity () =
 let test_unbounded_never_drops () =
   let t = Trace.create ~enabled:true () in
   for i = 0 to 99 do
-    Trace.record t ~time:i (Trace.Preempt i)
+    Trace.record t ~time:i (Trace.Preempt (i, -1))
   done;
   Alcotest.(check int) "all kept" 100 (List.length (Trace.entries t));
   Alcotest.(check int) "dropped" 0 (Trace.dropped t);
@@ -139,13 +139,13 @@ let test_contention_negative_block () =
 let hand_trace () =
   let t = Trace.create ~enabled:true () in
   let r time kind = Trace.record t ~time kind in
-  r 0 (Trace.Arrive (0, 0));
+  r 0 (Trace.Arrive (0, 0, 0));
   r 0 (Trace.Sched (4, 300));
   r 10 (Trace.Start 0);
   r 20 (Trace.Block (0, 2));
   r 50 (Trace.Wake (0, 2));
   r 50 (Trace.Start 0);
-  r 60 (Trace.Retry (0, 2));
+  r 60 (Trace.Retry (0, 2, -1, 0));
   r 80 (Trace.Access_done (0, 2));
   r 90 (Trace.Complete 0);
   t
@@ -295,11 +295,11 @@ let test_json_unicode_escapes () =
 let test_chrome_counter_tracks () =
   let t = Trace.create ~enabled:true () in
   let r time kind = Trace.record t ~time kind in
-  r 0 (Trace.Arrive (0, 0));
+  r 0 (Trace.Arrive (0, 0, 0));
   r 10 (Trace.Start 0);
-  r 20 (Trace.Retry (0, 2));
-  r 30 (Trace.Retry (0, 2));
-  r 40 (Trace.Retry (0, 0));
+  r 20 (Trace.Retry (0, 2, -1, 0));
+  r 30 (Trace.Retry (0, 2, -1, 0));
+  r 40 (Trace.Retry (0, 0, -1, 0));
   r 50 (Trace.Complete 0);
   let events = Chrome_trace.events t in
   let counters =
@@ -321,6 +321,52 @@ let test_chrome_counter_tracks () =
       ("retries o0", 1); ("retries (total)", 3);
     ]
     counters
+
+let test_chrome_flow_events () =
+  (* J1 holds o0 and blocks J0; J2's committed write invalidates J0's
+     lock-free attempt. Expect one blocking arrow (holder lane →
+     victim's wake) and one retry arrow (invalidator's access → retry
+     instant), each a paired s/f with matching id and name. *)
+  let t = Trace.create ~enabled:true () in
+  let r time kind = Trace.record t ~time kind in
+  r 0 (Trace.Arrive (0, 0, 0));
+  r 0 (Trace.Arrive (1, 1, 0));
+  r 0 (Trace.Arrive (2, 2, 0));
+  r 5 (Trace.Acquire (1, 0));
+  r 10 (Trace.Block (0, 0));
+  r 30 (Trace.Release (1, 0));
+  r 30 (Trace.Wake (0, 0));
+  r 40 (Trace.Access_done (2, 1));
+  r 50 (Trace.Retry (0, 1, 2, 7));
+  r 60 (Trace.Complete 0);
+  let events = Chrome_trace.events t in
+  let flows p =
+    List.filter_map
+      (fun ev ->
+        match (field "ph" ev, field "id" ev, field "name" ev, field "ts" ev)
+        with
+        | Some (Json.Str ph), Some (Json.Int id), Some (Json.Str name),
+          Some (Json.Float ts)
+          when ph = p ->
+          Some (id, name, ts)
+        | _ -> None)
+      events
+  in
+  let starts = flows "s" and finishes = flows "f" in
+  Alcotest.(check int) "two flow starts" 2 (List.length starts);
+  Alcotest.(check int) "two flow finishes" 2 (List.length finishes);
+  List.iter
+    (fun (id, name, ts) ->
+      match List.find_opt (fun (id', _, _) -> id' = id) finishes with
+      | None -> Alcotest.failf "flow %d unpaired" id
+      | Some (_, name', ts') ->
+        Alcotest.(check string) "flow name matches" name name';
+        Alcotest.(check bool) "flow start <= finish" true (ts <= ts'))
+    starts;
+  Alcotest.(check bool) "blocking arrow present" true
+    (List.exists (fun (_, name, _) -> name = "blocks o0") starts);
+  Alcotest.(check bool) "retry arrow present" true
+    (List.exists (fun (_, name, _) -> name = "invalidates o1") starts)
 
 let test_chrome_no_counters_without_retries () =
   let t = Trace.create ~enabled:true () in
@@ -387,7 +433,7 @@ let test_chrome_schema () =
   List.iter
     (fun ev ->
       (match field "ph" ev with
-      | Some (Json.Str ("M" | "X" | "i" | "C")) -> ()
+      | Some (Json.Str ("M" | "X" | "i" | "C" | "s" | "f")) -> ()
       | _ -> Alcotest.fail "event without valid ph");
       (match (field "pid" ev, field "tid" ev) with
       | Some (Json.Int _), Some (Json.Int _) -> ()
@@ -417,6 +463,14 @@ let test_chrome_schema () =
             ->
             ()
           | _ -> Alcotest.fail "C event without ts/args.value")
+      | Some (Json.Str "s") -> (
+          match (field "ts" ev, field "id" ev, field "cat" ev) with
+          | Some (Json.Float _), Some (Json.Int _), Some (Json.Str _) -> ()
+          | _ -> Alcotest.fail "s event without ts/id/cat")
+      | Some (Json.Str "f") -> (
+          match (field "ts" ev, field "id" ev, field "bp" ev) with
+          | Some (Json.Float _), Some (Json.Int _), Some (Json.Str "e") -> ()
+          | _ -> Alcotest.fail "f event without ts/id/bp")
       | _ -> ())
     events;
   (* The document itself parses line-per-event and has metadata for
@@ -508,6 +562,8 @@ let () =
         [
           Alcotest.test_case "cumulative retries" `Quick
             test_chrome_counter_tracks;
+          Alcotest.test_case "blame flow arrows" `Quick
+            test_chrome_flow_events;
           Alcotest.test_case "absent without retries" `Quick
             test_chrome_no_counters_without_retries;
         ] );

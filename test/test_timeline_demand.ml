@@ -65,7 +65,7 @@ let test_timeline_large_trace () =
   for i = 0 to n - 1 do
     let jid = i mod 1_000 in
     let t = i * 5_000 in
-    Trace.record trace ~time:t (Trace.Arrive (jid, jid));
+    Trace.record trace ~time:t (Trace.Arrive (jid, jid, t));
     Trace.record trace ~time:(t + 1_000) (Trace.Start jid);
     Trace.record trace ~time:(t + 4_000) (Trace.Complete jid)
   done;
@@ -99,17 +99,47 @@ let test_timeline_render_shape () =
   let tl = Timeline.build ~buckets:30 ~max_jobs:3 res.Simulator.trace in
   let rendered = Timeline.render tl in
   let lines = String.split_on_char '\n' rendered in
-  (* header + <=3 job rows + trailing newline *)
-  Alcotest.(check bool) "bounded rows" true (List.length lines <= 5);
+  (* header + <=3 job rows + optional truncation footer + trailing
+     newline *)
+  Alcotest.(check bool) "bounded rows" true (List.length lines <= 6);
   Alcotest.(check bool) "mentions legend" true
     (String.length (List.nth lines 0) > 10)
+
+let test_timeline_truncation_surfaced () =
+  (* 5 jobs through a 3-row timeline: the two dropped jobs must be
+     counted and announced in the rendering, never silently cut. *)
+  let trace = Trace.create ~enabled:true () in
+  for jid = 0 to 4 do
+    let t = jid * 100 in
+    Trace.record trace ~time:t (Trace.Arrive (jid, 0, t));
+    Trace.record trace ~time:(t + 10) (Trace.Start jid);
+    Trace.record trace ~time:(t + 90) (Trace.Complete jid)
+  done;
+  let tl = Timeline.build ~buckets:10 ~max_jobs:3 trace in
+  Alcotest.(check int) "rows capped" 3 (List.length tl.Timeline.rows);
+  Alcotest.(check int) "truncated count" 2 tl.Timeline.truncated;
+  let rendered = Timeline.render tl in
+  Alcotest.(check bool) "footer announces the cut" true
+    (let needle = "+2 job(s)" in
+     let rec contains i =
+       i + String.length needle <= String.length rendered
+       && (String.sub rendered i (String.length needle) = needle
+          || contains (i + 1))
+     in
+     contains 0);
+  (* No footer when nothing is cut. *)
+  let full = Timeline.build ~buckets:10 ~max_jobs:5 trace in
+  Alcotest.(check int) "nothing truncated" 0 full.Timeline.truncated;
+  Alcotest.(check bool) "no footer" true
+    (not (String.length (Timeline.render full) > 0
+         && String.contains (Timeline.render full) '+'))
 
 let test_timeline_validation () =
   let trace = Trace.create ~enabled:true () in
   Alcotest.check_raises "empty trace"
     (Invalid_argument "Timeline.build: empty trace") (fun () ->
       ignore (Timeline.build trace));
-  Trace.record trace ~time:0 (Trace.Arrive (0, 0));
+  Trace.record trace ~time:0 (Trace.Arrive (0, 0, 0));
   Alcotest.check_raises "bad buckets"
     (Invalid_argument "Timeline.build: buckets must be positive") (fun () ->
       ignore (Timeline.build ~buckets:0 trace))
@@ -226,6 +256,8 @@ let () =
           Alcotest.test_case "aborts visible" `Quick test_timeline_shows_aborts;
           Alcotest.test_case "large trace" `Quick test_timeline_large_trace;
           Alcotest.test_case "render shape" `Quick test_timeline_render_shape;
+          Alcotest.test_case "truncation surfaced" `Quick
+            test_timeline_truncation_surfaced;
           Alcotest.test_case "validation" `Quick test_timeline_validation;
           Alcotest.test_case "cell chars distinct" `Quick
             test_cell_chars_distinct;
