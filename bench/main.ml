@@ -345,6 +345,51 @@ let run_scale_group ~quota ~name kernels =
       (List.map (fun (n, ns) -> [ n; Printf.sprintf "%.1f" ns ]) rows);
   rows
 
+(* --- per-core-count dispatcher kernels (SMP) -------------------------- *)
+
+(* What one dispatcher pass costs at m cores over n live jobs, through
+   the public Scheduler API the dispatcher itself uses: global dispatch
+   runs one decide over all n jobs (the selection is then spread across
+   cores); partitioned dispatch runs m decides over n/m-job partitions,
+   each with its own scheduler instance exactly as the simulator keeps
+   them (deciders carry caches). The hold kernels track the event queue
+   at m cores' event density — every core keeps a completion event in
+   flight, so pending events scale with m. *)
+let smp_cores = [ 1; 2; 4 ]
+
+let smp_kernels () =
+  let n = 64 in
+  List.concat_map
+    (fun m ->
+      let global =
+        let jobs, _locks = scene ~n ~with_locks:false in
+        let jobs = Array.of_list jobs in
+        let sched = Rtlf_core.Rua_lock_free.make () in
+        fun () -> ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining)
+      in
+      let partitioned =
+        let per_core =
+          Array.init m (fun _ ->
+              let jobs, _locks = scene ~n:(max 1 (n / m)) ~with_locks:false in
+              (Array.of_list jobs, Rtlf_core.Rua_lock_free.make ()))
+        in
+        fun () ->
+          Array.iter
+            (fun (jobs, sched) ->
+              ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining))
+            per_core
+      in
+      [
+        (Printf.sprintf "smp decide n=%d m=%d global" n m, 1, global);
+        ( Printf.sprintf "smp decide n=%d m=%d partitioned" n m,
+          1,
+          partitioned );
+        ( Printf.sprintf "smp event-queue hold m=%d wheel" m,
+          256,
+          Staged.unstage (bench_queue_hold ~impl:`Wheel ~n:(256 * m)) );
+      ])
+    smp_cores
+
 (* Pre-arena decision-kernel costs, measured on this harness (bechamel
    OLS, 0.5 s quota) immediately before the scratch-arena rewrite of
    the decision path. BENCH_*.json reports measured/baseline speedups
@@ -736,6 +781,11 @@ let () =
     run_group ~quota ~name:"Attribution pass (rtlf explain hot path)"
       (attribution_tests ())
   in
+  let smp_rows =
+    run_scale_group ~quota
+      ~name:"SMP dispatcher kernels (decide + event queue per core count)"
+      (smp_kernels ())
+  in
   let scale_rows =
     if not scale then []
     else begin
@@ -760,5 +810,5 @@ let () =
   end;
   let wall_s = Unix.gettimeofday () -. t0 in
   emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s
-    (sched_rows @ attr_rows @ scale_rows);
+    (sched_rows @ attr_rows @ smp_rows @ scale_rows);
   Format.fprintf fmt "@.done.@."

@@ -19,6 +19,7 @@ open Cmdliner
 module Workload = Rtlf_workload.Workload
 module Simulator = Rtlf_sim.Simulator
 module Sync = Rtlf_sim.Sync
+module Cores = Rtlf_sim.Cores
 module Trace = Rtlf_sim.Trace
 module Experiments = Rtlf_experiments
 module Report = Rtlf_experiments.Report
@@ -76,9 +77,13 @@ let exec_arg =
   Arg.(value & opt int 200 & info [ "exec-us" ] ~doc)
 
 let sync_arg =
-  let doc = "Sharing discipline: lock-based, lock-free or ideal." in
+  let doc =
+    "Sharing discipline: lock-based, lock-free, spin-ticket, spin-mcs \
+     or ideal."
+  in
   let syncs =
     [ ("lock-based", `Lock_based); ("lock-free", `Lock_free);
+      ("spin-ticket", `Spin_ticket); ("spin-mcs", `Spin_mcs);
       ("ideal", `Ideal) ]
   in
   Arg.(value & opt (enum syncs) `Lock_free & info [ "sync" ] ~doc)
@@ -123,7 +128,29 @@ let make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed =
 let sync_of = function
   | `Lock_based -> Experiments.Common.lock_based
   | `Lock_free -> Experiments.Common.lock_free
+  | `Spin_ticket -> Experiments.Common.spin_ticket
+  | `Spin_mcs -> Experiments.Common.spin_mcs
   | `Ideal -> Sync.Ideal
+
+let cores_arg =
+  let doc = "Number of cores the simulated machine has." in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some c when c >= 1 -> Ok c
+      | Some _ -> Error (`Msg "cores must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "invalid core count %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt positive 1 & info [ "cores" ] ~docv:"M" ~doc)
+
+let dispatch_arg =
+  let doc = "Multicore dispatch policy: global or partitioned." in
+  let policies =
+    [ ("global", Cores.Global); ("partitioned", Cores.Partitioned) ]
+  in
+  Arg.(value & opt (enum policies) Cores.Global & info [ "dispatch" ] ~doc)
 
 (* --- rtlf list -------------------------------------------------------- *)
 
@@ -144,10 +171,30 @@ let run_cmd =
     let doc = "Experiment name (see $(b,rtlf list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
-  let run name fast jobs =
+  let run_cores_arg =
+    let doc =
+      "Core count(s) to sweep for the $(b,smp) experiment (repeatable: \
+       $(b,--cores 1 --cores 2 --cores 4)); defaults to 1, 2 and 4. \
+       Other experiments are single-core and reject this flag."
+    in
+    Arg.(value & opt_all int [] & info [ "cores" ] ~docv:"M" ~doc)
+  in
+  let run name fast jobs cores =
     let mode = mode_of_fast fast in
-    if name = "all" then begin
+    if cores <> [] && name <> "smp" then
+      `Error
+        (false,
+         Printf.sprintf "--cores applies only to the smp experiment, not %S"
+           name)
+    else if List.exists (fun m -> m < 1) cores then
+      `Error (false, "--cores values must be >= 1")
+    else if name = "all" then begin
       Experiments.All.run ~mode ~jobs fmt;
+      `Ok ()
+    end
+    else if name = "smp" then begin
+      let cores = if cores = [] then None else Some cores in
+      Experiments.Smp.run ~mode ~jobs ?cores fmt;
       `Ok ()
     end
     else
@@ -159,7 +206,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a named experiment (or `all').")
-    Term.(ret (const run $ name_arg $ fast_flag $ jobs_arg))
+    Term.(ret (const run $ name_arg $ fast_flag $ jobs_arg $ run_cores_arg))
 
 (* --- rtlf sim ----------------------------------------------------------- *)
 
@@ -242,14 +289,15 @@ let print_observability res =
 
 let sim_cmd =
   let run tasks objects load exec_us sync sched queue hetero seed fast json
-      trace_out csv_out metrics_out contention_csv trace_capacity =
+      cores dispatch trace_out csv_out metrics_out contention_csv
+      trace_capacity =
     let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
     let task_list = Workload.make spec in
     let mode = mode_of_fast fast in
     let trace = Option.is_some trace_out || Option.is_some csv_out in
     let res =
       Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~trace
-        ?trace_capacity ~queue ~seed task_list
+        ?trace_capacity ~queue ~cores ~dispatch ~seed task_list
     in
     if json then print_string (Obs.Result_json.to_string res)
     else begin
@@ -257,6 +305,10 @@ let sim_cmd =
       Format.fprintf fmt
         "scheduler=%s sync=%s horizon=%dns@." res.Simulator.sched_name
         res.Simulator.sync_name res.Simulator.final_time;
+      if res.Simulator.cores > 1 then
+        Format.fprintf fmt "cores=%d dispatch=%s migrations=%d@."
+          res.Simulator.cores res.Simulator.dispatch_name
+          res.Simulator.migrations;
       Format.fprintf fmt
         "released=%d completed=%d aborted=%d in-flight=%d@."
         res.Simulator.released res.Simulator.completed res.Simulator.aborted
@@ -301,8 +353,8 @@ let sim_cmd =
     Term.(
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
       $ sched_arg $ queue_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
-      $ trace_out_arg $ csv_out_arg $ metrics_out_arg $ contention_csv_arg
-      $ trace_capacity_arg)
+      $ cores_arg $ dispatch_arg $ trace_out_arg $ csv_out_arg
+      $ metrics_out_arg $ contention_csv_arg $ trace_capacity_arg)
 
 (* --- rtlf trace ---------------------------------------------------------- *)
 

@@ -12,7 +12,13 @@
 
    - [Register]: a value stored as two cells written one after the
      other. A read between the two sets observes a torn pair (new hi,
-     old lo) that no sequential execution can produce. *)
+     old lo) that no sequential execution can produce.
+
+   - [Ticket_lock]: ticket dispensing is get-then-set instead of one
+     fetch-and-add. One preemption between the get and the set hands
+     two requesters the same ticket: both pass the [serving] check and
+     the "lock" admits two critical sections at once (or, with the
+     skipped ticket never served, the queue deadlocks). *)
 
 module Stack (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) = struct
   type 'a t = { top : 'a list Atomic.t }
@@ -33,6 +39,36 @@ module Stack (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) = struct
       Some x
 
   let to_list s = Atomic.get s.top
+end
+
+module Ticket_lock
+    (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC)
+    (Wait : Rtlf_lockfree.Atomic_intf.SPIN_WAIT) =
+struct
+  type t = {
+    next : int Atomic.t;
+    serving : int Atomic.t;
+    grants : int Atomic.t;
+  }
+
+  type handle = { ticket : int; grant : int }
+
+  let create () =
+    { next = Atomic.make 0; serving = Atomic.make 0; grants = Atomic.make 0 }
+
+  let acquire t =
+    let ticket = Atomic.get t.next in
+    (* BUG: duplicate ticket — another requester can draw the same
+       number before this set lands. *)
+    Atomic.set t.next (ticket + 1);
+    Wait.until (fun () -> Atomic.get t.serving = ticket);
+    let grant = Atomic.get t.grants in
+    Atomic.set t.grants (grant + 1);
+    { ticket; grant }
+
+  let release t h = Atomic.set t.serving (h.ticket + 1)
+  let request_order h = h.ticket
+  let grant_order h = h.grant
 end
 
 module Register (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) = struct

@@ -13,6 +13,23 @@ module Stack (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) : sig
   val to_list : 'a t -> 'a list
 end
 
+(** Ticket lock whose ticket dispensing is get-then-set instead of one
+    fetch-and-add: one preemption hands two requesters the same
+    ticket, admitting two critical sections at once (mutual-exclusion
+    violation) or deadlocking on the skipped ticket. *)
+module Ticket_lock
+    (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC)
+    (Wait : Rtlf_lockfree.Atomic_intf.SPIN_WAIT) : sig
+  type t
+  type handle
+
+  val create : unit -> t
+  val acquire : t -> handle
+  val release : t -> handle -> unit
+  val request_order : handle -> int
+  val grant_order : handle -> int
+end
+
 (** Int register stored as two cells written non-atomically: a
     concurrent read observes a torn (new, old) pair. *)
 module Register (Atomic : Rtlf_lockfree.Atomic_intf.ATOMIC) : sig

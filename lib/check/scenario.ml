@@ -24,6 +24,7 @@ type op =
   | Read
   | Update of int * int
   | Scan
+  | Section
 
 type res = Unit | Bool of bool | Int of int | Opt of int option | Arr of int list
 
@@ -41,6 +42,7 @@ let pp_op fmt = function
   | Read -> Format.pp_print_string fmt "read"
   | Update (i, v) -> Format.fprintf fmt "update[%d] %d" i v
   | Scan -> Format.pp_print_string fmt "scan"
+  | Section -> Format.pp_print_string fmt "section"
 
 let pp_res fmt = function
   | Unit -> Format.pp_print_string fmt "()"
@@ -141,6 +143,29 @@ let pair_register_spec ~init =
       | Read -> (s, Arr [ s; s ])
       | o -> bad_op "register" o)
 
+(* Spin locks: each [Section] acquires, increments a lock-protected
+   counter, releases, and reports [ranks @ [counter]] — the handle's
+   request/grant ranks plus the counter value it observed. The i-th
+   linearized section must see every one of those equal to [i]:
+   counter = i pins mutual exclusion (no lost or duplicated
+   increments), rank = i pins FIFO fairness (granted in request
+   order). The audit [Read] pins the final counter. *)
+let fifo_lock_spec : (int, op, res) History.spec =
+  {
+    name = "FIFO spin lock (ranked critical sections)";
+    init = (fun () -> 0);
+    step =
+      (fun i o r ->
+        match (o, r) with
+        | Section, Arr ranks ->
+          if ranks <> [] && List.for_all (( = ) i) ranks then Some (i + 1)
+          else None
+        | Read, Int n -> if n = i then Some i else None
+        | o, _ -> bad_op "spin_lock" o);
+    pp_op;
+    pp_res;
+  }
+
 let snapshot_spec ~n ~init =
   spec "atomic snapshot"
     (fun () -> List.init n (fun _ -> init))
@@ -161,8 +186,11 @@ module CRing = Rtlf_lockfree.Ring_buffer.Make (Shim.Atomic)
 module CSnap = Rtlf_lockfree.Snapshot.Make (Shim.Atomic)
 module CLQ = Rtlf_lockfree.Lock_queue.Make (Shim.Mutex)
 module CLS = Rtlf_lockfree.Lock_stack.Make (Shim.Mutex)
+module CTicket = Rtlf_lockfree.Ticket_lock.Make (Shim.Atomic) (Shim.Spin_wait)
+module CMcs = Rtlf_lockfree.Mcs_lock.Make (Shim.Atomic) (Shim.Spin_wait)
 module BStack = Buggy.Stack (Shim.Atomic)
 module BReg = Buggy.Register (Shim.Atomic)
+module BTicket = Buggy.Ticket_lock (Shim.Atomic) (Shim.Spin_wait)
 
 type instance = {
   exec : op -> res;
@@ -521,6 +549,81 @@ let snapshot_def =
             else List.init (Prng.int_in g ~lo:1 ~hi:2) (fun _ -> Scan)));
   }
 
+(* One def shape for all three spin-lock targets: only the [Section]
+   body differs. *)
+let spin_lock_like name descr exec_section =
+  {
+    name;
+    descr;
+    demo = false;
+    make =
+      (fun () ->
+        let section, read_counter = exec_section () in
+        {
+          exec =
+            (function
+            | Section -> section ()
+            | Read -> Int (read_counter ())
+            | o -> bad_op name o);
+          invariant = no_invariant;
+        });
+    lin = History.linearizable fifo_lock_spec;
+    audit_of = (fun _ -> [ Read ]);
+    smoke =
+      [
+        [| [ Section ]; [ Section ] |];
+        [| [ Section; Section ]; [ Section ] |];
+        [| [ Section ]; [ Section ]; [ Section ] |];
+      ];
+    gen =
+      (fun g ->
+        gen_threads g ~lo:2 ~hi:3 ~ops_per_thread:2 ~gen_op:(fun _ -> Section));
+  }
+
+let ticket_lock_def =
+  spin_lock_like "ticket_lock"
+    "ticket spin lock (FAA dispenser + serving counter, FIFO)" (fun () ->
+      let l = CTicket.create () in
+      let c = Shim.Atomic.make 0 in
+      ( (fun () ->
+          let h = CTicket.acquire l in
+          let v = Shim.Atomic.get c in
+          Shim.Atomic.set c (v + 1);
+          CTicket.release l h;
+          Arr [ CTicket.request_order h; CTicket.grant_order h; v ]),
+        fun () -> Shim.Atomic.get c ))
+
+let mcs_lock_def =
+  spin_lock_like "mcs_lock"
+    "MCS queue spin lock (local spinning, FIFO hand-over)" (fun () ->
+      let l = CMcs.create () in
+      let c = Shim.Atomic.make 0 in
+      ( (fun () ->
+          let h = CMcs.acquire l in
+          let v = Shim.Atomic.get c in
+          Shim.Atomic.set c (v + 1);
+          CMcs.release l h;
+          Arr [ CMcs.request_order h; CMcs.grant_order h; v ]),
+        fun () -> Shim.Atomic.get c ))
+
+let buggy_ticket_lock_def =
+  let base =
+    spin_lock_like "buggy_ticket_lock"
+      "DEMO: ticket lock with get/set dispensing — duplicate tickets admit \
+       two sections at once"
+      (fun () ->
+        let l = BTicket.create () in
+        let c = Shim.Atomic.make 0 in
+        ( (fun () ->
+            let h = BTicket.acquire l in
+            let v = Shim.Atomic.get c in
+            Shim.Atomic.set c (v + 1);
+            BTicket.release l h;
+            Arr [ BTicket.request_order h; BTicket.grant_order h; v ]),
+          fun () -> Shim.Atomic.get c ))
+  in
+  { base with demo = true }
+
 let buggy_stack_def =
   let base =
     stack_like "buggy_stack"
@@ -583,8 +686,11 @@ let all =
     snapshot_def;
     lock_queue_def;
     lock_stack_def;
+    ticket_lock_def;
+    mcs_lock_def;
     buggy_stack_def;
     buggy_register_def;
+    buggy_ticket_lock_def;
   ]
 
 let find n = List.find_opt (fun d -> d.name = n) all

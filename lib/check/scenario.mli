@@ -20,6 +20,10 @@ type op =
   | Read
   | Update of int * int
   | Scan
+  | Section
+      (** Spin-lock critical section: acquire, increment the protected
+          counter, release; returns the handle's FIFO ranks plus the
+          counter value observed. *)
 
 type res = Unit | Bool of bool | Int of int | Opt of int option | Arr of int list
 

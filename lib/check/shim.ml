@@ -131,3 +131,18 @@ module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX = struct
     Sched.yield (Printf.sprintf "unlock m%d" m.id);
     m.held <- false
 end
+
+module Spin_wait : Rtlf_lockfree.Atomic_intf.SPIN_WAIT = struct
+  (* Same reasoning as the mutex: a literal spin loop would give the
+     explorer an infinite schedule tree, so a waiter whose predicate is
+     false parks on it instead. The predicate polls shim atomics;
+     [quietly] keeps those reads from yielding back into the scheduler
+     mid-evaluation. *)
+  let until pred =
+    let pred () = Sched.quietly pred in
+    Sched.yield "spin";
+    if not (pred ()) then begin
+      Stats.current.Stats.lock_waits <- Stats.current.Stats.lock_waits + 1;
+      Sched.block pred "spin-wait"
+    end
+end

@@ -40,3 +40,8 @@ module Mutex : Rtlf_lockfree.Atomic_intf.MUTEX
 (** Cooperative mutex: a contended [lock] parks the thread with a wake
     predicate (no spinning), keeping the explored schedule tree
     finite. *)
+
+module Spin_wait : Rtlf_lockfree.Atomic_intf.SPIN_WAIT
+(** Cooperative spin-wait for the spin locks: a waiter whose predicate
+    is false parks on it (counted as a lock wait) instead of spinning,
+    keeping the explored schedule tree finite. *)

@@ -15,6 +15,9 @@ let experiments =
     ("ablation", Ablation.run);
     ("baselines", Baselines.run);
     ("blame", Blame.run);
+    (* Eta-expanded: Smp.run's extra ?cores option must not leak into
+       the registry's uniform signature. *)
+    ("smp", fun ?mode ?jobs fmt -> Smp.run ?mode ?jobs fmt);
   ]
 
 let run ?(mode = Common.Full) ?jobs fmt =

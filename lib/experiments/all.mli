@@ -12,4 +12,4 @@ val experiments :
   (string * (?mode:Common.mode -> ?jobs:int -> Format.formatter -> unit)) list
 (** [experiments] is the registry of named experiments ("fig1", "fig8"
     … "fig14", "thm2", "retry_tails", "thm3", "lem45", "ablation",
-    "baselines", "blame") used by the CLI. *)
+    "baselines", "blame", "smp") used by the CLI. *)

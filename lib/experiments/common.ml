@@ -13,12 +13,15 @@ type mode = Fast | Full
    lock-free accesses pay a small validation overhead only. *)
 let lock_overhead = 5_000
 let cas_overhead = 150
+let spin_overhead = 800
 let access_work = 500
 let sched_base = 200
 let sched_per_op = 25
 
 let lock_based = Sync.Lock_based { overhead = lock_overhead }
 let lock_free = Sync.Lock_free { overhead = cas_overhead }
+let spin_ticket = Sync.Spin { overhead = spin_overhead; kind = Sync.Ticket }
+let spin_mcs = Sync.Spin { overhead = spin_overhead; kind = Sync.Mcs }
 
 let seeds = function Fast -> [ 1; 2; 3 ] | Full -> [ 1; 2; 3; 4; 5 ]
 
@@ -30,15 +33,15 @@ let horizon_for mode tasks =
   windows * max_window
 
 let simulate ?(mode = Full) ?(sync = lock_free) ?(sched = Simulator.Rua)
-    ?(trace = false) ?trace_capacity ?queue ~seed tasks =
+    ?(trace = false) ?trace_capacity ?queue ?cores ?dispatch ~seed tasks =
   let horizon = horizon_for mode tasks in
   Simulator.run
     (Simulator.config ~tasks ~sync ~sched ~horizon ~seed ~sched_base
-       ~sched_per_op ~trace ?trace_capacity ?queue ())
+       ~sched_per_op ~trace ?trace_capacity ?queue ?cores ?dispatch ())
 
-let measure ?(mode = Full) ?jobs ~sync tasks =
+let measure ?(mode = Full) ?jobs ?cores ?dispatch ~sync tasks =
   Metrics.repeat ?jobs ~seeds:(seeds mode)
-    ~run:(fun ~seed -> simulate ~mode ~sync ~seed tasks)
+    ~run:(fun ~seed -> simulate ~mode ~sync ?cores ?dispatch ~seed tasks)
     ()
 
 let map_points ?jobs f points = Rtlf_engine.Pool.map ?jobs f points

@@ -15,6 +15,11 @@ val lock_overhead : int
 val cas_overhead : int
 (** Per-attempt CAS/validation cost for lock-free accesses, ns. *)
 
+val spin_overhead : int
+(** Per acquire/release cost of the spin-lock discipline, ns — between
+    the CAS and lock-management costs: no scheduler activations, but a
+    real atomic round-trip on the lock word. *)
+
 val access_work : int
 (** Data work per queue operation, ns. *)
 
@@ -29,6 +34,12 @@ val lock_based : Rtlf_sim.Sync.t
 
 val lock_free : Rtlf_sim.Sync.t
 (** [Lock_free {overhead = cas_overhead}]. *)
+
+val spin_ticket : Rtlf_sim.Sync.t
+(** [Spin {overhead = spin_overhead; kind = Ticket}]. *)
+
+val spin_mcs : Rtlf_sim.Sync.t
+(** [Spin {overhead = spin_overhead; kind = Mcs}]. *)
 
 val seeds : mode -> int list
 (** Seeds for repeated runs: 3 in [Fast], 5 in [Full]. *)
@@ -45,16 +56,20 @@ val simulate :
   ?trace:bool ->
   ?trace_capacity:int ->
   ?queue:Rtlf_sim.Simulator.queue_impl ->
+  ?cores:int ->
+  ?dispatch:Rtlf_sim.Cores.policy ->
   seed:int ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Simulator.result
 (** [simulate ~seed tasks] runs one simulation with the shared cost
     constants (defaults: [Full] mode, lock-free sync, RUA, no trace,
-    binary-heap event queue). *)
+    binary-heap event queue, one core, global dispatch). *)
 
 val measure :
   ?mode:mode ->
   ?jobs:int ->
+  ?cores:int ->
+  ?dispatch:Rtlf_sim.Cores.policy ->
   sync:Rtlf_sim.Sync.t ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Metrics.point

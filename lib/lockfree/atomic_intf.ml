@@ -27,8 +27,23 @@ module type MUTEX = sig
   val unlock : t -> unit
 end
 
+(* Spin locks also need a "wait until this predicate holds" seam: a
+   production waiter genuinely busy-waits, but under the interleaving
+   checker a spinning loop would hand the explorer an infinite schedule
+   tree, so its shim parks the thread on the predicate instead. *)
+module type SPIN_WAIT = sig
+  val until : (unit -> bool) -> unit
+end
+
 module Stdlib_atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t =
   Stdlib.Atomic
+
+module Busy_wait : SPIN_WAIT = struct
+  let until pred =
+    while not (pred ()) do
+      Domain.cpu_relax ()
+    done
+end
 
 module Stdlib_mutex : MUTEX with type t = Stdlib.Mutex.t = struct
   type t = Stdlib.Mutex.t

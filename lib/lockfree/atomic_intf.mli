@@ -36,8 +36,23 @@ module type MUTEX = sig
   val unlock : t -> unit
 end
 
+module type SPIN_WAIT = sig
+  val until : (unit -> bool) -> unit
+  (** [until pred] waits until [pred ()] holds. [pred] must be pure
+      polling (no side effects): it may be re-evaluated arbitrarily
+      often, and under the interleaving checker it runs with
+      instrumentation suppressed. *)
+end
+(** How a spin-lock waiter waits. Production busy-waits; the
+    interleaving checker parks the thread on the predicate instead,
+    because a literal spin loop would give the schedule explorer an
+    infinite tree. *)
+
 module Stdlib_atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t
 (** The production instantiation: plain [Stdlib.Atomic]. *)
+
+module Busy_wait : SPIN_WAIT
+(** The production instantiation: spin with [Domain.cpu_relax]. *)
 
 module Stdlib_mutex : MUTEX with type t = Stdlib.Mutex.t
 (** The production instantiation: plain [Stdlib.Mutex]. *)

@@ -182,6 +182,50 @@ module type SNAPSHOT = sig
       rounds were discarded due to concurrent updates. *)
 end
 
+module type SPIN_LOCK = sig
+  type t
+  (** A spin lock. *)
+
+  type handle
+  (** One completed-or-in-progress acquisition: returned by {!acquire},
+      consumed by {!release}, and carrying the FIFO witness ranks the
+      relational fairness specs check. *)
+
+  val create : unit -> t
+  (** [create ()] is a free lock. *)
+
+  val acquire : t -> handle
+  (** [acquire l] waits (by spinning) until the lock is granted. *)
+
+  val release : t -> handle -> unit
+  (** [release l h] frees the lock. Must be called exactly once, by the
+      holder, with the handle its own [acquire] returned. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** [with_lock l f] runs [f] inside an acquire/release bracket. *)
+
+  val request_order : handle -> int
+  (** [request_order h] is the rank of this acquisition in request
+      order — the order in which requesters reached the lock's
+      linearization point (ticket dispensing, or queue entry). *)
+
+  val grant_order : handle -> int
+  (** [grant_order h] is the rank of this acquisition in grant order —
+      the order in which critical sections actually began. FIFO
+      fairness is exactly [request_order h = grant_order h] for every
+      handle. *)
+
+  val was_contended : handle -> bool
+  (** [was_contended h] — the requester found the lock busy and had to
+      wait. *)
+
+  val acquisitions : t -> int
+  (** [acquisitions l] counts granted critical sections so far. *)
+
+  val contentions : t -> int
+  (** [contentions l] counts acquisitions that had to wait. *)
+end
+
 module type LOCK_QUEUE = sig
   type 'a t
   (** A mutex-protected queue of ['a]. *)

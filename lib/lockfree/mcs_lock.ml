@@ -1,0 +1,80 @@
+module type S = Lockfree_intf.SPIN_LOCK
+
+module Make (Atomic : Atomic_intf.ATOMIC) (Wait : Atomic_intf.SPIN_WAIT) =
+struct
+
+type node = {
+  locked : bool Atomic.t;
+  next : node option Atomic.t;
+  mutable rank : int;  (* grant rank; written by the owner, under the lock *)
+}
+
+type t = {
+  tail : node option Atomic.t;
+  grants : int Atomic.t;  (* grant sequence; touched only under the lock *)
+  contentions : int Atomic.t;
+}
+
+(* [compare_and_set] is physical equality, so the handle must retain
+   the exact [Some node] value that [exchange] installed in [tail] —
+   rebuilding [Some node] at release time would never match. *)
+type handle = { node : node; self : node option }
+
+let create () =
+  {
+    tail = Atomic.make None;
+    grants = Atomic.make 0;
+    contentions = Atomic.make 0;
+  }
+
+let acquire t =
+  let node = { locked = Atomic.make true; next = Atomic.make None; rank = -1 } in
+  let self = Some node in
+  (match Atomic.exchange t.tail self with
+  | None -> () (* queue was empty: the lock is ours immediately *)
+  | Some pred ->
+    Atomic.incr t.contentions;
+    Atomic.set pred.next self;
+    (* Spin on our own node only — the releasing predecessor writes
+       exactly this flag, no global word is shared among waiters. *)
+    Wait.until (fun () -> not (Atomic.get node.locked)));
+  let rank = Atomic.get t.grants in
+  Atomic.set t.grants (rank + 1);
+  node.rank <- rank;
+  { node; self }
+
+let release t h =
+  match Atomic.get h.node.next with
+  | Some succ -> Atomic.set succ.locked false
+  | None ->
+    if Atomic.compare_and_set t.tail h.self None then ()
+    else begin
+      (* A successor already swapped itself into [tail] but has not
+         linked [next] yet; wait for the link, then hand over. *)
+      Wait.until (fun () -> Atomic.get h.node.next <> None);
+      match Atomic.get h.node.next with
+      | Some succ -> Atomic.set succ.locked false
+      | None -> assert false
+    end
+
+let with_lock t f =
+  let h = acquire t in
+  let result = try f () with exn -> release t h; raise exn in
+  release t h;
+  result
+
+(* Queue entry (the [exchange] on [tail]) is the request's
+   linearization point, and hand-over follows the queue, so request
+   order and grant order coincide by construction. *)
+let request_order h = h.node.rank
+let grant_order h = h.node.rank
+(* Only a predecessor's hand-over clears [locked]; an uncontended
+   acquire leaves it [true] forever. *)
+let was_contended h = not (Atomic.get h.node.locked)
+
+let acquisitions t = Atomic.get t.grants
+let contentions t = Atomic.get t.contentions
+
+end
+
+include Make (Atomic_intf.Stdlib_atomic) (Atomic_intf.Busy_wait)

@@ -1,0 +1,22 @@
+(** MCS queue spin lock (Mellor-Crummey & Scott).
+
+    Each requester enqueues a private node with one [exchange] on the
+    shared tail, links itself behind its predecessor, and spins on its
+    {e own} node's flag; release hands the lock to the linked
+    successor (or CASes the tail back to empty). Waiters therefore
+    spin on distinct words — the classic scalable alternative to the
+    {!Ticket_lock}'s single globally-invalidated [serving] counter.
+
+    Queue entry is the request's linearization point and hand-over
+    follows the queue, so [request_order = grant_order] identically:
+    the lock is FIFO-fair by construction, and the relational specs in
+    [Rtlf_check] pin the grant sequence itself (every critical section
+    observes the rank its queue position dictates). *)
+
+module type S = Lockfree_intf.SPIN_LOCK
+
+include S
+
+module Make (Atomic : Atomic_intf.ATOMIC) (Wait : Atomic_intf.SPIN_WAIT) : S
+(** Functor used by the interleaving checker, which supplies
+    instrumented atomics and a parking [Wait]. *)

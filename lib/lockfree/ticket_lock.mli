@@ -1,0 +1,22 @@
+(** Ticket spin lock (Mellor-Crummey & Scott's baseline).
+
+    Requesters draw a ticket with one fetch-and-add and spin until the
+    [serving] counter reaches it; release advances [serving] by one.
+    Admission is therefore strictly in ticket-dispensing order — the
+    lock is FIFO-fair by construction, and every {!handle} carries both
+    ranks ([request_order] = ticket, [grant_order] = entry sequence) so
+    the relational specs in [Rtlf_check] can verify
+    [request_order = grant_order] on every acquisition.
+
+    All waiters spin on the single shared [serving] word: simple, but
+    every release invalidates every spinner's cache line — the
+    contrast with {!Mcs_lock}'s local spinning is the point of carrying
+    both in the library. *)
+
+module type S = Lockfree_intf.SPIN_LOCK
+
+include S
+
+module Make (Atomic : Atomic_intf.ATOMIC) (Wait : Atomic_intf.SPIN_WAIT) : S
+(** Functor used by the interleaving checker, which supplies
+    instrumented atomics and a parking [Wait]. *)

@@ -16,6 +16,7 @@ type t = {
   mutable blocked_count : int;
   mutable completion : int option;
   mutable accrued : float;
+  mutable last_core : int;
 }
 
 let create ~task ~jid ~arrival =
@@ -35,6 +36,7 @@ let create ~task ~jid ~arrival =
     blocked_count = 0;
     completion = None;
     accrued = 0.0;
+    last_core = -1;
   }
 
 let absolute_critical_time j = j.arrival + Task.critical_time j.task

@@ -34,6 +34,9 @@ type t = {
   mutable blocked_count : int;
   mutable completion : int option;  (** absolute completion time *)
   mutable accrued : float;          (** utility credited on completion *)
+  mutable last_core : int;
+      (** core the job last ran on ([-1] before its first dispatch) —
+          the dispatcher's migration-cost and core-affinity input *)
 }
 
 val create : task:Task.t -> jid:int -> arrival:int -> t

@@ -180,7 +180,23 @@ let of_trace ?tasks trace =
     let n_arrivals = Array.length arrivals in
     let next_arrival = ref 0 in
     let live = Hashtbl.create 64 in
-    let running = ref None in
+    (* Per-core running map (core -> jid). Single-CPU traces only ever
+       populate core 0, reproducing the historical behaviour. *)
+    let running = Hashtbl.create 4 in
+    let running_jid jid =
+      Hashtbl.fold (fun _ r found -> found || r = jid) running false
+    in
+    (* The culprit for a Ready job with every core occupied by others:
+       the lowest-core occupant, a deterministic stand-in for "the job
+       that displaced me". *)
+    let running_culprit () =
+      Hashtbl.fold
+        (fun core jid best ->
+          match best with
+          | Some (c, _) when c <= core -> best
+          | _ -> Some (core, jid))
+        running None
+    in
     let holder = Hashtbl.create 8 in
     (* CPU-wide exclusive interval: scheduler cost or an abort handler,
        with its end time (and culprit, for handlers). *)
@@ -242,11 +258,12 @@ let of_trace ?tasks trace =
             | `Sched _ -> acc.a_sched <- acc.a_sched + len
             | `Handler (_, ajid) ->
               add_charge acc Abort_handler ~by:ajid ~obj:(-1) len
-            | `None -> (
-              match !running with
-              | Some r when r = acc.a_jid -> acc.a_own <- acc.a_own + len
-              | Some r -> add_charge acc Preempted ~by:r ~obj:(-1) len
-              | None -> acc.a_idle <- acc.a_idle + len)))
+            | `None ->
+              if running_jid acc.a_jid then acc.a_own <- acc.a_own + len
+              else (
+                match running_culprit () with
+                | Some (_, r) -> add_charge acc Preempted ~by:r ~obj:(-1) len
+                | None -> acc.a_idle <- acc.a_idle + len)))
         live
     in
     (* Distribute [!cur, t) across the live set, splitting at arrival
@@ -271,9 +288,12 @@ let of_trace ?tasks trace =
       done
     in
     let deschedule jid =
-      match !running with
-      | Some r when r = jid -> running := None
-      | _ -> ()
+      let cores =
+        Hashtbl.fold
+          (fun core r l -> if r = jid then core :: l else l)
+          running []
+      in
+      List.iter (Hashtbl.remove running) cores
     in
     let finalize jid time outcome =
       match Hashtbl.find_opt live jid with
@@ -323,7 +343,10 @@ let of_trace ?tasks trace =
         advance time;
         match kind with
         | Trace.Arrive _ -> () (* admitted by the pre-pass sweep *)
-        | Trace.Start jid -> running := Some jid
+        | Trace.Start (jid, core) ->
+          deschedule jid;
+          Hashtbl.replace running core jid
+        | Trace.Migrate _ -> () (* the matching Start carries the move *)
         | Trace.Preempt (jid, _) -> deschedule jid
         | Trace.Block (jid, obj) -> (
           deschedule jid;

@@ -174,7 +174,8 @@ let flow_events trace lane_of =
           emit (flow_event ~ph:"s" ~tid:(lane_of by) ~id ~name ~time:start);
           emit (flow_event ~ph:"f" ~tid:(lane_of jid) ~id ~name ~time)
         end
-      | Trace.Arrive _ | Trace.Start _ | Trace.Preempt _ | Trace.Sched _ ->
+      | Trace.Arrive _ | Trace.Start _ | Trace.Preempt _ | Trace.Sched _
+      | Trace.Migrate _ ->
         ())
     (Trace.entries trace);
   List.rev !events
@@ -246,7 +247,8 @@ let events trace =
         | Trace.Abort (jid, handler) ->
           inst jid "abort" [ ("handler_ns", Json.Int handler) ]
         | Trace.Start _ | Trace.Block _ | Trace.Acquire _ | Trace.Release _
-        | Trace.Retry _ | Trace.Access_done _ | Trace.Sched _ ->
+        | Trace.Retry _ | Trace.Access_done _ | Trace.Sched _
+        | Trace.Migrate _ ->
           None)
       (Trace.entries trace)
   in

@@ -11,7 +11,10 @@ let row { Trace.time; kind } =
   match kind with
   | Trace.Arrive (jid, task, at) ->
     r "arrive" ~jid ~extra:(Printf.sprintf "task=%d;at=%d" task at) ()
-  | Trace.Start jid -> r "start" ~jid ()
+  | Trace.Start (jid, core) ->
+    r "start" ~jid ~extra:(Printf.sprintf "core=%d" core) ()
+  | Trace.Migrate (jid, from_c, to_c) ->
+    r "migrate" ~jid ~extra:(Printf.sprintf "from=%d;to=%d" from_c to_c) ()
   | Trace.Preempt (jid, by) ->
     r "preempt" ~jid ~extra:(Printf.sprintf "by=%d" by) ()
   | Trace.Block (jid, obj) -> r "block" ~jid ~obj ()
@@ -88,7 +91,11 @@ let parse_row line =
         (* Traces written before the causal-attribution payloads carry
            no [at=]; fall back to the processing time. *)
         Trace.Arrive (jid (), extra_int "task", extra_int ~default:time "at")
-      | "start" -> Trace.Start (jid ())
+      | "start" ->
+        (* Traces written before the SMP engine carry no [core=]. *)
+        Trace.Start (jid (), extra_int ~default:0 "core")
+      | "migrate" ->
+        Trace.Migrate (jid (), extra_int "from", extra_int "to")
       | "preempt" -> Trace.Preempt (jid (), extra_int ~default:(-1) "by")
       | "block" -> Trace.Block (jid (), obj ())
       | "wake" -> Trace.Wake (jid (), obj ())

@@ -97,6 +97,8 @@ let result (res : Simulator.result) =
     [
       ("sync", Json.Str res.Simulator.sync_name);
       ("scheduler", Json.Str res.Simulator.sched_name);
+      ("dispatch", Json.Str res.Simulator.dispatch_name);
+      ("cores", Json.Int res.Simulator.cores);
       ("final_time_ns", Json.Int res.Simulator.final_time);
       ("released", Json.Int res.Simulator.released);
       ("completed", Json.Int res.Simulator.completed);
@@ -110,9 +112,14 @@ let result (res : Simulator.result) =
       ("retries_total", Json.Int res.Simulator.retries_total);
       ("preemptions", Json.Int res.Simulator.preemptions);
       ("blocked_events", Json.Int res.Simulator.blocked_events);
+      ("migrations", Json.Int res.Simulator.migrations);
       ("sched_invocations", Json.Int res.Simulator.sched_invocations);
       ("sched_overhead_ns", Json.Int res.Simulator.sched_overhead);
       ("busy_ns", Json.Int res.Simulator.busy);
+      ( "per_core_busy_ns",
+        Json.List
+          (Array.to_list
+             (Array.map (fun b -> Json.Int b) res.Simulator.per_core_busy)) );
       ("access_ns", summary res.Simulator.access_samples);
       ("sojourn_ns", histogram res.Simulator.sojourn_hist);
       ("blocking_ns", histogram res.Simulator.blocking_hist);
@@ -195,12 +202,15 @@ let metrics ?(telemetry = []) (res : Simulator.result) =
       ("schema", Json.Str "rtlf-metrics-v1");
       ("sync", Json.Str res.Simulator.sync_name);
       ("scheduler", Json.Str res.Simulator.sched_name);
+      ("dispatch", Json.Str res.Simulator.dispatch_name);
+      ("cores", Json.Int res.Simulator.cores);
       ("final_time_ns", Json.Int res.Simulator.final_time);
       ("released", Json.Int res.Simulator.released);
       ("completed", Json.Int res.Simulator.completed);
       ("aur", Json.Float res.Simulator.aur);
       ("cmr", Json.Float res.Simulator.cmr);
       ("retries_total", Json.Int res.Simulator.retries_total);
+      ("migrations", Json.Int res.Simulator.migrations);
       ("audit", audit res.Simulator.audit);
       ("retry_tails", Json.List tails);
       ( "contention",

@@ -1,0 +1,29 @@
+(** Multiprocessor trace invariants.
+
+    Checkers over a {!Rtlf_sim.Trace.t} that validate the SMP engine's
+    core bookkeeping: a job never occupies two cores in the same
+    interval, no core hosts two jobs at once, and every [Migrate]
+    event balances — it departs from the core the job last ran on and
+    is consumed by the job's very next [Start] on the arriving core.
+
+    Occupancy is reconstructed from the trace alone: a job occupies a
+    core from [Start (jid, core)] until a vacating event ([Preempt],
+    [Complete], [Abort], or — under blocking locks — [Block]). Pass
+    [~spin:true] for spin-synchronised runs, where a blocked requester
+    busy-waits in place and [Block]/[Wake] do not vacate the core. *)
+
+val check_single_occupancy :
+  spin:bool -> Rtlf_sim.Trace.t -> (unit, string) result
+(** [check_single_occupancy ~spin tr] verifies no job occupies two
+    cores concurrently and no core hosts two jobs concurrently. *)
+
+val check_migration_balance :
+  spin:bool -> Rtlf_sim.Trace.t -> (unit, string) result
+(** [check_migration_balance ~spin tr] verifies every [Migrate
+    (jid, from, to)] departs the core of [jid]'s most recent [Start],
+    fires while [jid] is off-CPU, and is consumed by [jid]'s next
+    [Start], which must land on [to]. No migration may dangle at the
+    end of the trace. *)
+
+val migrations : Rtlf_sim.Trace.t -> int
+(** [migrations tr] counts [Migrate] entries. *)

@@ -42,7 +42,9 @@ let of_trace trace =
   (* Open-interval bookkeeping. [anchor] is the per-job start of the
      current access attempt: the last dispatch, wake, retry or segment
      boundary — the point from which a Retry/Access_done span runs. *)
-  let running_since = ref None in
+  (* Per-core open running intervals (core -> jid, since); single-CPU
+     traces only ever use core 0. *)
+  let running_since = Hashtbl.create 4 in
   let block_since = Hashtbl.create 16 in
   let anchor = Hashtbl.create 16 in
   let tasks = Hashtbl.create 16 in
@@ -64,15 +66,26 @@ let of_trace trace =
       incr orphans;
       time
   in
-  let close_running time =
-    match !running_since with
+  let close_core core time =
+    match Hashtbl.find_opt running_since core with
     | None -> ()
     | Some (jid, since) ->
       running :=
         { kind = Running; jid; obj = None; start = since; stop = time;
           ops = 0 }
         :: !running;
-      running_since := None
+      Hashtbl.remove running_since core
+  in
+  let core_running jid =
+    Hashtbl.fold
+      (fun core (r, _) found ->
+        match found with Some _ -> found | None -> if r = jid then Some core else None)
+      running_since None
+  in
+  let close_running_jid jid time =
+    match core_running jid with
+    | Some core -> close_core core time
+    | None -> ()
   in
   let close_block jid time =
     match Hashtbl.find_opt block_since jid with
@@ -90,20 +103,25 @@ let of_trace trace =
       | Trace.Arrive (jid, task, _) ->
         Hashtbl.replace tasks jid task;
         set_anchor jid time
-      | Trace.Start jid ->
-        close_running time;
-        running_since := Some (jid, time);
+      | Trace.Start (jid, core) ->
+        close_core core time;
+        close_running_jid jid time;
+        Hashtbl.replace running_since core (jid, time);
         set_anchor jid time
       | Trace.Preempt (jid, _) ->
-        (match !running_since with
-        | Some (r, _) when r = jid -> ()
-        | Some _ | None -> incr orphans);
-        close_running time
+        (match core_running jid with
+        | Some _ -> ()
+        | None -> incr orphans);
+        close_running_jid jid time
       | Trace.Block (jid, obj) ->
-        (match !running_since with
-        | Some (r, _) when r = jid -> ()
-        | Some _ | None -> incr orphans);
-        close_running time;
+        (match core_running jid with
+        | Some _ -> ()
+        | None -> incr orphans);
+        (* A spin-waiter burns on its core: its running span stays
+           open until the grant resumes it or the expiry aborts it —
+           but the historical (lock-based) reading closes the span at
+           the block, which still holds there. *)
+        close_running_jid jid time;
         Hashtbl.replace block_since jid (obj, time)
       | Trace.Wake (jid, _) ->
         if not (Hashtbl.mem block_since jid) then incr orphans;
@@ -125,20 +143,25 @@ let of_trace trace =
         (* Only close the running span when it belongs to the ending
            job: an expiry can abort a blocked/ready job while another
            job keeps the CPU (and gets no fresh [Start]). *)
-        (match !running_since with
-        | Some (r, _) when r = jid -> close_running time
-        | Some _ | None -> ());
+        close_running_jid jid time;
         close_block jid time
       | Trace.Sched (ops, cost) ->
         sched :=
           { kind = Sched; jid = -1; obj = None; start = time;
             stop = time + cost; ops }
           :: !sched
-      | Trace.Acquire _ | Trace.Release _ -> ())
+      | Trace.Acquire _ | Trace.Release _ | Trace.Migrate _ -> ())
     entries;
   (* Close whatever the horizon cut off so exporters see no dangling
      intervals. *)
-  close_running last_time;
+  Hashtbl.iter
+    (fun _ (jid, since) ->
+      running :=
+        { kind = Running; jid; obj = None; start = since; stop = last_time;
+          ops = 0 }
+        :: !running)
+    (Hashtbl.copy running_since);
+  Hashtbl.reset running_since;
   Hashtbl.iter
     (fun jid (obj, since) ->
       blocking :=

@@ -13,6 +13,7 @@ type point = {
   blocked_ns_total : int;
   released : int;
   sched_overhead_ns : int;
+  migrations_total : int;
 }
 
 let mean_access_ns (res : Simulator.result) =
@@ -30,7 +31,8 @@ let aggregate results =
   and conflicts = ref 0
   and blocked_ns = ref 0
   and released = ref 0
-  and overhead = ref 0 in
+  and overhead = ref 0
+  and migrations = ref 0 in
   List.iter
     (fun (res : Simulator.result) ->
       Stats.add aur res.Simulator.aur;
@@ -52,6 +54,7 @@ let aggregate results =
       blocked_ns := !blocked_ns + t.Contention.t_blocked_ns;
       released := !released + res.Simulator.released;
       overhead := !overhead + res.Simulator.sched_overhead;
+      migrations := !migrations + res.Simulator.migrations;
       Array.iter
         (fun (tr : Simulator.task_result) ->
           if tr.Simulator.max_retries > !max_retries then
@@ -71,6 +74,7 @@ let aggregate results =
     blocked_ns_total = !blocked_ns;
     released = !released;
     sched_overhead_ns = !overhead;
+    migrations_total = !migrations;
   }
 
 let repeat ?jobs ~seeds ~run () =

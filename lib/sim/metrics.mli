@@ -22,6 +22,9 @@ type point = {
   blocked_ns_total : int; (** total blocked time across runs *)
   released : int;
   sched_overhead_ns : int;
+  migrations_total : int;
+      (** cross-core migrations across runs (0 unless multicore global
+          dispatch) *)
 }
 (** One experiment point aggregated over runs. *)
 

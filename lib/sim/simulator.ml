@@ -27,6 +27,9 @@ type config = {
   trace : bool;
   trace_capacity : int option;
   queue : queue_impl;
+  cores : int;
+  dispatch : Cores.policy;
+  migrate_ops : int;
 }
 
 (* Both event-queue implementations share the same observable contract
@@ -81,7 +84,8 @@ let infer_objects tasks =
 let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     ?(sched_base = 200) ?(sched_per_op = 25)
     ?(retry_on_any_preemption = false) ?(trace = false) ?trace_capacity
-    ?(queue = Binary_heap) () =
+    ?(queue = Binary_heap) ?(cores = 1) ?(dispatch = Cores.Global)
+    ?(migrate_ops = 8) () =
   let n_objects =
     match n_objects with Some n -> n | None -> infer_objects tasks
   in
@@ -98,6 +102,9 @@ let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     trace;
     trace_capacity;
     queue;
+    cores;
+    dispatch;
+    migrate_ops;
   }
 
 type task_result = {
@@ -117,6 +124,8 @@ type task_result = {
 type result = {
   sync_name : string;
   sched_name : string;
+  dispatch_name : string;
+  cores : int;
   final_time : int;
   released : int;
   completed : int;
@@ -130,9 +139,11 @@ type result = {
   retries_total : int;
   preemptions : int;
   blocked_events : int;
+  migrations : int;
   sched_invocations : int;
   sched_overhead : int;
   busy : int;
+  per_core_busy : int array;
   access_samples : Stats.summary;
   sojourn_samples : float array;
   sojourn_hist : Stats.histogram;
@@ -151,11 +162,16 @@ type state = {
   queue : event equeue;
   objects : Resource.t;
   locks : Lock_manager.t;
-  scheduler : Scheduler.t;
+      (* lock-based blocking and the spin-lock grant table share the
+         FIFO request/release discipline *)
+  schedulers : Scheduler.t array;
+      (* one instance under global dispatch; one per core under
+         partitioned (deciders carry caches, so instances must not be
+         shared between cores) *)
   remaining : Job.t -> int; (* hoisted: depends only on [cfg.sync] *)
   trace : Trace.t;
   mutable now : int;
-  mutable running : Job.t option;
+  cores : Cores.t;
   mutable next_jid : int;
   live : Live_view.t;
   mutable resolved : Job.t list;
@@ -179,6 +195,9 @@ type state = {
 
 let validate cfg =
   if cfg.horizon <= 0 then invalid_arg "Simulator: horizon must be positive";
+  if cfg.cores < 1 then invalid_arg "Simulator: need at least one core";
+  if cfg.migrate_ops < 0 then
+    invalid_arg "Simulator: migrate_ops must be non-negative";
   let seen = Hashtbl.create 16 in
   List.iter
     (fun t ->
@@ -199,7 +218,8 @@ let make_scheduler cfg locks =
   | Rua -> (
     match cfg.sync with
     | Sync.Lock_based _ -> Rtlf_core.Rua_lock_based.make ~locks
-    | Sync.Lock_free _ | Sync.Ideal -> Rtlf_core.Rua_lock_free.make ())
+    | Sync.Lock_free _ | Sync.Spin _ | Sync.Ideal ->
+      Rtlf_core.Rua_lock_free.make ())
 
 let scheduler_name cfg =
   (* Mirrors [make_scheduler] without building the lock table. *)
@@ -209,7 +229,7 @@ let scheduler_name cfg =
   | Rua -> (
     match cfg.sync with
     | Sync.Lock_based _ -> "rua-lock-based"
-    | Sync.Lock_free _ | Sync.Ideal -> "rua-lock-free")
+    | Sync.Lock_free _ | Sync.Spin _ | Sync.Ideal -> "rua-lock-free")
 
 (* Remaining CPU demand of a job including nominal sync overheads —
    what the scheduler uses for PUD and feasibility. Depends only on
@@ -220,7 +240,7 @@ let remaining_cost sync job =
     | Segment.Access { work; _ } -> Sync.nominal_access_cost sync ~work
     | Segment.Lock _ | Segment.Unlock _ -> (
       match sync with
-      | Sync.Lock_based { overhead } -> overhead
+      | Sync.Lock_based { overhead } | Sync.Spin { overhead; _ } -> overhead
       | Sync.Lock_free _ | Sync.Ideal -> 0)
   in
   match job.Job.segments with
@@ -228,6 +248,24 @@ let remaining_cost sync job =
   | head :: tail ->
     let head_left = max 0 (seg_cost head - job.Job.seg_progress) in
     List.fold_left (fun acc s -> acc + seg_cost s) head_left tail
+
+let is_spin st =
+  match st.cfg.sync with Sync.Spin _ -> true | _ -> false
+
+(* A spin-waiting job busy-waits on its own core: it stays in the
+   core's running slot (state [Blocked]) and burns CPU until the FIFO
+   grant. *)
+let spin_waiting st job =
+  is_spin st
+  && (match job.Job.state with Job.Blocked _ -> true | _ -> false)
+
+(* Spin critical sections are non-preemptable and unmigratable, and a
+   spin-waiter owns its core until granted: such occupants pin their
+   core against the dispatcher. *)
+let spin_pinned st job =
+  is_spin st
+  && (job.Job.holding <> []
+     || (match job.Job.state with Job.Blocked _ -> true | _ -> false))
 
 (* --- job lifecycle ------------------------------------------------- *)
 
@@ -240,6 +278,7 @@ let resolve st job =
     ~time:st.now;
   Stats.P2.track st.retry_tails.(task_id) (float_of_int job.Job.retries);
   Live_view.remove st.live ~jid:job.Job.jid;
+  Cores.retire st.cores job;
   st.resolved <- job :: st.resolved
 
 let complete_job st job =
@@ -247,7 +286,7 @@ let complete_job st job =
   job.Job.completion <- Some st.now;
   job.Job.accrued <- Job.utility_at job ~now:st.now;
   Trace.record st.trace ~time:st.now (Trace.Complete job.Job.jid);
-  if st.running = Some job then st.running <- None;
+  Cores.vacate st.cores ~jid:job.Job.jid;
   resolve st job
 
 (* Close the open blocking span of [jid] (wake or abort of a waiter). *)
@@ -261,14 +300,19 @@ let close_block_span st jid =
     Hashtbl.remove st.block_since jid
 
 (* Grant chains after a release: the lock manager hands the object to
-   the head waiter; wake it. *)
+   the head waiter; wake it. A lock-based waiter rejoins the ready set;
+   a spin waiter is already burning on its own core and resumes
+   running there. *)
 let wake_new_owner st obj = function
   | None -> ()
   | Some jid -> (
     match Live_view.find st.live ~jid with
     | None -> ()
     | Some waiter ->
-      waiter.Job.state <- Job.Ready;
+      waiter.Job.state <-
+        (if is_spin st && Cores.core_of st.cores ~jid <> None then
+           Job.Running
+         else Job.Ready);
       waiter.Job.holding <- obj :: waiter.Job.holding;
       close_block_span st waiter.Job.jid;
       Contention.note_acquire st.contention.(obj);
@@ -289,11 +333,24 @@ let block_job st job obj =
     ~depth:(List.length (Lock_manager.waiters st.locks ~obj));
   Hashtbl.replace st.block_since job.Job.jid (obj, st.now);
   Trace.record st.trace ~time:st.now (Trace.Block (job.Job.jid, obj));
-  st.running <- None
+  Cores.vacate st.cores ~jid:job.Job.jid
+
+(* A refused spin request: same bookkeeping, but the job keeps its core
+   and burns CPU there until the FIFO grant. *)
+let spin_wait_job st job obj =
+  job.Job.state <- Job.Blocked obj;
+  job.Job.blocked_count <- job.Job.blocked_count + 1;
+  st.blocked_events <- st.blocked_events + 1;
+  let c = st.contention.(obj) in
+  Contention.note_conflict c;
+  Contention.note_queue_depth c
+    ~depth:(List.length (Lock_manager.waiters st.locks ~obj));
+  Hashtbl.replace st.block_since job.Job.jid (obj, st.now);
+  Trace.record st.trace ~time:st.now (Trace.Block (job.Job.jid, obj))
 
 let abort_job st job =
   (match st.cfg.sync with
-  | Sync.Lock_based _ ->
+  | Sync.Lock_based _ | Sync.Spin _ ->
     let released = Lock_manager.release_all st.locks ~jid:job.Job.jid in
     List.iter
       (fun (obj, new_owner) ->
@@ -309,10 +366,17 @@ let abort_job st job =
      bill the post-abort interval to this job exactly. *)
   let handler = max 0 job.Job.task.Task.abort_cost in
   Trace.record st.trace ~time:st.now (Trace.Abort (job.Job.jid, handler));
-  if st.running = Some job then st.running <- None;
+  let core = Cores.core_of st.cores ~jid:job.Job.jid in
+  Cores.vacate st.cores ~jid:job.Job.jid;
   if handler > 0 then begin
     st.now <- st.now + handler;
-    st.busy <- st.busy + handler
+    st.busy <- st.busy + handler;
+    (* The handler is serialized with the dispatcher; its CPU burn is
+       billed to the core the victim occupied (core 0 for a victim
+       that was not running). *)
+    let cbusy = Cores.busy st.cores in
+    let c = match core with Some c -> c | None -> 0 in
+    cbusy.(c) <- cbusy.(c) + handler
   end;
   resolve st job
 
@@ -329,7 +393,7 @@ let preempt st ~by job =
     Trace.record st.trace ~time:st.now
       (Trace.Retry (job.Job.jid, obj, by, lost))
   | _ -> ());
-  st.running <- None
+  Cores.vacate st.cores ~jid:job.Job.jid
 
 (* Commit a write to [obj]: bump the version (invalidating in-flight
    lock-free attempts) and remember the writer for retry blame. *)
@@ -337,45 +401,220 @@ let commit_write st jid obj =
   Resource.bump st.objects obj;
   st.last_writer.(obj) <- jid
 
-let set_running st job =
+let set_running st ~core job =
   job.Job.state <- Job.Running;
-  Trace.record st.trace ~time:st.now (Trace.Start job.Job.jid);
-  st.running <- Some job
+  Trace.record st.trace ~time:st.now (Trace.Start (job.Job.jid, core));
+  job.Job.last_core <- core;
+  Cores.place st.cores core job
 
-(* --- scheduler invocation ------------------------------------------ *)
+(* --- dispatcher ----------------------------------------------------- *)
 
-let invoke_scheduler st =
+let target_ok st j = Job.is_runnable j && Live_view.mem st.live ~jid:j.Job.jid
+
+(* One dispatcher pass, computed before any cost is charged so the
+   migration count can ride in the scheduling cost like scheduler ops. *)
+type plan = {
+  p_ops : int; (* decision ops, excluding migration ops *)
+  p_decisions : int; (* scheduler invocations folded into this pass *)
+  p_aborts : Job.t list;
+  p_assign : Job.t option array; (* per core; [None] leaves it idle *)
+  p_keep : bool array; (* spin-pinned cores: leave untouched *)
+  p_migrations : int;
+}
+
+let migrates_to job core = job.Job.last_core >= 0 && job.Job.last_core <> core
+
+(* Spread [selected] across the non-pinned cores: jobs already running
+   keep their core; newcomers prefer their previous core, then the
+   lowest-numbered free one. *)
+let assign_global st ~keep selected =
+  let m = Cores.count st.cores in
+  let assign = Array.make m None in
+  let placed = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Job.t) ->
+      match Cores.core_of st.cores ~jid:j.Job.jid with
+      | Some c when not keep.(c) ->
+        assign.(c) <- Some j;
+        Hashtbl.replace placed j.Job.jid ()
+      | Some _ | None -> ())
+    selected;
+  let free c = (not keep.(c)) && assign.(c) = None in
+  let lowest_free () =
+    let rec go c = if c >= m then None else if free c then Some c else go (c + 1) in
+    go 0
+  in
+  let migrations = ref 0 in
+  List.iter
+    (fun (j : Job.t) ->
+      if not (Hashtbl.mem placed j.Job.jid) then begin
+        let c =
+          if j.Job.last_core >= 0 && j.Job.last_core < m && free j.Job.last_core
+          then Some j.Job.last_core
+          else lowest_free ()
+        in
+        match c with
+        | None -> () (* more selected than free cores: drop the tail *)
+        | Some c ->
+          assign.(c) <- Some j;
+          if migrates_to j c then incr migrations
+      end)
+    selected;
+  (assign, !migrations)
+
+let plan_global st =
+  let m = Cores.count st.cores in
   let jobs = Live_view.view st.live in
-  let decision =
-    st.scheduler.Scheduler.decide ~now:st.now ~jobs ~remaining:st.remaining
+  let d =
+    st.schedulers.(0).Scheduler.decide ~now:st.now ~jobs
+      ~remaining:st.remaining
+  in
+  let keep = Array.make m false in
+  for c = 0 to m - 1 do
+    match Cores.occupant st.cores c with
+    | Some j when spin_pinned st j -> keep.(c) <- true
+    | _ -> ()
+  done;
+  let pinned_jid jid =
+    match Cores.core_of st.cores ~jid with
+    | Some c -> keep.(c)
+    | None -> false
+  in
+  (* Core 0's slot follows the decision's dispatch exactly — the
+     single-CPU semantics; extra cores take the next runnable jobs in
+     schedule order (capped at m-1, so at m=1 this engine reduces to
+     the pre-SMP single-CPU path step for step). *)
+  let primary =
+    match d.Scheduler.dispatch with
+    | Some j when target_ok st j && not (pinned_jid j.Job.jid) -> [ j ]
+    | Some _ | None -> []
+  in
+  let in_primary j =
+    match primary with [ p ] -> p.Job.jid = j.Job.jid | _ -> false
+  in
+  let rest =
+    if m = 1 then []
+    else begin
+      let taken = ref 0 in
+      List.filter
+        (fun j ->
+          if
+            !taken < m - 1
+            && target_ok st j
+            && (not (pinned_jid j.Job.jid))
+            && not (in_primary j)
+          then begin
+            incr taken;
+            true
+          end
+          else false)
+        d.Scheduler.schedule
+    end
+  in
+  let frees = ref 0 in
+  Array.iter (fun k -> if not k then incr frees) keep;
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let selected = take !frees (primary @ rest) in
+  let assign, migrations = assign_global st ~keep selected in
+  {
+    p_ops = d.Scheduler.ops;
+    p_decisions = 1;
+    p_aborts = d.Scheduler.aborts;
+    p_assign = assign;
+    p_keep = keep;
+    p_migrations = migrations;
+  }
+
+let plan_partitioned st =
+  let m = Cores.count st.cores in
+  let queues = Cores.queues st.cores in
+  let keep = Array.make m false in
+  let assign = Array.make m None in
+  let ops = ref 0 in
+  let aborts = ref [] in
+  for c = 0 to m - 1 do
+    (match Cores.occupant st.cores c with
+    | Some j when spin_pinned st j -> keep.(c) <- true
+    | _ -> ());
+    let jobs = Live_view.view queues.(c) in
+    let d =
+      st.schedulers.(c).Scheduler.decide ~now:st.now ~jobs
+        ~remaining:st.remaining
+    in
+    ops := !ops + d.Scheduler.ops;
+    aborts := !aborts @ d.Scheduler.aborts;
+    if not keep.(c) then
+      assign.(c) <-
+        (match d.Scheduler.dispatch with
+        | Some j when target_ok st j -> Some j
+        | Some _ | None -> None)
+  done;
+  {
+    p_ops = !ops;
+    p_decisions = m;
+    p_aborts = !aborts;
+    p_assign = assign;
+    p_keep = keep;
+    p_migrations = 0;
+  }
+
+let apply_plan st plan =
+  let m = Cores.count st.cores in
+  for c = 0 to m - 1 do
+    if not plan.p_keep.(c) then begin
+      (* Re-check liveness: a deadlock victim aborted between planning
+         and application leaves its slot idle. *)
+      let target =
+        match plan.p_assign.(c) with
+        | Some j when target_ok st j -> Some j
+        | Some _ | None -> None
+      in
+      let dispatch_onto j =
+        if migrates_to j c then begin
+          Trace.record st.trace ~time:st.now
+            (Trace.Migrate (j.Job.jid, j.Job.last_core, c));
+          Cores.note_migration st.cores
+        end;
+        set_running st ~core:c j
+      in
+      match (Cores.occupant st.cores c, target) with
+      | Some cur, Some j when cur.Job.jid = j.Job.jid -> ()
+      | Some cur, Some j ->
+        preempt st ~by:j.Job.jid cur;
+        dispatch_onto j
+      | Some cur, None -> preempt st ~by:(-1) cur
+      | None, Some j -> dispatch_onto j
+      | None, None -> ()
+    end
+  done
+
+let invoke_dispatcher st =
+  let plan =
+    match st.cfg.dispatch with
+    | Cores.Global -> plan_global st
+    | Cores.Partitioned -> plan_partitioned st
   in
   st.sched_invocations <- st.sched_invocations + 1;
+  (* Migration cost is charged through the ops accounting like
+     scheduler ops: each migration the dispatcher commits to adds
+     [migrate_ops] ops to this invocation. *)
+  let ops = plan.p_ops + (st.cfg.migrate_ops * plan.p_migrations) in
   let cost =
-    st.cfg.sched_base + (st.cfg.sched_per_op * decision.Scheduler.ops)
+    (st.cfg.sched_base * plan.p_decisions) + (st.cfg.sched_per_op * ops)
   in
-  Trace.record st.trace ~time:st.now
-    (Trace.Sched (decision.Scheduler.ops, cost));
+  Trace.record st.trace ~time:st.now (Trace.Sched (ops, cost));
   Float_buffer.push_int st.sched_costs cost;
   st.now <- st.now + cost;
   st.sched_overhead <- st.sched_overhead + cost;
   (* Deadlock victims (only possible with nested sections). *)
   List.iter
     (fun victim -> if Job.is_live victim then abort_job st victim)
-    decision.Scheduler.aborts;
-  let target =
-    match decision.Scheduler.dispatch with
-    | Some j when Job.is_runnable j && Live_view.mem st.live ~jid:j.Job.jid ->
-      Some j
-    | Some _ | None -> None
-  in
-  match (st.running, target) with
-  | Some cur, Some j when cur.Job.jid = j.Job.jid -> ()
-  | Some cur, Some j ->
-    preempt st ~by:j.Job.jid cur;
-    set_running st j
-  | Some cur, None -> preempt st ~by:(-1) cur
-  | None, Some j -> set_running st j
-  | None, None -> ()
+    plan.p_aborts;
+  apply_plan st plan
 
 (* --- event handling ------------------------------------------------- *)
 
@@ -386,6 +625,7 @@ let handle_event st time ev =
     st.next_jid <- st.next_jid + 1;
     let job = Job.create ~task ~jid ~arrival:time in
     Live_view.add st.live job;
+    Cores.admit st.cores job;
     equeue_add st.queue
       ~time:(Job.absolute_critical_time job)
       (Expiry jid);
@@ -420,7 +660,7 @@ let prepare_attempt st job =
     | Sync.Lock_free _ ->
       if job.Job.seg_progress = 0 && job.Job.attempt_snapshot = None then
         job.Job.attempt_snapshot <- Some (Resource.version st.objects obj)
-    | Sync.Lock_based _ | Sync.Ideal -> ())
+    | Sync.Lock_based _ | Sync.Spin _ | Sync.Ideal -> ())
   | (Segment.Lock _ | Segment.Unlock _) :: _
   | Segment.Compute _ :: _
   | [] ->
@@ -436,12 +676,12 @@ let next_step st job =
     | Sync.Ideal -> 0
     | Sync.Lock_free { overhead } ->
       max 0 (overhead + work - job.Job.seg_progress)
-    | Sync.Lock_based { overhead } ->
+    | Sync.Lock_based { overhead } | Sync.Spin { overhead; _ } ->
       if not job.Job.lock_pending then max 0 (overhead - job.Job.seg_progress)
       else max 0 ((2 * overhead) + work - job.Job.seg_progress))
   | (Segment.Lock _ | Segment.Unlock _) :: _ -> (
     match st.cfg.sync with
-    | Sync.Lock_based { overhead } ->
+    | Sync.Lock_based { overhead } | Sync.Spin { overhead; _ } ->
       max 0 (overhead - job.Job.seg_progress)
     | Sync.Lock_free _ | Sync.Ideal -> 0)
 
@@ -452,30 +692,30 @@ let record_access_sample st job =
   | None -> Stats.add st.access_samples 0.0
 
 (* Complete the head segment; returns [`Sched_event] when the boundary
-   is a scheduling event (job departure or lock/unlock request). *)
+   is a scheduling event (job departure or lock/unlock request). Spin
+   acquires are deliberately NOT scheduling events — the cost advantage
+   of the spin discipline over lock-based sharing; spin releases are,
+   because they end a non-preemptable section. *)
 let boundary st job =
-  match job.Job.segments with
-  | [] ->
-    complete_job st job;
-    `Sched_event
-  | Segment.Compute _ :: _ ->
+  let finish_or k =
     Job.finish_segment job;
     if job.Job.segments = [] then begin
       complete_job st job;
       `Sched_event
     end
-    else `Continue
+    else k
+  in
+  match job.Job.segments with
+  | [] ->
+    complete_job st job;
+    `Sched_event
+  | Segment.Compute _ :: _ -> finish_or `Continue
   | Segment.Lock obj :: _ -> (
     match st.cfg.sync with
     | Sync.Lock_free _ | Sync.Ideal ->
       (* The lock-free model excludes nested sections (§3.3): lock
          markers are skipped at zero cost. *)
-      Job.finish_segment job;
-      if job.Job.segments = [] then begin
-        complete_job st job;
-        `Sched_event
-      end
-      else `Continue
+      finish_or `Continue
     | Sync.Lock_based _ ->
       if job.Job.lock_pending then begin
         (* Woken after blocking: the lock manager already granted the
@@ -498,17 +738,31 @@ let boundary st job =
         | Lock_manager.Blocked_on _ ->
           block_job st job obj;
           `Sched_event
+      end
+    | Sync.Spin _ ->
+      if job.Job.lock_pending then begin
+        (* Granted while spinning (see [wake_new_owner]). *)
+        assert (List.mem obj job.Job.holding);
+        Job.finish_segment job;
+        `Continue
+      end
+      else begin
+        job.Job.lock_pending <- true;
+        match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
+        | Lock_manager.Granted ->
+          job.Job.holding <- obj :: job.Job.holding;
+          Contention.note_acquire st.contention.(obj);
+          Trace.record st.trace ~time:st.now
+            (Trace.Acquire (job.Job.jid, obj));
+          finish_or `Continue
+        | Lock_manager.Blocked_on _ ->
+          spin_wait_job st job obj;
+          `Continue
       end)
   | Segment.Unlock obj :: _ -> (
     match st.cfg.sync with
-    | Sync.Lock_free _ | Sync.Ideal ->
-      Job.finish_segment job;
-      if job.Job.segments = [] then begin
-        complete_job st job;
-        `Sched_event
-      end
-      else `Continue
-    | Sync.Lock_based _ ->
+    | Sync.Lock_free _ | Sync.Ideal -> finish_or `Continue
+    | Sync.Lock_based _ | Sync.Spin _ ->
       let new_owner = Lock_manager.release st.locks ~jid:job.Job.jid ~obj in
       job.Job.holding <- List.filter (fun o -> o <> obj) job.Job.holding;
       Trace.record st.trace ~time:st.now (Trace.Release (job.Job.jid, obj));
@@ -527,12 +781,7 @@ let boundary st job =
       record_access_sample st job;
       Trace.record st.trace ~time:st.now
         (Trace.Access_done (job.Job.jid, obj));
-      Job.finish_segment job;
-      if job.Job.segments = [] then begin
-        complete_job st job;
-        `Sched_event
-      end
-      else `Continue
+      finish_or `Continue
     | Sync.Lock_free _ -> (
       (* Attempt finished: validate against the object version. *)
       let current = Resource.version st.objects obj in
@@ -552,12 +801,7 @@ let boundary st job =
         record_access_sample st job;
         Trace.record st.trace ~time:st.now
           (Trace.Access_done (job.Job.jid, obj));
-        Job.finish_segment job;
-        if job.Job.segments = [] then begin
-          complete_job st job;
-          `Sched_event
-        end
-        else `Continue)
+        finish_or `Continue)
     | Sync.Lock_based _ ->
       if not job.Job.lock_pending then begin
         (* Lock request point. *)
@@ -589,30 +833,106 @@ let boundary st job =
         Job.finish_segment job;
         if job.Job.segments = [] then complete_job st job;
         `Sched_event
+      end
+    | Sync.Spin _ ->
+      if not job.Job.lock_pending then begin
+        (* Spin-acquire point. *)
+        job.Job.lock_pending <- true;
+        match Lock_manager.request st.locks ~jid:job.Job.jid ~obj with
+        | Lock_manager.Granted ->
+          job.Job.holding <- obj :: job.Job.holding;
+          Contention.note_acquire st.contention.(obj);
+          Trace.record st.trace ~time:st.now
+            (Trace.Acquire (job.Job.jid, obj));
+          `Continue
+        | Lock_manager.Blocked_on _ ->
+          spin_wait_job st job obj;
+          `Continue
+      end
+      else begin
+        (* Spin-release point: end of the non-preemptable section. *)
+        let new_owner = Lock_manager.release st.locks ~jid:job.Job.jid ~obj in
+        job.Job.holding <-
+          List.filter (fun o -> o <> obj) job.Job.holding;
+        Trace.record st.trace ~time:st.now
+          (Trace.Release (job.Job.jid, obj));
+        wake_new_owner st obj new_owner;
+        if write then commit_write st job.Job.jid obj;
+        Resource.record_access st.objects obj;
+        record_access_sample st job;
+        Trace.record st.trace ~time:st.now
+          (Trace.Access_done (job.Job.jid, obj));
+        Job.finish_segment job;
+        if job.Job.segments = [] then complete_job st job;
+        `Sched_event
       end)
 
-let run_slice st job =
-  prepare_attempt st job;
-  let step = next_step st job in
+(* Advance every occupied core to the earliest per-core boundary (or
+   the next event, whichever comes first). Spin-waiters burn CPU
+   without making segment progress; their only exit is a grant from a
+   holder's release boundary or an expiry abort. *)
+let run_slice st =
+  let m = Cores.count st.cores in
+  let occ = Array.init m (fun c -> Cores.occupant st.cores c) in
+  let steps = Array.make m (-1) in
+  let dmin = ref max_int in
+  for c = 0 to m - 1 do
+    match occ.(c) with
+    | None -> ()
+    | Some job ->
+      if not (spin_waiting st job) then begin
+        prepare_attempt st job;
+        let s = next_step st job in
+        steps.(c) <- s;
+        if s < !dmin then dmin := s
+      end
+  done;
   let next_ev =
     match equeue_peek_time st.queue with
     | Some t -> min t st.cfg.horizon
     | None -> st.cfg.horizon
   in
-  let finish = st.now + step in
-  if finish <= next_ev then begin
-    job.Job.seg_progress <- job.Job.seg_progress + step;
-    st.busy <- st.busy + step;
-    st.now <- finish;
-    match boundary st job with
-    | `Sched_event -> invoke_scheduler st
-    | `Continue -> ()
+  let cbusy = Cores.busy st.cores in
+  let burn delta =
+    if delta > 0 then
+      for c = 0 to m - 1 do
+        match occ.(c) with
+        | None -> ()
+        | Some job ->
+          if steps.(c) >= 0 then
+            job.Job.seg_progress <- job.Job.seg_progress + delta;
+          cbusy.(c) <- cbusy.(c) + delta;
+          st.busy <- st.busy + delta
+      done
+  in
+  if !dmin = max_int then begin
+    (* Every occupied core is spinning: burn until the next event. *)
+    burn (next_ev - st.now);
+    st.now <- max st.now next_ev
   end
   else begin
-    let delta = next_ev - st.now in
-    job.Job.seg_progress <- job.Job.seg_progress + delta;
-    st.busy <- st.busy + delta;
-    st.now <- next_ev
+    let finish = st.now + !dmin in
+    if finish <= next_ev then begin
+      burn !dmin;
+      st.now <- finish;
+      let sched_event = ref false in
+      for c = 0 to m - 1 do
+        if steps.(c) = !dmin then begin
+          match occ.(c) with
+          | Some job when Job.is_live job && Cores.occupant st.cores c == occ.(c)
+            -> (
+            match boundary st job with
+            | `Sched_event -> sched_event := true
+            | `Continue -> ())
+          | Some _ | None -> ()
+        end
+      done;
+      if !sched_event then invoke_dispatcher st
+    end
+    else begin
+      burn (next_ev - st.now);
+      st.now <- next_ev
+    end
   end
 
 (* --- main loop ------------------------------------------------------ *)
@@ -620,21 +940,20 @@ let run_slice st job =
 let rec main_loop st =
   if st.now < st.cfg.horizon then begin
     if process_due_events st > 0 then begin
-      invoke_scheduler st;
+      invoke_dispatcher st;
+      main_loop st
+    end
+    else if Cores.any_running st.cores then begin
+      run_slice st;
       main_loop st
     end
     else
-      match st.running with
-      | Some job ->
-        run_slice st job;
+      match equeue_peek_time st.queue with
+      | None -> () (* no events, nothing running: done *)
+      | Some t when t >= st.cfg.horizon -> ()
+      | Some t ->
+        st.now <- max st.now t;
         main_loop st
-      | None -> (
-        match equeue_peek_time st.queue with
-        | None -> () (* no events, nothing running: done *)
-        | Some t when t >= st.cfg.horizon -> ()
-        | Some t ->
-          st.now <- max st.now t;
-          main_loop st)
   end
 
 (* --- result assembly ------------------------------------------------ *)
@@ -711,7 +1030,9 @@ let summarise st =
   let sojourn_samples = Float_buffer.to_array all_sojourns in
   {
     sync_name = Sync.name cfg.sync;
-    sched_name = st.scheduler.Scheduler.name;
+    sched_name = st.schedulers.(0).Scheduler.name;
+    dispatch_name = Cores.policy_name cfg.dispatch;
+    cores = cfg.cores;
     final_time = st.now;
     released = released_all;
     completed = completed_all;
@@ -728,9 +1049,11 @@ let summarise st =
     retries_total = sum (fun tr -> tr.total_retries);
     preemptions = !preempt_total;
     blocked_events = st.blocked_events;
+    migrations = Cores.migrations st.cores;
     sched_invocations = st.sched_invocations;
     sched_overhead = st.sched_overhead;
     busy = st.busy;
+    per_core_busy = Array.copy (Cores.busy st.cores);
     access_samples = Stats.summary st.access_samples;
     sojourn_samples;
     sojourn_hist = Stats.histogram sojourn_samples;
@@ -747,8 +1070,9 @@ let run cfg =
   let objects = Resource.create ~n:cfg.n_objects in
   let locks = Lock_manager.create ~objects in
   (* Theorem 2 is proved for RUA scheduling of lock-free sharing; the
-     auditor stays disarmed elsewhere (lock-based jobs never retry,
-     and EDF is not a UA scheduler, so the bound does not apply). *)
+     auditor stays disarmed elsewhere (lock-based and spin jobs never
+     retry, and EDF is not a UA scheduler, so the bound does not
+     apply). *)
   let audit_enabled =
     match (cfg.sync, cfg.sched) with
     | Sync.Lock_free _, Rua -> true
@@ -757,17 +1081,23 @@ let run cfg =
   let n_tasks =
     1 + List.fold_left (fun acc t -> max acc t.Task.id) (-1) cfg.tasks
   in
+  let n_schedulers =
+    match cfg.dispatch with
+    | Cores.Global -> 1
+    | Cores.Partitioned -> cfg.cores
+  in
   let st =
     {
       cfg;
       queue = equeue_create cfg.queue;
       objects;
       locks;
-      scheduler = make_scheduler cfg locks;
+      schedulers =
+        Array.init n_schedulers (fun _ -> make_scheduler cfg locks);
       remaining = remaining_cost cfg.sync;
       trace = Trace.create ?capacity:cfg.trace_capacity ~enabled:cfg.trace ();
       now = 0;
-      running = None;
+      cores = Cores.create ~m:cfg.cores ~policy:cfg.dispatch;
       next_jid = 0;
       live = Live_view.create ();
       resolved = [];

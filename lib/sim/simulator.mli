@@ -1,20 +1,28 @@
-(** Preemptive single-CPU RTOS simulator.
+(** Preemptive multiprocessor RTOS simulator.
 
-    Substitutes for the paper's QNX/Pentium-III testbed (§6). Virtual
-    time is integer nanoseconds. The simulator:
+    Substitutes for the paper's QNX/Pentium-III testbed (§6),
+    generalised to [m] cores. Virtual time is integer nanoseconds and
+    global: scheduler invocations and abort handlers are serialized and
+    advance the one clock (they stall every core). The simulator:
 
     - releases jobs according to each task's UAM law (seeded,
       deterministic);
-    - invokes the configured scheduler at every scheduling event — job
-      arrival, departure, critical-time expiry, and, for lock-based
+    - invokes the configured dispatch policy at every scheduling event —
+      job arrival, departure, critical-time expiry, and, for lock-based
       sharing, lock/unlock requests — charging
-      [sched_base + sched_per_op × ops] ns of CPU per invocation, where
-      [ops] is the algorithm's own abstract operation count (§3.6);
-    - executes the dispatched job's compute/access segments, charging
-      blocking (lock-based) or optimistic retries (lock-free) at access
-      boundaries;
+      [sched_base × decisions + sched_per_op × ops] ns of CPU per
+      invocation, where [ops] is the algorithms' own abstract operation
+      count (§3.6) plus [migrate_ops] per committed migration;
+    - executes each core's dispatched job's compute/access segments,
+      charging blocking (lock-based), optimistic retries (lock-free),
+      or busy-wait spinning (spin) at access boundaries;
     - aborts jobs whose critical time expires, running their exception
-      handlers and releasing their locks (§3.5). *)
+      handlers and releasing their locks (§3.5).
+
+    At [cores = 1] (the default) the engine reduces exactly — trace for
+    trace — to the historical single-CPU semantics; the frozen
+    {!Single_ref} copy and the differential suite in [test_smp_diff]
+    pin this. *)
 
 type sched_kind =
   | Edf      (** deadline baseline (no lock awareness) *)
@@ -35,7 +43,7 @@ type config = {
   n_objects : int;
   horizon : int;                   (** stop at this virtual time, ns *)
   seed : int;
-  sched_base : int;                (** fixed ns per scheduler invocation *)
+  sched_base : int;                (** fixed ns per scheduler decision *)
   sched_per_op : int;              (** ns per abstract scheduler op *)
   retry_on_any_preemption : bool;
       (** ablation: Lemma 1's adversary — any preemption inside a
@@ -45,6 +53,12 @@ type config = {
       (** bound the trace to a drop-oldest ring buffer of this many
           entries; [None] keeps the full history *)
   queue : queue_impl;  (** event-queue implementation for the run *)
+  cores : int;         (** number of cores, ≥ 1 *)
+  dispatch : Cores.policy;  (** global or partitioned dispatch *)
+  migrate_ops : int;
+      (** abstract ops charged per cross-core migration, folded into
+          the dispatcher's [sched_per_op] cost (global dispatch only —
+          partitioned jobs never migrate) *)
 }
 
 val config :
@@ -60,13 +74,16 @@ val config :
   ?trace:bool ->
   ?trace_capacity:int ->
   ?queue:queue_impl ->
+  ?cores:int ->
+  ?dispatch:Cores.policy ->
+  ?migrate_ops:int ->
   unit ->
   config
 (** [config ~tasks ~sync ~horizon ()] fills in defaults: RUA
     scheduling, object count inferred from the tasks' accesses, seed 1,
     [sched_base = 200] ns, [sched_per_op = 25] ns, realistic conflict
     detection, no trace (and, when tracing, an unbounded trace), binary
-    heap event queue. *)
+    heap event queue, one core, global dispatch, [migrate_ops = 8]. *)
 
 type task_result = {
   task_id : int;
@@ -87,6 +104,8 @@ type task_result = {
 type result = {
   sync_name : string;
   sched_name : string;
+  dispatch_name : string;  (** ["global" | "partitioned"] *)
+  cores : int;
   final_time : int;
   released : int;
   completed : int;
@@ -100,9 +119,14 @@ type result = {
   retries_total : int;
   preemptions : int;
   blocked_events : int;
+      (** lock-based blocking waits plus spin busy-waits *)
+  migrations : int;       (** cross-core migrations (global dispatch) *)
   sched_invocations : int;
   sched_overhead : int;   (** total ns charged to scheduling *)
-  busy : int;             (** total ns executing job code *)
+  busy : int;             (** total ns executing job code, all cores *)
+  per_core_busy : int array;
+      (** per-core executed ns (including spin busy-wait burn);
+          sums to {!result.busy} *)
   access_samples : Rtlf_engine.Stats.summary;
       (** per-access wall durations — the measured r or s (§6.1) *)
   sojourn_samples : float array;
@@ -110,7 +134,7 @@ type result = {
   sojourn_hist : Rtlf_engine.Stats.histogram;
       (** distribution of {!result.sojourn_samples} *)
   blocking_hist : Rtlf_engine.Stats.histogram;
-      (** distribution of per-wait blocking spans, ns (lock-based) *)
+      (** distribution of per-wait blocking/spinning spans, ns *)
   sched_hist : Rtlf_engine.Stats.histogram;
       (** distribution of per-invocation scheduler costs, ns *)
   contention : Contention.t array;  (** per-object profile, by index *)
@@ -124,7 +148,8 @@ type result = {
 val run : config -> result
 (** [run cfg] executes the simulation to the horizon and summarises.
     Raises [Invalid_argument] on inconsistent configs (duplicate task
-    ids, out-of-range object references, non-positive horizon). *)
+    ids, out-of-range object references, non-positive horizon, fewer
+    than one core). *)
 
 val scheduler_name : config -> string
 (** [scheduler_name cfg] is the name of the scheduler [run] would

@@ -1,0 +1,13 @@
+(** Frozen single-CPU reference engine.
+
+    A copy of the pre-SMP simulator, kept verbatim (modulo the
+    [Trace.Start] core payload, always 0 here, and single-core spin
+    support) as the anchor for the [cores = 1] differential suite:
+    {!Simulator.run} at one core must be bit-identical to this engine
+    on every config. Do not evolve this module — evolve {!Simulator}
+    and let [test_smp_diff] prove the reduction. *)
+
+val run : Simulator.config -> Simulator.result
+(** [run cfg] executes [cfg] on the frozen single-CPU engine. Raises
+    [Invalid_argument] when [cfg.cores <> 1] or on the same
+    inconsistent configs {!Simulator.run} rejects. *)

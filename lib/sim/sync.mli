@@ -13,8 +13,19 @@
       between the start and the end of the attempt, the attempt retries
       (compare-and-swap discipline). Lock and unlock scheduling events
       do not exist.
+    - {b Spin}: each access is spin-acquire / critical-section /
+      spin-release of a queued spin lock (ticket or MCS). Acquire and
+      release each cost [overhead] ns of CPU but — unlike lock-based —
+      neither is a scheduling event: the holder runs the critical
+      section non-preemptively and a contended requester {e busy-waits
+      on its own core}, burning CPU until the FIFO grant. On a single
+      core contention is impossible (the holder cannot be preempted),
+      so spin degenerates to uncontended locking; cross-core
+      contention appears only with [cores > 1].
     - {b Ideal}: accesses are free — the paper's reference point for
       isolating scheduler overhead (§6.1). *)
+
+type spin_kind = Ticket | Mcs  (** queued spin-lock discipline *)
 
 type t =
   | Lock_based of { overhead : int }
@@ -23,20 +34,31 @@ type t =
   | Lock_free of { overhead : int }
       (** [overhead]: per-attempt CAS/validation CPU cost (ns) added to
           the access work. *)
+  | Spin of { overhead : int; kind : spin_kind }
+      (** [overhead]: spin-lock acquire/release CPU cost (ns), charged
+          at each end of the critical section. [kind] selects the
+          ticket or MCS discipline (both grant FIFO; they differ in
+          the cache traffic modelled by the lockfree-layer kernels,
+          not in simulator-visible ordering). *)
   | Ideal  (** zero-cost accesses *)
 
+val spin_kind_name : spin_kind -> string
+(** [spin_kind_name k] is ["ticket" | "mcs"]. *)
+
 val name : t -> string
-(** [name sync] is ["lock-based" | "lock-free" | "ideal"]. *)
+(** [name sync] is
+    ["lock-based" | "lock-free" | "spin-ticket" | "spin-mcs" | "ideal"]. *)
 
 val nominal_access_cost : t -> work:int -> int
 (** [nominal_access_cost sync ~work] is the conflict- and blocking-free
-    CPU cost of one access: [2·overhead + work] (lock-based),
+    CPU cost of one access: [2·overhead + work] (lock-based and spin),
     [overhead + work] (lock-free), [0] (ideal). This is the paper's
     per-access [t_acc] used in remaining-cost estimates. *)
 
 val uses_lock_events : t -> bool
-(** [uses_lock_events sync] is [true] iff lock/unlock requests are
-    scheduling events under [sync] (lock-based only, §4.1). *)
+(** [uses_lock_events sync] is [true] iff lock/unlock (or spin
+    block/grant) events may appear in traces under [sync] (lock-based
+    and spin; §4.1). *)
 
 val pp : Format.formatter -> t -> unit
 (** [pp fmt sync] prints the name and overhead. *)

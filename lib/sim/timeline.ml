@@ -48,45 +48,57 @@ let build ?(buckets = 72) ?(max_jobs = 20) trace =
     let c = col time in
     cells.(c) <- merge cells.(c) cell
   in
-  (* Running intervals: remember dispatch time per jid; close on the
-     next preempt/block/complete/abort or another job's start. *)
-  let running = ref None in
-  let close_run time =
-    match !running with
+  (* Running intervals: remember dispatch time per core; close a
+     core's interval on the occupant's preempt/block/complete/abort or
+     on another job's start on that core. *)
+  let running = Hashtbl.create 4 in
+  let paint jid since time =
+    let cells = touch jid in
+    for c = col since to col time do
+      cells.(c) <- merge cells.(c) Run
+    done
+  in
+  let close_core core time =
+    match Hashtbl.find_opt running core with
     | None -> ()
     | Some (jid, since) ->
-      let cells = touch jid in
-      for c = col since to col time do
-        cells.(c) <- merge cells.(c) Run
-      done;
-      running := None
+      paint jid since time;
+      Hashtbl.remove running core
+  in
+  let close_jid jid time =
+    Hashtbl.iter
+      (fun core (j, _) -> if j = jid then close_core core time)
+      (Hashtbl.copy running)
+  in
+  let close_all time =
+    Hashtbl.iter (fun _ (jid, since) -> paint jid since time) running;
+    Hashtbl.reset running
   in
   List.iter
     (fun { Trace.time; kind } ->
       match kind with
       | Trace.Arrive (jid, _, _) -> ignore (touch jid)
-      | Trace.Start jid ->
-        close_run time;
-        running := Some (jid, time)
-      | Trace.Preempt (jid, _) ->
-        close_run time;
-        ignore jid
+      | Trace.Start (jid, core) ->
+        close_core core time;
+        close_jid jid time;
+        Hashtbl.replace running core (jid, time)
+      | Trace.Preempt (jid, _) -> close_jid jid time
       | Trace.Block (jid, _) ->
-        close_run time;
+        close_jid jid time;
         mark jid time Blocked
       | Trace.Wake (jid, _) -> ignore (touch jid)
       | Trace.Retry (jid, _, _, _) -> mark jid time Retried
       | Trace.Complete jid ->
-        close_run time;
+        close_jid jid time;
         mark jid time Done
       | Trace.Abort (jid, _) ->
-        close_run time;
+        close_jid jid time;
         mark jid time Killed
       | Trace.Acquire _ | Trace.Release _ | Trace.Access_done _
-      | Trace.Sched _ ->
+      | Trace.Sched _ | Trace.Migrate _ ->
         ())
     entries;
-  close_run finish;
+  close_all finish;
   let all = List.rev !order in
   let total = List.length all in
   let rows =

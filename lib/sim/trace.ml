@@ -1,6 +1,7 @@
 type kind =
   | Arrive of int * int * int
-  | Start of int
+  | Start of int * int
+  | Migrate of int * int * int
   | Preempt of int * int
   | Block of int * int
   | Wake of int * int
@@ -90,7 +91,7 @@ let check_mutual_exclusion tr =
           Error
             (Printf.sprintf "t=%d: J%d released object %d it did not hold"
                time jid obj))
-      | Arrive _ | Start _ | Preempt _ | Block _ | Wake _ | Retry _
+      | Arrive _ | Start _ | Migrate _ | Preempt _ | Block _ | Wake _ | Retry _
       | Access_done _ | Complete _ | Abort _ | Sched _ ->
         go rest)
   in
@@ -119,7 +120,7 @@ let check_abort_releases tr =
                time jid
                (List.length (holding jid)))
         else go rest
-      | Arrive _ | Start _ | Preempt _ | Block _ | Wake _ | Retry _
+      | Arrive _ | Start _ | Migrate _ | Preempt _ | Block _ | Wake _ | Retry _
       | Access_done _ | Sched _ ->
         go rest)
   in
@@ -142,8 +143,8 @@ let check_block_only_lock_based ~lock_based tr =
             (Printf.sprintf
                "t=%d: J%d woken with object %d under non-lock-based sync"
                time jid obj)
-        | Arrive _ | Start _ | Preempt _ | Acquire _ | Release _ | Retry _
-        | Access_done _ | Complete _ | Abort _ | Sched _ ->
+        | Arrive _ | Start _ | Migrate _ | Preempt _ | Acquire _ | Release _
+        | Retry _ | Access_done _ | Complete _ | Abort _ | Sched _ ->
           go rest)
     in
     go (entries tr)
@@ -183,8 +184,8 @@ let check_wake_follows_block tr =
         (* Aborting a blocked job legitimately ends its wait. *)
         Hashtbl.remove blocked jid;
         go rest
-      | Arrive _ | Start _ | Preempt _ | Acquire _ | Release _ | Retry _
-      | Access_done _ | Sched _ ->
+      | Arrive _ | Start _ | Migrate _ | Preempt _ | Acquire _ | Release _
+      | Retry _ | Access_done _ | Sched _ ->
         go rest)
   in
   go (entries tr)
@@ -203,7 +204,11 @@ let scheduler_invocations tr =
 let pp_kind fmt = function
   | Arrive (jid, task, at) ->
     Format.fprintf fmt "arrive J%d (task %d, at=%dns)" jid task at
-  | Start jid -> Format.fprintf fmt "start J%d" jid
+  | Start (jid, core) ->
+    if core = 0 then Format.fprintf fmt "start J%d" jid
+    else Format.fprintf fmt "start J%d on c%d" jid core
+  | Migrate (jid, from_core, to_core) ->
+    Format.fprintf fmt "migrate J%d c%d->c%d" jid from_core to_core
   | Preempt (jid, by) ->
     if by < 0 then Format.fprintf fmt "preempt J%d" jid
     else Format.fprintf fmt "preempt J%d by J%d" jid by

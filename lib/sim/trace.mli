@@ -13,7 +13,14 @@ type kind =
           which can lag the true arrival when a scheduler-cost or
           abort-handler interval straddles it; causal attribution needs
           the exact release time, so it rides in the payload. *)
-  | Start of int             (** jid dispatched onto the CPU *)
+  | Start of int * int
+      (** jid dispatched (payload: jid, core id). Single-CPU runs
+          always dispatch onto core [0]. *)
+  | Migrate of int * int * int
+      (** jid moved between cores (payload: jid, departing core,
+          arriving core). Emitted by the global dispatcher just before
+          the matching [Start] on the arriving core; never emitted at
+          [cores = 1] or under partitioned dispatch. *)
   | Preempt of int * int
       (** jid lost the CPU (payload: victim jid, preemptor jid).
           The preemptor is [-1] when the victim was descheduled with no

@@ -145,11 +145,11 @@ let test_preemption_decomposition () =
       [
         (0, Trace.Arrive (0, 0, 0));
         (0, Trace.Arrive (1, 1, 0));
-        (0, Trace.Start 0);
+        (0, Trace.Start (0, 0));
         (10, Trace.Preempt (0, 1));
-        (10, Trace.Start 1);
+        (10, Trace.Start (1, 0));
         (30, Trace.Complete 1);
-        (30, Trace.Start 0);
+        (30, Trace.Start (0, 0));
         (50, Trace.Complete 0);
       ]
   in
@@ -176,12 +176,12 @@ let test_blocking_decomposition () =
         (0, Trace.Arrive (0, 0, 0));
         (0, Trace.Arrive (1, 1, 0));
         (0, Trace.Acquire (1, 0));
-        (0, Trace.Start 1);
+        (0, Trace.Start (1, 0));
         (5, Trace.Block (0, 0));
         (15, Trace.Release (1, 0));
         (15, Trace.Wake (0, 0));
         (20, Trace.Complete 1);
-        (20, Trace.Start 0);
+        (20, Trace.Start (0, 0));
         (30, Trace.Complete 0);
       ]
   in
@@ -203,7 +203,7 @@ let test_retry_transfer () =
     attribute_hand
       [
         (0, Trace.Arrive (0, 0, 0));
-        (0, Trace.Start 0);
+        (0, Trace.Start (0, 0));
         (10, Trace.Retry (0, 1, 7, 4));
         (12, Trace.Complete 0);
       ]
@@ -228,7 +228,7 @@ let test_retry_clamp_counts_anomaly () =
     attribute_hand
       [
         (0, Trace.Arrive (0, 0, 0));
-        (0, Trace.Start 0);
+        (0, Trace.Start (0, 0));
         (3, Trace.Retry (0, 1, -1, 9));
         (5, Trace.Complete 0);
       ]
@@ -246,9 +246,9 @@ let test_sched_and_abort_handler () =
         (0, Trace.Arrive (0, 0, 0));
         (0, Trace.Arrive (1, 1, 0));
         (0, Trace.Sched (1, 5));
-        (5, Trace.Start 1);
+        (5, Trace.Start (1, 0));
         (10, Trace.Abort (1, 5));
-        (15, Trace.Start 0);
+        (15, Trace.Start (0, 0));
         (20, Trace.Complete 0);
       ]
   in
@@ -276,7 +276,7 @@ let test_idle_dispatch_latency () =
     attribute_hand
       [
         (0, Trace.Arrive (0, 0, 0));
-        (7, Trace.Start 0);
+        (7, Trace.Start (0, 0));
         (10, Trace.Complete 0);
       ]
   in
@@ -292,10 +292,10 @@ let test_late_arrive_record_uses_true_arrival () =
     attribute_hand
       [
         (0, Trace.Arrive (0, 0, 0));
-        (0, Trace.Start 0);
+        (0, Trace.Start (0, 0));
         (8, Trace.Arrive (1, 1, 4));
         (10, Trace.Complete 0);
-        (10, Trace.Start 1);
+        (10, Trace.Start (1, 0));
         (16, Trace.Complete 1);
       ]
   in
@@ -339,12 +339,12 @@ let test_blame_edges () =
         (0, Trace.Arrive (0, 0, 0));
         (0, Trace.Arrive (1, 1, 0));
         (0, Trace.Acquire (1, 0));
-        (0, Trace.Start 1);
+        (0, Trace.Start (1, 0));
         (5, Trace.Block (0, 0));
         (15, Trace.Release (1, 0));
         (15, Trace.Wake (0, 0));
         (20, Trace.Complete 1);
-        (20, Trace.Start 0);
+        (20, Trace.Start (0, 0));
         (30, Trace.Complete 0);
       ]
   in

@@ -136,7 +136,8 @@ let check_passes name =
 
 let test_real_structures_pass () =
   (* A subset here keeps `dune runtest` snappy; CI runs `check all`. *)
-  List.iter check_passes [ "ms_queue"; "four_slot"; "ring_buffer" ]
+  List.iter check_passes
+    [ "ms_queue"; "four_slot"; "ring_buffer"; "ticket_lock"; "mcs_lock" ]
 
 let test_unknown_name () =
   match Check.run_one "no_such_structure" with
@@ -151,11 +152,14 @@ let test_registry () =
        (fun n -> List.mem n (Check.structures ()))
        [
          "ms_queue"; "treiber_stack"; "lf_set"; "nbw_register"; "four_slot";
-         "ring_buffer"; "snapshot"; "lock_queue"; "lock_stack";
+         "ring_buffer"; "snapshot"; "lock_queue"; "lock_stack"; "ticket_lock";
+         "mcs_lock";
        ]);
   Alcotest.(check bool) "demos separate" true
-    (List.mem "buggy_stack" (Check.demos ())
-    && not (List.mem "buggy_stack" (Check.structures ())))
+    (List.for_all
+       (fun n ->
+         List.mem n (Check.demos ()) && not (List.mem n (Check.structures ())))
+       [ "buggy_stack"; "buggy_ticket_lock" ])
 
 (* --- seeded bugs are caught and shrunk --------------------------------- *)
 
@@ -194,6 +198,17 @@ let test_buggy_stack_caught () =
 
 let test_buggy_register_caught () =
   let cx = catch "buggy_register" in
+  Alcotest.(check bool) "shrunk to <= 3 ops" true (total_ops cx <= 3);
+  Alcotest.(check bool) "one preemption suffices" true
+    (cx.Scenario.outcome.Sched.preemptions <= 1)
+
+let test_buggy_ticket_lock_caught () =
+  let cx = catch "buggy_ticket_lock" in
+  Alcotest.(check string) "structure" "buggy_ticket_lock"
+    cx.Scenario.structure;
+  (* Two requesters drawing the same ticket needs one preemption
+     between the dispenser's get and set; two sections (plus at most
+     the audit) must suffice after shrinking. *)
   Alcotest.(check bool) "shrunk to <= 3 ops" true (total_ops cx <= 3);
   Alcotest.(check bool) "one preemption suffices" true
     (cx.Scenario.outcome.Sched.preemptions <= 1)
@@ -244,6 +259,8 @@ let () =
             test_buggy_stack_caught;
           Alcotest.test_case "buggy_register caught + shrunk" `Quick
             test_buggy_register_caught;
+          Alcotest.test_case "buggy_ticket_lock caught + shrunk" `Quick
+            test_buggy_ticket_lock_caught;
           Alcotest.test_case "counterexample replays" `Quick
             test_counterexample_replays;
           Alcotest.test_case "deterministic" `Quick

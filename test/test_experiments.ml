@@ -191,7 +191,48 @@ let test_registry_complete () =
       Alcotest.(check bool) (expected ^ " registered") true
         (List.mem expected names))
     [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
-      "thm2"; "thm3"; "lem45"; "ablation"; "baselines"; "fig1" ]
+      "thm2"; "thm3"; "lem45"; "ablation"; "baselines"; "fig1"; "smp" ]
+
+(* --- smp ----------------------------------------------------------------------- *)
+
+let test_smp_shape () =
+  (* Two core counts keep the test quick; the full {1,2,4} sweep runs
+     in the smp-smoke CI job. *)
+  let rows = E.Smp.compute ~mode ~cores:[ 1; 2 ] () in
+  (* m=1 has only global dispatch; m>1 both policies. *)
+  Alcotest.(check int) "points" 3 (List.length rows);
+  List.iter
+    (fun (r : E.Smp.row) ->
+      Alcotest.(check int) "all syncs present" (List.length E.Smp.syncs)
+        (List.length r.E.Smp.cells);
+      List.iter
+        (fun (c : E.Smp.cell) ->
+          let aur = c.E.Smp.aur.Rtlf_engine.Stats.mean in
+          Alcotest.(check bool) "AUR in [0,1]" true (aur >= 0.0 && aur <= 1.0);
+          if r.E.Smp.cores = 1 || r.E.Smp.dispatch = Rtlf_sim.Cores.Partitioned
+          then
+            Alcotest.(check (float 0.0)) "no migrations off global multicore"
+              0.0 c.E.Smp.migrations)
+        r.E.Smp.cells;
+      (* The spin baselines land between lock-based and lock-free, as
+         the cost model says they must: cheaper than a lock-manager
+         round trip, dearer than a CAS validation. *)
+      let mean name =
+        let c =
+          List.find (fun c -> c.E.Smp.sync_name = name) r.E.Smp.cells
+        in
+        c.E.Smp.aur.Rtlf_engine.Stats.mean
+      in
+      Alcotest.(check bool) "spin >= lock-based" true
+        (mean "spin-ticket" >= mean "lock-based" -. 0.02);
+      Alcotest.(check bool) "lock-free >= spin" true
+        (mean "lock-free" >= mean "spin-ticket" -. 0.02);
+      (* Non-degenerate: the load scaled with m keeps the spin curve
+         off both the 100 % ceiling and the floor, at every core
+         count. *)
+      Alcotest.(check bool) "spin AUR non-degenerate" true
+        (mean "spin-ticket" > 0.005 && mean "spin-ticket" < 0.9999))
+    rows
 
 let () =
   Test_support.run "experiments"
@@ -241,4 +282,6 @@ let () =
       ( "registry",
         [ Alcotest.test_case "all experiments registered" `Quick
             test_registry_complete ] );
+      ( "smp",
+        [ Alcotest.test_case "per-core sweep shape" `Slow test_smp_shape ] );
     ]

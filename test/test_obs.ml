@@ -141,10 +141,10 @@ let hand_trace () =
   let r time kind = Trace.record t ~time kind in
   r 0 (Trace.Arrive (0, 0, 0));
   r 0 (Trace.Sched (4, 300));
-  r 10 (Trace.Start 0);
+  r 10 (Trace.Start (0, 0));
   r 20 (Trace.Block (0, 2));
   r 50 (Trace.Wake (0, 2));
-  r 50 (Trace.Start 0);
+  r 50 (Trace.Start (0, 0));
   r 60 (Trace.Retry (0, 2, -1, 0));
   r 80 (Trace.Access_done (0, 2));
   r 90 (Trace.Complete 0);
@@ -183,7 +183,7 @@ let test_spans_reconstruction () =
 
 let test_spans_open_at_horizon () =
   let t = Trace.create ~enabled:true () in
-  Trace.record t ~time:0 (Trace.Start 1);
+  Trace.record t ~time:0 (Trace.Start (1, 0));
   Trace.record t ~time:5 (Trace.Block (1, 0));
   Trace.record t ~time:30 (Trace.Complete 9);
   let s = Spans.of_trace t in
@@ -296,7 +296,7 @@ let test_chrome_counter_tracks () =
   let t = Trace.create ~enabled:true () in
   let r time kind = Trace.record t ~time kind in
   r 0 (Trace.Arrive (0, 0, 0));
-  r 10 (Trace.Start 0);
+  r 10 (Trace.Start (0, 0));
   r 20 (Trace.Retry (0, 2, -1, 0));
   r 30 (Trace.Retry (0, 2, -1, 0));
   r 40 (Trace.Retry (0, 0, -1, 0));
@@ -370,7 +370,7 @@ let test_chrome_flow_events () =
 
 let test_chrome_no_counters_without_retries () =
   let t = Trace.create ~enabled:true () in
-  Trace.record t ~time:0 (Trace.Start 0);
+  Trace.record t ~time:0 (Trace.Start (0, 0));
   Trace.record t ~time:9 (Trace.Complete 0);
   let has_counter =
     List.exists

@@ -8,7 +8,9 @@ module Task = Rtlf_model.Task
 module Sync = Rtlf_sim.Sync
 module Simulator = Rtlf_sim.Simulator
 module Trace = Rtlf_sim.Trace
+module Cores = Rtlf_sim.Cores
 module Contention = Rtlf_sim.Contention
+module Smp_invariants = Rtlf_obs.Smp_invariants
 module Workload = Rtlf_workload.Workload
 module Retry_bound = Rtlf_core.Retry_bound
 
@@ -45,16 +47,19 @@ let spec_arb =
 let sync_of_int = function
   | 0 -> Sync.Ideal
   | 1 -> Sync.Lock_free { overhead = 150 }
-  | _ -> Sync.Lock_based { overhead = 2_000 }
+  | 2 -> Sync.Lock_based { overhead = 2_000 }
+  | 3 -> Sync.Spin { overhead = 800; kind = Sync.Ticket }
+  | _ -> Sync.Spin { overhead = 800; kind = Sync.Mcs }
 
 let simulate ?(sync = 1) ?(sched = Simulator.Rua) ?(trace = false)
-    ?(retry_on_any_preemption = false) spec =
+    ?(retry_on_any_preemption = false) ?(cores = 1)
+    ?(dispatch = Cores.Global) spec =
   let tasks = Workload.make spec in
   let horizon = 40 * 50_000 * spec.Workload.n_tasks in
   ( tasks,
     Simulator.run
       (Simulator.config ~tasks ~sync:(sync_of_int sync) ~sched ~horizon
-         ~seed:99 ~retry_on_any_preemption ~trace ()) )
+         ~seed:99 ~retry_on_any_preemption ~trace ~cores ~dispatch ()) )
 
 let prop name ?(count = 40) f =
   QCheck.Test.make ~name ~count
@@ -168,6 +173,105 @@ let trace_checkers_all_configs =
             [ Simulator.Rua; Simulator.Edf; Simulator.Edf_pip ])
         [ 0; 1; 2 ])
 
+(* SMP trace invariants (single occupancy, migration balance) plus the
+   original checkers, over every sync x sched x cores combination. Spin
+   disciplines block-and-burn in place, so [Block] events are legal for
+   sync >= 2 and do not vacate the core for sync >= 3. *)
+let smp_checks ~sync ~cores ~dispatch res =
+  let tr = res.Simulator.trace in
+  let spin = sync >= 3 in
+  let name msg =
+    Printf.sprintf "sync=%d cores=%d %s: %s" sync cores
+      (Cores.policy_name dispatch) msg
+  in
+  let checks =
+    [
+      Trace.check_mutual_exclusion tr;
+      Trace.check_abort_releases tr;
+      Trace.check_block_only_lock_based ~lock_based:(sync >= 2) tr;
+      Trace.check_wake_follows_block tr;
+      Smp_invariants.check_single_occupancy ~spin tr;
+      Smp_invariants.check_migration_balance ~spin tr;
+    ]
+  in
+  let traced = Smp_invariants.migrations tr in
+  let counted = res.Simulator.migrations in
+  List.for_all
+    (function
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report (name msg))
+    checks
+  && (traced = counted
+     || QCheck.Test.fail_report
+          (name
+             (Printf.sprintf "trace has %d migrations, result counted %d"
+                traced counted)))
+  && ((cores > 1 && dispatch = Cores.Global)
+     || counted = 0
+     || QCheck.Test.fail_report
+          (name (Printf.sprintf "%d migrations are impossible here" counted))
+     )
+
+let smp_trace_invariants_all_configs =
+  QCheck.Test.make
+    ~name:"SMP trace invariants hold on every sync x sched x cores"
+    ~count:2 spec_arb
+    (fun spec ->
+      List.for_all
+        (fun sync ->
+          List.for_all
+            (fun sched ->
+              List.for_all
+                (fun cores ->
+                  let _, res =
+                    simulate ~sync ~sched ~trace:true ~cores spec
+                  in
+                  smp_checks ~sync ~cores ~dispatch:Cores.Global res)
+                [ 1; 2; 4 ])
+            [ Simulator.Rua; Simulator.Edf; Simulator.Edf_pip ])
+        [ 0; 1; 2; 3; 4 ])
+
+let smp_trace_invariants_partitioned =
+  QCheck.Test.make
+    ~name:"SMP trace invariants hold under partitioned dispatch" ~count:3
+    spec_arb
+    (fun spec ->
+      List.for_all
+        (fun sync ->
+          List.for_all
+            (fun cores ->
+              let _, res =
+                simulate ~sync ~trace:true ~cores
+                  ~dispatch:Cores.Partitioned spec
+              in
+              smp_checks ~sync ~cores ~dispatch:Cores.Partitioned res)
+            [ 2; 4 ])
+        [ 0; 1; 2; 3; 4 ])
+
+let smp_accounting =
+  QCheck.Test.make
+    ~name:"multicore conservation, metrics, and per-core busy accounting"
+    ~count:10 spec_arb
+    (fun spec ->
+      List.for_all
+        (fun (cores, dispatch) ->
+          let _, res = simulate ~sync:1 ~cores ~dispatch spec in
+          res.Simulator.released
+          = res.Simulator.completed + res.Simulator.aborted
+          && res.Simulator.aur >= 0.0
+          && res.Simulator.aur <= 1.0 +. 1e-9
+          && res.Simulator.busy + res.Simulator.sched_overhead
+             <= cores * res.Simulator.final_time
+          && Array.length res.Simulator.per_core_busy = cores
+          && Array.fold_left ( + ) 0 res.Simulator.per_core_busy
+             = res.Simulator.busy)
+        [
+          (2, Cores.Global);
+          (4, Cores.Global);
+          (2, Cores.Partitioned);
+          (4, Cores.Partitioned);
+        ])
+
 let observability_consistent =
   prop "histograms and contention agree with counters" (fun _ _ _ res ->
       let totals = Contention.totals res.Simulator.contention in
@@ -222,6 +326,9 @@ let () =
             sojourns_exceed_work;
             determinism;
             trace_checkers_all_configs;
+            smp_trace_invariants_all_configs;
+            smp_trace_invariants_partitioned;
+            smp_accounting;
             observability_consistent;
           ] );
       ( "bounds",

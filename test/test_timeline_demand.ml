@@ -66,7 +66,7 @@ let test_timeline_large_trace () =
     let jid = i mod 1_000 in
     let t = i * 5_000 in
     Trace.record trace ~time:t (Trace.Arrive (jid, jid, t));
-    Trace.record trace ~time:(t + 1_000) (Trace.Start jid);
+    Trace.record trace ~time:(t + 1_000) (Trace.Start (jid, 0));
     Trace.record trace ~time:(t + 4_000) (Trace.Complete jid)
   done;
   let tl = Timeline.build ~buckets:72 ~max_jobs:20 trace in
@@ -112,7 +112,7 @@ let test_timeline_truncation_surfaced () =
   for jid = 0 to 4 do
     let t = jid * 100 in
     Trace.record trace ~time:t (Trace.Arrive (jid, 0, t));
-    Trace.record trace ~time:(t + 10) (Trace.Start jid);
+    Trace.record trace ~time:(t + 10) (Trace.Start (jid, 0));
     Trace.record trace ~time:(t + 90) (Trace.Complete jid)
   done;
   let tl = Timeline.build ~buckets:10 ~max_jobs:3 trace in
