@@ -115,30 +115,49 @@ let fig_sim ~sync ~al ~tuf_class ~n_objects ~mean_exec =
               ~sched_base:E.Common.sched_base
               ~sched_per_op:E.Common.sched_per_op ())))
 
-let sim_tests =
-  [
-    Test.make ~name:"FIG8-kernel (lock-based access times)"
-      (fig_sim ~sync:E.Common.lock_based ~al:0.5
-         ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:200_000);
-    Test.make ~name:"FIG9-kernel (CML probe, lock-free)"
-      (fig_sim ~sync:E.Common.lock_free ~al:0.8 ~tuf_class:Workload.Step_only
-         ~n_objects:10 ~mean_exec:30_000);
-    Test.make ~name:"FIG10-kernel (underload, step)"
-      (fig_sim ~sync:E.Common.lock_free ~al:0.4 ~tuf_class:Workload.Step_only
-         ~n_objects:10 ~mean_exec:100_000);
-    Test.make ~name:"FIG11-kernel (underload, heterogeneous)"
-      (fig_sim ~sync:E.Common.lock_free ~al:0.4
-         ~tuf_class:Workload.Heterogeneous ~n_objects:10 ~mean_exec:100_000);
-    Test.make ~name:"FIG12-kernel (overload, step)"
-      (fig_sim ~sync:E.Common.lock_based ~al:1.1
-         ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:100_000);
-    Test.make ~name:"FIG13-kernel (overload, heterogeneous)"
-      (fig_sim ~sync:E.Common.lock_based ~al:1.1
-         ~tuf_class:Workload.Heterogeneous ~n_objects:10 ~mean_exec:100_000);
-    Test.make ~name:"FIG14-kernel (readers, heterogeneous)"
-      (fig_sim ~sync:E.Common.lock_based ~al:0.6
-         ~tuf_class:Workload.Heterogeneous ~n_objects:6 ~mean_exec:100_000);
-  ]
+(* Each group is a list of (name, make-staged-fn) pairs so --filter can
+   drop a kernel before its scene is ever built; [pick] applies the
+   predicate and stages only the survivors. *)
+let pick ~keep entries =
+  List.filter_map
+    (fun (name, mk) -> if keep name then Some (name, mk ()) else None)
+    entries
+
+let sim_tests ~keep () =
+  pick ~keep
+    [
+      ( "FIG8-kernel (lock-based access times)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_based ~al:0.5
+            ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:200_000 );
+      ( "FIG9-kernel (CML probe, lock-free)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_free ~al:0.8
+            ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:30_000 );
+      ( "FIG10-kernel (underload, step)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_free ~al:0.4
+            ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:100_000 );
+      ( "FIG11-kernel (underload, heterogeneous)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_free ~al:0.4
+            ~tuf_class:Workload.Heterogeneous ~n_objects:10
+            ~mean_exec:100_000 );
+      ( "FIG12-kernel (overload, step)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_based ~al:1.1
+            ~tuf_class:Workload.Step_only ~n_objects:10 ~mean_exec:100_000 );
+      ( "FIG13-kernel (overload, heterogeneous)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_based ~al:1.1
+            ~tuf_class:Workload.Heterogeneous ~n_objects:10
+            ~mean_exec:100_000 );
+      ( "FIG14-kernel (readers, heterogeneous)",
+        fun () ->
+          fig_sim ~sync:E.Common.lock_based ~al:0.6
+            ~tuf_class:Workload.Heterogeneous ~n_objects:6
+            ~mean_exec:100_000 );
+    ]
 
 let bench_ring () =
   let q = Rtlf_lockfree.Ring_buffer.create ~capacity:64 in
@@ -172,39 +191,33 @@ let bench_four_slot () =
       Rtlf_lockfree.Four_slot.write reg 1;
       ignore (Rtlf_lockfree.Four_slot.read reg))
 
-let native_tests =
-  [
-    Test.make ~name:"ms-queue enq+deq (lock-free s)" (bench_ms_queue ());
-    Test.make ~name:"mutex-queue enq+deq (lock-based r)" (bench_lock_queue ());
-    Test.make ~name:"treiber push+pop (lock-free s)" (bench_treiber ());
-    Test.make ~name:"mutex-stack push+pop (lock-based r)" (bench_lock_stack ());
-    Test.make ~name:"nbw-register write+read (wait-free writer)"
-      (bench_nbw ());
-    Test.make ~name:"four-slot write+read (fully wait-free)"
-      (bench_four_slot ());
-    Test.make ~name:"mpmc-ring push+pop (lock-free bounded)" (bench_ring ());
-    Test.make ~name:"harris-set add+remove (lock-free ordered)"
-      (bench_lf_set ());
-    Test.make ~name:"snapshot update+scan n=8 (lock-free cut)"
-      (bench_snapshot ());
-  ]
-
-let scheduler_tests =
-  let variants n =
+let native_tests ~keep () =
+  pick ~keep
     [
-      Test.make
-        ~name:(Printf.sprintf "rua-lock-based decide n=%d" n)
-        (bench_decide ~sched:`Lock_based ~n);
-      Test.make
-        ~name:(Printf.sprintf "rua-lock-free decide n=%d" n)
-        (bench_decide ~sched:`Lock_free ~n);
-      Test.make
-        ~name:(Printf.sprintf "edf decide n=%d" n)
-        (bench_decide ~sched:`Edf ~n);
-      Test.make
-        ~name:(Printf.sprintf "edf-pip decide n=%d" n)
-        (bench_decide ~sched:`Edf_pip ~n);
+      ("ms-queue enq+deq (lock-free s)", bench_ms_queue);
+      ("mutex-queue enq+deq (lock-based r)", bench_lock_queue);
+      ("treiber push+pop (lock-free s)", bench_treiber);
+      ("mutex-stack push+pop (lock-based r)", bench_lock_stack);
+      ("nbw-register write+read (wait-free writer)", bench_nbw);
+      ("four-slot write+read (fully wait-free)", bench_four_slot);
+      ("mpmc-ring push+pop (lock-free bounded)", bench_ring);
+      ("harris-set add+remove (lock-free ordered)", bench_lf_set);
+      ("snapshot update+scan n=8 (lock-free cut)", bench_snapshot);
     ]
+
+let scheduler_tests ~keep () =
+  let variants n =
+    pick ~keep
+      [
+        ( Printf.sprintf "rua-lock-based decide n=%d" n,
+          fun () -> bench_decide ~sched:`Lock_based ~n );
+        ( Printf.sprintf "rua-lock-free decide n=%d" n,
+          fun () -> bench_decide ~sched:`Lock_free ~n );
+        ( Printf.sprintf "edf decide n=%d" n,
+          fun () -> bench_decide ~sched:`Edf ~n );
+        ( Printf.sprintf "edf-pip decide n=%d" n,
+          fun () -> bench_decide ~sched:`Edf_pip ~n );
+      ]
   in
   List.concat_map variants [ 8; 32; 64 ]
 
@@ -268,11 +281,35 @@ let bench_queue_hold ~impl ~n =
         let t, () = Rtlf_engine.Timing_wheel.pop_exn q in
         Rtlf_engine.Timing_wheel.add q ~time:(t + delta ()) ())
 
+(* The anomaly-free static serving path: one ahead-of-time plan, one
+   warm decide to arm the store, then every iteration is a fast-path
+   hit — the state-code scan that replaces the dynamic decider's
+   cache revalidation (which recomputes a PUD per live job). The
+   decision and [ops] charge are bit-identical to the dynamic cached
+   kernel's by the static-mode contract; only the serving cost
+   differs. *)
+let bench_static_decide ~n () =
+  let tasks = Workload.make { Workload.default with Workload.n_tasks = n } in
+  let jobs =
+    Array.of_list
+      (List.mapi (fun i t -> Job.create ~task:t ~jid:i ~arrival:0) tasks)
+  in
+  let plan = Rtlf_core.Specialize.plan ~tasks ~remaining in
+  let st =
+    Rtlf_core.Static_mode.create ~plan
+      ~fallback:(Rtlf_core.Rua_lock_free.make ())
+      ~algo:Rtlf_core.Static_mode.Rua_lf ()
+  in
+  let sched = Rtlf_core.Static_mode.scheduler st in
+  ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining);
+  fun () -> ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining)
+
 (* Built on demand (--scale): the 10^5-job scenes are too expensive to
-   construct when the group is not going to run. Each kernel is
-   (name, batch, fn); batch sizes keep the timer reads off the hot
-   path for the sub-microsecond queue kernels. *)
-let scale_kernels ~max_n () =
+   construct when the group is not going to run — and [--filter] drops
+   a kernel before its scene is built, for the same reason. Each
+   kernel is (name, batch, fn); batch sizes keep the timer reads off
+   the hot path for the sub-microsecond queue kernels. *)
+let scale_kernels ~keep ~max_n () =
   List.concat_map
     (fun n ->
       if n > max_n then []
@@ -284,29 +321,45 @@ let scale_kernels ~max_n () =
           let jobs, _locks = scene ~n ~with_locks:false in
           Array.of_list jobs
         in
-        [
-          ( Printf.sprintf "rua-lock-free decide n=%d rebuild" n,
-            1,
-            Staged.unstage
-              (bench_decide_scale ~sched:`Lock_free ~path:`Rebuild
-                 (fresh_jobs ())) );
-          ( Printf.sprintf "rua-lock-free decide n=%d cached" n,
-            1,
-            Staged.unstage
-              (bench_decide_scale ~sched:`Lock_free ~path:`Cached
-                 (fresh_jobs ())) );
-          ( Printf.sprintf "edf decide n=%d rebuild" n,
-            1,
-            Staged.unstage
-              (bench_decide_scale ~sched:`Edf ~path:`Rebuild (fresh_jobs ()))
-          );
-          ( Printf.sprintf "event-queue hold n=%d heap" n,
-            256,
-            Staged.unstage (bench_queue_hold ~impl:`Heap ~n) );
-          ( Printf.sprintf "event-queue hold n=%d wheel" n,
-            256,
-            Staged.unstage (bench_queue_hold ~impl:`Wheel ~n) );
-        ]
+        let entry name batch mk =
+          if keep name then [ (name, batch, mk ()) ] else []
+        in
+        List.concat
+          [
+            entry
+              (Printf.sprintf "rua-lock-free decide n=%d rebuild" n)
+              1
+              (fun () ->
+                Staged.unstage
+                  (bench_decide_scale ~sched:`Lock_free ~path:`Rebuild
+                     (fresh_jobs ())));
+            entry
+              (Printf.sprintf "rua-lock-free decide n=%d cached" n)
+              1
+              (fun () ->
+                Staged.unstage
+                  (bench_decide_scale ~sched:`Lock_free ~path:`Cached
+                     (fresh_jobs ())));
+            entry
+              (Printf.sprintf "static rua decide n=%d fast-path" n)
+              1
+              (bench_static_decide ~n);
+            entry
+              (Printf.sprintf "edf decide n=%d rebuild" n)
+              1
+              (fun () ->
+                Staged.unstage
+                  (bench_decide_scale ~sched:`Edf ~path:`Rebuild
+                     (fresh_jobs ())));
+            entry
+              (Printf.sprintf "event-queue hold n=%d heap" n)
+              256
+              (fun () -> Staged.unstage (bench_queue_hold ~impl:`Heap ~n));
+            entry
+              (Printf.sprintf "event-queue hold n=%d wheel" n)
+              256
+              (fun () -> Staged.unstage (bench_queue_hold ~impl:`Wheel ~n));
+          ]
       end)
     scale_sizes
 
@@ -315,6 +368,8 @@ let scale_kernels ~max_n () =
    extremes honestly, where per-sample OLS over GC-stabilized
    single-run samples buries the cheap kernels in cold-cache noise. *)
 let run_scale_group ~quota ~name kernels =
+  if kernels = [] then []
+  else begin
   E.Report.section fmt name;
   let rows =
     List.map
@@ -344,6 +399,7 @@ let run_scale_group ~quota ~name kernels =
     ~rows:
       (List.map (fun (n, ns) -> [ n; Printf.sprintf "%.1f" ns ]) rows);
   rows
+  end
 
 (* --- per-core-count dispatcher kernels (SMP) -------------------------- *)
 
@@ -357,17 +413,20 @@ let run_scale_group ~quota ~name kernels =
    flight, so pending events scale with m. *)
 let smp_cores = [ 1; 2; 4 ]
 
-let smp_kernels () =
+let smp_kernels ~keep () =
   let n = 64 in
   List.concat_map
     (fun m ->
-      let global =
+      let entry name batch mk =
+        if keep name then [ (name, batch, mk ()) ] else []
+      in
+      let global () =
         let jobs, _locks = scene ~n ~with_locks:false in
         let jobs = Array.of_list jobs in
         let sched = Rtlf_core.Rua_lock_free.make () in
         fun () -> ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining)
       in
-      let partitioned =
+      let partitioned () =
         let per_core =
           Array.init m (fun _ ->
               let jobs, _locks = scene ~n:(max 1 (n / m)) ~with_locks:false in
@@ -379,15 +438,18 @@ let smp_kernels () =
               ignore (sched.Scheduler.decide ~now:0 ~jobs ~remaining))
             per_core
       in
-      [
-        (Printf.sprintf "smp decide n=%d m=%d global" n m, 1, global);
-        ( Printf.sprintf "smp decide n=%d m=%d partitioned" n m,
-          1,
-          partitioned );
-        ( Printf.sprintf "smp event-queue hold m=%d wheel" m,
-          256,
-          Staged.unstage (bench_queue_hold ~impl:`Wheel ~n:(256 * m)) );
-      ])
+      List.concat
+        [
+          entry (Printf.sprintf "smp decide n=%d m=%d global" n m) 1 global;
+          entry
+            (Printf.sprintf "smp decide n=%d m=%d partitioned" n m)
+            1 partitioned;
+          entry
+            (Printf.sprintf "smp event-queue hold m=%d wheel" m)
+            256
+            (fun () ->
+              Staged.unstage (bench_queue_hold ~impl:`Wheel ~n:(256 * m)));
+        ])
     smp_cores
 
 (* Pre-arena decision-kernel costs, measured on this harness (bechamel
@@ -413,9 +475,14 @@ let decide_baseline_ns =
 
 (* --- bechamel driver --------------------------------------------------- *)
 
-(* Runs a bechamel group, prints the human table and returns the
-   [(test_name, ns_per_op)] rows for machine-readable export. *)
-let run_group ?(quota = 0.25) ~name tests =
+(* Runs a bechamel group from (name, staged) pairs, prints the human
+   table and returns the [(test_name, ns_per_op)] rows for
+   machine-readable export. A group --filter emptied is skipped
+   entirely. *)
+let run_group ?(quota = 0.25) ~name pairs =
+  if pairs = [] then []
+  else begin
+  let tests = List.map (fun (n, fn) -> Test.make ~name:n fn) pairs in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -445,6 +512,7 @@ let run_group ?(quota = 0.25) ~name tests =
          (fun (test_name, ns) -> [ test_name; Printf.sprintf "%.1f" ns ])
          rows);
   rows
+  end
 
 (* --- machine-readable bench record (BENCH_<label>.json) ---------------- *)
 
@@ -456,8 +524,13 @@ let run_group ?(quota = 0.25) ~name tests =
    [{"label", "schema": "rtlf-bench-trajectory-v1", "runs": [...]}];
    each invocation parses the existing document and appends one run
    object. A legacy single-snapshot file is wrapped as the
-   trajectory's first run, so history survives the migration. *)
-let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
+   trajectory's first run, so history survives the migration.
+
+   [run_label] names the appended run inside the trajectory (the file
+   name stays keyed on [label]); appending a run label the trajectory
+   already contains is refused — exit 2, file untouched — so a re-run
+   of a recording script cannot silently duplicate a data point. *)
+let emit_json ~label ~run_label ~out_dir ~quota ~smoke ~append ~wall_s rows =
   let module J = Rtlf_obs.Json in
   let num x : J.t = if Float.is_finite x then J.Float x else J.Null in
   let kernels =
@@ -488,7 +561,7 @@ let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
   let run_doc =
     J.Obj
       [
-        ("label", J.Str label);
+        ("label", J.Str run_label);
         ("smoke", J.Bool smoke);
         ("quota_s", J.Float quota);
         ("time_unix", J.Float (Unix.time ()));
@@ -511,19 +584,30 @@ let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
           in
           J.of_string_opt s
       in
-      let runs =
+      let prior_runs =
         match prior with
         | Some (J.Obj fields as old) -> (
           match List.assoc_opt "runs" fields with
-          | Some (J.List runs) -> runs @ [ run_doc ]
-          | Some _ | None -> [ old; run_doc ])
-        | Some _ | None -> [ run_doc ]
+          | Some (J.List runs) -> runs
+          | Some _ | None -> [ old ])
+        | Some _ | None -> []
       in
+      let labelled l = function
+        | J.Obj fields -> List.assoc_opt "label" fields = Some (J.Str l)
+        | _ -> false
+      in
+      if List.exists (labelled run_label) prior_runs then begin
+        Format.eprintf
+          "bench: refusing to append: run label %S already present in %s \
+           (pass --run-label to name this run)@."
+          run_label path;
+        exit 2
+      end;
       J.Obj
         [
           ("label", J.Str label);
           ("schema", J.Str "rtlf-bench-trajectory-v1");
-          ("runs", J.List runs);
+          ("runs", J.List (prior_runs @ [ run_doc ]));
         ]
     end
   in
@@ -540,37 +624,48 @@ let emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s rows =
    sweep itself per call (and, via the event count printed alongside,
    per trace event) — the self-overhead figure the blame experiment
    quotes. *)
-let attribution_tests () =
-  let tasks =
-    Workload.make
-      {
-        Workload.default with
-        Workload.n_tasks = 8;
-        n_objects = 2;
-        accesses_per_job = 6;
-        burst = 3;
-        seed = 11;
-      }
-  in
-  let res = E.Common.simulate ~mode:E.Common.Fast ~trace:true ~seed:7 tasks in
-  let trace = res.Simulator.trace in
-  let events = List.length (Rtlf_sim.Trace.entries trace) in
-  Format.fprintf fmt "attribution kernel input: %d trace events@." events;
-  [
-    Test.make ~name:"attribution sweep"
-      (Staged.stage (fun () ->
-           match Rtlf_obs.Attribution.of_trace ~tasks trace with
-           | Ok a -> ignore (Sys.opaque_identity a)
-           | Error msg -> failwith msg));
-    Test.make ~name:"blame graph fold"
-      (let a =
-         match Rtlf_obs.Attribution.of_trace ~tasks trace with
-         | Ok a -> a
-         | Error msg -> failwith msg
-       in
-       Staged.stage (fun () ->
-           ignore (Sys.opaque_identity (Rtlf_obs.Blame.of_attribution a))));
-  ]
+let attribution_tests ~keep () =
+  (* The traced run feeding both kernels is only worth producing if at
+     least one of them survives --filter. *)
+  if not (keep "attribution sweep" || keep "blame graph fold") then []
+  else begin
+    let tasks =
+      Workload.make
+        {
+          Workload.default with
+          Workload.n_tasks = 8;
+          n_objects = 2;
+          accesses_per_job = 6;
+          burst = 3;
+          seed = 11;
+        }
+    in
+    let res =
+      E.Common.simulate ~mode:E.Common.Fast ~trace:true ~seed:7 tasks
+    in
+    let trace = res.Simulator.trace in
+    let events = List.length (Rtlf_sim.Trace.entries trace) in
+    Format.fprintf fmt "attribution kernel input: %d trace events@." events;
+    pick ~keep
+      [
+        ( "attribution sweep",
+          fun () ->
+            Staged.stage (fun () ->
+                match Rtlf_obs.Attribution.of_trace ~tasks trace with
+                | Ok a -> ignore (Sys.opaque_identity a)
+                | Error msg -> failwith msg) );
+        ( "blame graph fold",
+          fun () ->
+            let a =
+              match Rtlf_obs.Attribution.of_trace ~tasks trace with
+              | Ok a -> a
+              | Error msg -> failwith msg
+            in
+            Staged.stage (fun () ->
+                ignore
+                  (Sys.opaque_identity (Rtlf_obs.Blame.of_attribution a))) );
+      ]
+  end
 
 (* --- CAS retry profile (counting-instrumented structures) -------------- *)
 
@@ -757,7 +852,22 @@ let () =
   in
   let jobs = Option.bind (opt "--jobs") int_of_string_opt in
   let label = Option.value (opt "--label") ~default:"local" in
+  let run_label = Option.value (opt "--run-label") ~default:label in
   let out_dir = Option.value (opt "--out") ~default:"." in
+  (* --filter REGEX (Str syntax, substring match) runs only the micro
+     kernels whose name matches; scenes for dropped kernels are never
+     built and the non-kernel suite sections are skipped. *)
+  let filter_re = Option.map Str.regexp (opt "--filter") in
+  let keep name =
+    match filter_re with
+    | None -> true
+    | Some re -> (
+      try
+        ignore (Str.search_forward re name 0);
+        true
+      with Not_found -> false)
+  in
+  let filtered = Option.is_some filter_re in
   (* Smoke mode (CI): only the decide kernels, at a small quota — enough
      to catch an order-of-magnitude regression in the artifact. *)
   let quota =
@@ -771,20 +881,20 @@ let () =
   if not smoke then
     ignore
       (run_group ~name:"Native shared objects (Figure 8, real hardware)"
-         native_tests);
+         (native_tests ~keep ()));
   let sched_rows =
     run_group ~quota
       ~name:"Scheduler decision cost (3.6: O(n^2 log n) vs O(n^2))"
-      scheduler_tests
+      (scheduler_tests ~keep ())
   in
   let attr_rows =
     run_group ~quota ~name:"Attribution pass (rtlf explain hot path)"
-      (attribution_tests ())
+      (attribution_tests ~keep ())
   in
   let smp_rows =
     run_scale_group ~quota
       ~name:"SMP dispatcher kernels (decide + event queue per core count)"
-      (smp_kernels ())
+      (smp_kernels ~keep ())
   in
   let scale_rows =
     if not scale then []
@@ -798,17 +908,19 @@ let () =
       in
       run_scale_group ~quota
         ~name:"Scale kernels (decide + event queue, n=10^3..10^5)"
-        (scale_kernels ~max_n ())
+        (scale_kernels ~keep ~max_n ())
     end
   in
-  if not smoke then begin
-    ignore (run_group ~name:"Per-figure simulation kernels" sim_tests);
+  if not smoke then
+    ignore
+      (run_group ~name:"Per-figure simulation kernels" (sim_tests ~keep ()));
+  if (not smoke) && not filtered then begin
     contention_sweep ();
     retry_profile ();
     parallel_sweep ~mode ();
     E.All.run ~mode ?jobs fmt
   end;
   let wall_s = Unix.gettimeofday () -. t0 in
-  emit_json ~label ~out_dir ~quota ~smoke ~append ~wall_s
+  emit_json ~label ~run_label ~out_dir ~quota ~smoke ~append ~wall_s
     (sched_rows @ attr_rows @ smp_rows @ scale_rows);
   Format.fprintf fmt "@.done.@."

@@ -112,6 +112,20 @@ let queue_arg =
   Arg.(value & opt (enum queues) Simulator.Binary_heap
        & info [ "queue" ] ~doc)
 
+let mode_arg =
+  let doc =
+    "Scheduling mode: dynamic (deciders interpret the task set every \
+     invocation) or static (decides served from an ahead-of-time \
+     specialisation plan, falling back to the dynamic decider on \
+     anomalies). Decisions and ops charges are bit-identical either \
+     way; static requires a lock-oblivious decider (edf, or rua under \
+     lock-free/spin/ideal sync)."
+  in
+  let modes =
+    [ ("dynamic", Simulator.Dynamic); ("static", Simulator.Static) ]
+  in
+  Arg.(value & opt (enum modes) Simulator.Dynamic & info [ "mode" ] ~doc)
+
 let make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed =
   {
     Workload.default with
@@ -288,8 +302,8 @@ let print_observability res =
   Report.contention fmt res.Simulator.contention
 
 let sim_cmd =
-  let run tasks objects load exec_us sync sched queue hetero seed fast json
-      cores dispatch trace_out csv_out metrics_out contention_csv
+  let run tasks objects load exec_us sync sched queue sched_mode hetero seed
+      fast json cores dispatch trace_out csv_out metrics_out contention_csv
       trace_capacity =
     let spec = make_spec ~tasks ~objects ~load ~exec_us ~hetero ~seed in
     let task_list = Workload.make spec in
@@ -297,7 +311,7 @@ let sim_cmd =
     let trace = Option.is_some trace_out || Option.is_some csv_out in
     let res =
       Experiments.Common.simulate ~mode ~sync:(sync_of sync) ~sched ~trace
-        ?trace_capacity ~queue ~cores ~dispatch ~seed task_list
+        ?trace_capacity ~queue ~cores ~dispatch ~sched_mode ~seed task_list
     in
     if json then print_string (Obs.Result_json.to_string res)
     else begin
@@ -320,6 +334,26 @@ let sim_cmd =
         "retries=%d preemptions=%d blockings=%d sched-invocations=%d@."
         res.Simulator.retries_total res.Simulator.preemptions
         res.Simulator.blocked_events res.Simulator.sched_invocations;
+      Option.iter
+        (fun (s : Rtlf_core.Static_mode.stats) ->
+          Format.fprintf fmt
+            "static mode: decides=%d fast=%d pattern=%d delegated=%d \
+             anomalies=%d (shape=%d deadline=%d abort=%d chain=%d) \
+             respecialisations=%d@."
+            s.Rtlf_core.Static_mode.decides
+            s.Rtlf_core.Static_mode.fast_hits
+            s.Rtlf_core.Static_mode.pattern_hits
+            s.Rtlf_core.Static_mode.delegated
+            (s.Rtlf_core.Static_mode.anomalies_new_shape
+            + s.Rtlf_core.Static_mode.anomalies_deadline_miss
+            + s.Rtlf_core.Static_mode.anomalies_abort
+            + s.Rtlf_core.Static_mode.anomalies_chain)
+            s.Rtlf_core.Static_mode.anomalies_new_shape
+            s.Rtlf_core.Static_mode.anomalies_deadline_miss
+            s.Rtlf_core.Static_mode.anomalies_abort
+            s.Rtlf_core.Static_mode.anomalies_chain
+            s.Rtlf_core.Static_mode.respecialisations)
+        res.Simulator.static;
       Format.fprintf fmt "mean access time: %a@."
         Rtlf_engine.Stats.pp_summary res.Simulator.access_samples;
       Format.fprintf fmt "%a@." Rtlf_sim.Audit.pp_report
@@ -352,8 +386,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run one ad-hoc simulation and print a summary.")
     Term.(
       const run $ tasks_arg $ objects_arg $ load_arg $ exec_arg $ sync_arg
-      $ sched_arg $ queue_arg $ hetero_arg $ seed_arg $ fast_flag $ json_flag
-      $ cores_arg $ dispatch_arg $ trace_out_arg $ csv_out_arg
+      $ sched_arg $ queue_arg $ mode_arg $ hetero_arg $ seed_arg $ fast_flag
+      $ json_flag $ cores_arg $ dispatch_arg $ trace_out_arg $ csv_out_arg
       $ metrics_out_arg $ contention_csv_arg $ trace_capacity_arg)
 
 (* --- rtlf trace ---------------------------------------------------------- *)

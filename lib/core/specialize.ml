@@ -1,0 +1,231 @@
+module Task = Rtlf_model.Task
+module Job = Rtlf_model.Job
+module Tuf = Rtlf_model.Tuf
+
+(* Subset masks are single OCaml ints: slots 0..61 keep [1 lsl slot]
+   positive on 63-bit ints. *)
+let mask_bits = 62
+
+(* Below this virtual time, [float_of_int] of any completion time the
+   decider compares is exact, so decisions on a fresh release depend
+   only on (subset, now - arrival) — the translation invariance the
+   decision table relies on. *)
+let exact_bound = 1 lsl 52
+
+let max_patterns = 512
+
+type profile = {
+  task : Task.t;
+  slot : int;
+  critical : int;
+  fresh_rem : int;
+  initial_slack : int;
+  pud : now:int -> arrival:int -> rem:int -> float;
+  pud_expiry : now:int -> arrival:int -> rem:int -> int;
+}
+
+type template = {
+  t_dispatch : int;
+  t_rejected : int array;
+  t_schedule : int array;
+  t_ops : int;
+  t_min_slack_rel : int;
+}
+
+type t = {
+  rem_model : Job.t -> int;
+  profiles : (int, profile) Hashtbl.t;
+  mutable next_slot : int;
+  capacity : int;
+  patterns : (int * int, template) Hashtbl.t;
+  mutable n_patterns : int;
+}
+
+(* --- monomorphised PUD kernels ----------------------------------------- *)
+
+(* Each kernel must be bit-identical to [Pud.of_job ~now ~remaining j]
+   for a job of this task with [remaining j = rem]: same float
+   operations in the same order as [Tuf.utility] followed by the
+   density division. The shape dispatch happens here, once, at plan
+   time. *)
+let make_pud (tuf : Tuf.t) =
+  match tuf with
+  | Tuf.Step { height; c } ->
+    fun ~now ~arrival ~rem ->
+      if rem <= 0 then infinity
+      else
+        let at = max (now + rem - arrival) 0 in
+        let u = if at >= c then 0.0 else height in
+        u /. float_of_int rem
+  | Tuf.Linear { u0; c } ->
+    fun ~now ~arrival ~rem ->
+      if rem <= 0 then infinity
+      else
+        let at = max (now + rem - arrival) 0 in
+        let u =
+          if at >= c then 0.0
+          else u0 *. (1.0 -. (float_of_int at /. float_of_int c))
+        in
+        u /. float_of_int rem
+  | (Tuf.Parabolic _ | Tuf.Piecewise _) as f ->
+    fun ~now ~arrival ~rem ->
+      if rem <= 0 then infinity
+      else Tuf.utility f ~at:(now + rem - arrival) /. float_of_int rem
+
+(* Latest now' >= now with the kernel bitwise constant over [now, now']
+   at fixed [rem]. A step TUF's density is [height /. rem] across its
+   whole feasible window; a zero-utility or non-positive-rem kernel is
+   constant forever. Time-varying shapes only validate at the same
+   instant — exactly the cases where the dynamic cache's PUD drift
+   check forces a rebuild too. *)
+let make_expiry (tuf : Tuf.t) =
+  let c = Tuf.critical_time tuf in
+  match tuf with
+  | Tuf.Step _ ->
+    fun ~now ~arrival ~rem ->
+      if rem <= 0 then max_int
+      else
+        let at = max (now + rem - arrival) 0 in
+        if at >= c then max_int else arrival + c - rem - 1
+  | Tuf.Linear _ | Tuf.Parabolic _ | Tuf.Piecewise _ ->
+    fun ~now ~arrival ~rem ->
+      if rem <= 0 then max_int
+      else
+        let at = max (now + rem - arrival) 0 in
+        if at >= c then max_int else now
+
+(* --- profiles ----------------------------------------------------------- *)
+
+let make_profile t ~slot task =
+  let critical = Task.critical_time task in
+  let fresh_rem = t.rem_model (Job.create ~task ~jid:0 ~arrival:0) in
+  {
+    task;
+    slot;
+    critical;
+    fresh_rem;
+    initial_slack = critical - fresh_rem;
+    pud = make_pud task.Task.tuf;
+    pud_expiry = make_expiry task.Task.tuf;
+  }
+
+let profile t (task : Task.t) =
+  match Hashtbl.find_opt t.profiles task.Task.id with
+  | Some p when p.task == task -> Some p
+  | _ -> None
+
+let register t (task : Task.t) =
+  match Hashtbl.find_opt t.profiles task.Task.id with
+  | Some p when p.task == task -> p
+  | Some old ->
+    (* Same id rebound to a different task value: the old profile — and
+       every pattern whose mask referenced it — is stale. *)
+    let p = make_profile t ~slot:old.slot task in
+    Hashtbl.replace t.profiles task.Task.id p;
+    Hashtbl.reset t.patterns;
+    t.n_patterns <- 0;
+    p
+  | None ->
+    let slot = t.next_slot in
+    t.next_slot <- slot + 1;
+    let p = make_profile t ~slot task in
+    Hashtbl.replace t.profiles task.Task.id p;
+    p
+
+(* --- decision table ----------------------------------------------------- *)
+
+let find_template t ~mask ~delta = Hashtbl.find_opt t.patterns (mask, delta)
+
+let learn t ~mask ~delta tpl =
+  if t.n_patterns < max_patterns && not (Hashtbl.mem t.patterns (mask, delta))
+  then begin
+    Hashtbl.replace t.patterns (mask, delta) tpl;
+    t.n_patterns <- t.n_patterns + 1
+  end
+
+let make_template ~dispatch ~rejected ~schedule ~ops ~min_slack_rel =
+  {
+    t_dispatch = dispatch;
+    t_rejected = rejected;
+    t_schedule = schedule;
+    t_ops = ops;
+    t_min_slack_rel = min_slack_rel;
+  }
+
+(* Run the real decider on a synthetic fresh release of [tasks] (in
+   list order, jid = position, arrival = 0) and record the decision in
+   position space. [Job.absolute_critical_time] at arrival 0 is already
+   release-relative. *)
+let synth_template t ~tasks ~delta =
+  let jobs =
+    Array.of_list
+      (List.mapi (fun i task -> Job.create ~task ~jid:i ~arrival:0) tasks)
+  in
+  let sched = Rua_lock_free.make () in
+  let remaining = t.rem_model in
+  let d = sched.Scheduler.decide ~now:delta ~jobs ~remaining in
+  let dispatch = match d.Scheduler.dispatch with
+    | None -> -1
+    | Some j -> j.Job.jid
+  in
+  let acc = ref 0 and ms = ref Slack_tree.sentinel in
+  List.iter
+    (fun j ->
+      acc := !acc + remaining j;
+      ms := min !ms (Job.absolute_critical_time j - !acc))
+    d.Scheduler.schedule;
+  {
+    t_dispatch = dispatch;
+    t_rejected = Array.of_list d.Scheduler.rejected;
+    t_schedule =
+      Array.of_list (List.map (fun j -> j.Job.jid) d.Scheduler.schedule);
+    t_ops = d.Scheduler.ops;
+    t_min_slack_rel = !ms;
+  }
+
+(* --- plan ---------------------------------------------------------------- *)
+
+let plan ~tasks ~remaining =
+  let t =
+    {
+      rem_model = remaining;
+      profiles = Hashtbl.create 64;
+      next_slot = 0;
+      capacity = List.length tasks;
+      patterns = Hashtbl.create 64;
+      n_patterns = 0;
+    }
+  in
+  let sorted =
+    List.sort (fun (a : Task.t) (b : Task.t) -> Int.compare a.Task.id b.Task.id)
+      tasks
+  in
+  List.iter (fun task -> ignore (register t task)) sorted;
+  (* AOT table entries: each singleton release, plus the full
+     synchronized release, at the release instant. Other subsets and
+     offsets are learned from delegated decisions at runtime. *)
+  List.iter
+    (fun task ->
+      match profile t task with
+      | Some p when p.slot < mask_bits ->
+        learn t ~mask:(1 lsl p.slot) ~delta:0
+          (synth_template t ~tasks:[ task ] ~delta:0)
+      | _ -> ())
+    sorted;
+  let full_mask =
+    List.fold_left
+      (fun acc task ->
+        match (acc, profile t task) with
+        | Some m, Some p when p.slot < mask_bits -> Some (m lor (1 lsl p.slot))
+        | _ -> None)
+      (Some 0) sorted
+  in
+  (match full_mask with
+  | Some m when List.length sorted > 1 ->
+    learn t ~mask:m ~delta:0 (synth_template t ~tasks:sorted ~delta:0)
+  | _ -> ());
+  t
+
+let capacity t = t.capacity
+let n_profiles t = Hashtbl.length t.profiles
+let remaining t = t.rem_model

@@ -1,0 +1,112 @@
+(** Ahead-of-time schedule specialisation (ROADMAP item 4).
+
+    Given a fixed task set, {!plan} precomputes everything about a task
+    that the dynamic deciders recompute on every invocation:
+
+    - a {e monomorphised PUD kernel} per task — the TUF shape is matched
+      once at plan time, so evaluating a job's potential utility density
+      is a closed-form float expression with no shape dispatch. The
+      kernel is bit-identical to [Pud.of_job] by construction (pinned by
+      the static differential suite);
+    - a {e PUD expiry} function: the latest instant up to which the
+      kernel's value is bitwise constant for a fixed remaining cost.
+      Step TUFs are constant across their whole feasible window, which
+      is what makes the static fast path amortise;
+    - per-task slack/demand constants ([fresh_rem], [initial_slack],
+      [critical]) under the plan's cost model;
+    - a {e static decision table} for recurring release patterns: the
+      full decision (dispatch, rejections, schedule order, charged
+      [ops], minimum slack) of the RUA lock-free decider on a fresh
+      synchronized release of any task subset, keyed by (subset mask,
+      time since release). Decisions are translation-invariant in the
+      common arrival, so one table entry serves every recurrence of the
+      release pattern. Entries are synthesised ahead of time for the
+      full set and each singleton, and learned at runtime from
+      delegated decisions for other subsets.
+
+    The plan is extended in place ({!register}) when a job of an unseen
+    task arrives — the re-specialisation half of the anomaly protocol in
+    {!Static_mode}. *)
+
+module Task = Rtlf_model.Task
+module Job = Rtlf_model.Job
+
+type profile = private {
+  task : Task.t;  (** compared physically: a same-id but different task
+                      value is treated as unknown *)
+  slot : int;  (** registration order; pattern mask bit when < {!mask_bits} *)
+  critical : int;  (** [Cᵢ], relative to arrival *)
+  fresh_rem : int;  (** remaining cost of a fresh job under the plan's
+                        cost model *)
+  initial_slack : int;  (** [critical - fresh_rem] *)
+  pud : now:int -> arrival:int -> rem:int -> float;
+      (** bit-identical to [Pud.of_job] on a job of this task *)
+  pud_expiry : now:int -> arrival:int -> rem:int -> int;
+      (** latest [now'] >= [now] such that
+          [pud ~now:now'' ~arrival ~rem] is bitwise equal to
+          [pud ~now ~arrival ~rem] for every [now''] in [now, now'] *)
+}
+
+type template = private {
+  t_dispatch : int;  (** position in the release's task-id order, -1 = idle *)
+  t_rejected : int array;  (** positions, in PUD-rank (probe) order *)
+  t_schedule : int array;  (** positions, in schedule (ECF) order *)
+  t_ops : int;  (** abstract ops charge of the equivalent rebuild *)
+  t_min_slack_rel : int;
+      (** [Slack_tree.min_all] of the rebuild, relative to the common
+          arrival; [Slack_tree] sentinel when nothing is admitted *)
+}
+
+type t
+
+val mask_bits : int
+(** Tasks whose slot is >= [mask_bits] cannot participate in pattern
+    templates (the subset mask is a single OCaml int). *)
+
+val exact_bound : int
+(** Virtual-time bound below which the decider's float-widened
+    completion times are exact, making templates translation-invariant.
+    Pattern lookups guard on it. *)
+
+val plan : tasks:Task.t list -> remaining:(Job.t -> int) -> t
+(** [plan ~tasks ~remaining] specialises [tasks] under the cost model
+    [remaining] (the same closure the simulator hands its schedulers).
+    Profiles for all tasks plus ahead-of-time pattern templates (full
+    set and singletons, at release instant 0) are built eagerly. *)
+
+val capacity : t -> int
+(** Number of tasks at plan time — the fixed-n arena sizing hint. *)
+
+val n_profiles : t -> int
+
+val remaining : t -> Job.t -> int
+(** The cost model the plan was built with. *)
+
+val profile : t -> Task.t -> profile option
+(** Physical-equality lookup: [None] for an unknown task {e or} a
+    same-id task value that differs from the registered one. *)
+
+val register : t -> Task.t -> profile
+(** Extend the plan with an unseen task (re-specialisation). If the id
+    is already bound to a different task value, the profile is replaced
+    in place and the pattern table is dropped (its masks referenced the
+    old task). *)
+
+val find_template : t -> mask:int -> delta:int -> template option
+(** Decision table lookup for a fresh synchronized release of the task
+    subset [mask], [delta] ns after the common arrival. *)
+
+val learn : t -> mask:int -> delta:int -> template -> unit
+(** Record a template derived from a delegated decision. No-op once the
+    table is full (the cap keeps the table O(1)-bounded, not load-
+    dependent). *)
+
+val make_template :
+  dispatch:int ->
+  rejected:int array ->
+  schedule:int array ->
+  ops:int ->
+  min_slack_rel:int ->
+  template
+(** Constructor for learned templates ({!Static_mode} derives them from
+    fallback decisions). *)

@@ -18,6 +18,7 @@ let experiments =
     (* Eta-expanded: Smp.run's extra ?cores option must not leak into
        the registry's uniform signature. *)
     ("smp", fun ?mode ?jobs fmt -> Smp.run ?mode ?jobs fmt);
+    ("static_overhead", Static_overhead.run);
   ]
 
 let run ?(mode = Common.Full) ?jobs fmt =

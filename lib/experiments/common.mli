@@ -58,12 +58,14 @@ val simulate :
   ?queue:Rtlf_sim.Simulator.queue_impl ->
   ?cores:int ->
   ?dispatch:Rtlf_sim.Cores.policy ->
+  ?sched_mode:Rtlf_sim.Simulator.sched_mode ->
   seed:int ->
   Rtlf_model.Task.t list ->
   Rtlf_sim.Simulator.result
 (** [simulate ~seed tasks] runs one simulation with the shared cost
     constants (defaults: [Full] mode, lock-free sync, RUA, no trace,
-    binary-heap event queue, one core, global dispatch). *)
+    binary-heap event queue, one core, global dispatch, dynamic
+    scheduling mode). *)
 
 val measure :
   ?mode:mode ->

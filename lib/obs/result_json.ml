@@ -92,6 +92,26 @@ let task_result (tr : Simulator.task_result) =
       ("sojourn_ns", summary tr.Simulator.sojourn);
     ]
 
+(* Static-mode serving-path statistics: present only when the run used
+   [Simulator.Static] (Null otherwise, so the schema is stable). *)
+let static_stats (res : Simulator.result) =
+  match res.Simulator.static with
+  | None -> Json.Null
+  | Some s ->
+    let module S = Rtlf_core.Static_mode in
+    Json.Obj
+      [
+        ("decides", Json.Int s.S.decides);
+        ("fast_hits", Json.Int s.S.fast_hits);
+        ("pattern_hits", Json.Int s.S.pattern_hits);
+        ("delegated", Json.Int s.S.delegated);
+        ("anomalies_new_shape", Json.Int s.S.anomalies_new_shape);
+        ("anomalies_deadline_miss", Json.Int s.S.anomalies_deadline_miss);
+        ("anomalies_abort", Json.Int s.S.anomalies_abort);
+        ("anomalies_chain", Json.Int s.S.anomalies_chain);
+        ("respecialisations", Json.Int s.S.respecialisations);
+      ]
+
 let result (res : Simulator.result) =
   Json.Obj
     [
@@ -131,6 +151,7 @@ let result (res : Simulator.result) =
         Json.List
           (Array.to_list (Array.map task_result res.Simulator.per_task)) );
       ("audit", audit res.Simulator.audit);
+      ("static", static_stats res);
       ("trace_dropped", Json.Int (Trace.dropped res.Simulator.trace));
     ]
 

@@ -14,6 +14,12 @@ module Scheduler = Rtlf_core.Scheduler
 type sched_kind = Edf | Edf_pip | Rua
 type queue_impl = Binary_heap | Wheel
 
+(* [Static] wraps each decider instance in [Static_mode] over a
+   [Specialize] plan built from the task set. Decisions and ops charges
+   are bit-identical to [Dynamic] (pinned by the static differential
+   suite); only the cost of producing them changes. *)
+type sched_mode = Dynamic | Static
+
 type config = {
   tasks : Task.t list;
   sync : Sync.t;
@@ -30,6 +36,7 @@ type config = {
   cores : int;
   dispatch : Cores.policy;
   migrate_ops : int;
+  mode : sched_mode;
 }
 
 (* Both event-queue implementations share the same observable contract
@@ -85,7 +92,7 @@ let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     ?(sched_base = 200) ?(sched_per_op = 25)
     ?(retry_on_any_preemption = false) ?(trace = false) ?trace_capacity
     ?(queue = Binary_heap) ?(cores = 1) ?(dispatch = Cores.Global)
-    ?(migrate_ops = 8) () =
+    ?(migrate_ops = 8) ?(mode = Dynamic) () =
   let n_objects =
     match n_objects with Some n -> n | None -> infer_objects tasks
   in
@@ -105,6 +112,7 @@ let config ~tasks ~sync ?(sched = Rua) ?n_objects ~horizon ?(seed = 1)
     cores;
     dispatch;
     migrate_ops;
+    mode;
   }
 
 type task_result = {
@@ -153,6 +161,8 @@ type result = {
   per_task : task_result array;
   audit : Audit.report;
   trace : Trace.t;
+  static : Rtlf_core.Static_mode.stats option;
+      (* summed over scheduler instances; [None] in dynamic mode *)
 }
 
 type event = Arrival of Task.t | Expiry of int
@@ -168,6 +178,9 @@ type state = {
       (* one instance under global dispatch; one per core under
          partitioned (deciders carry caches, so instances must not be
          shared between cores) *)
+  statics : Rtlf_core.Static_mode.t array;
+      (* parallel to [schedulers] in static mode (each scheduler is the
+         wrapper of the corresponding instance); empty in dynamic *)
   remaining : Job.t -> int; (* hoisted: depends only on [cfg.sync] *)
   trace : Trace.t;
   mutable now : int;
@@ -209,7 +222,20 @@ let validate cfg =
           if obj < 0 || obj >= cfg.n_objects then
             invalid_arg "Simulator: access references unknown object")
         t.Task.accesses)
-    cfg.tasks
+    cfg.tasks;
+  match cfg.mode with
+  | Dynamic -> ()
+  | Static -> (
+    (* The static fast path revalidates decisions from job state codes
+       alone, so the wrapped decider must not consult hidden state:
+       [Rua_lock_based] and [Edf_pip] both read the lock table. *)
+    match (cfg.sched, cfg.sync) with
+    | Edf, _ -> ()
+    | Rua, (Sync.Lock_free _ | Sync.Spin _ | Sync.Ideal) -> ()
+    | Rua, Sync.Lock_based _ | Edf_pip, _ ->
+      invalid_arg
+        "Simulator: static mode requires a lock-oblivious decider (edf, or \
+         rua under lock-free/spin/ideal sync)")
 
 let make_scheduler cfg locks =
   match cfg.sched with
@@ -349,6 +375,9 @@ let spin_wait_job st job obj =
   Trace.record st.trace ~time:st.now (Trace.Block (job.Job.jid, obj))
 
 let abort_job st job =
+  (* Aborts are a static-mode anomaly: each instance opens a fallback
+     window at its next decide. *)
+  Array.iter Rtlf_core.Static_mode.notify_abort st.statics;
   (match st.cfg.sync with
   | Sync.Lock_based _ | Sync.Spin _ ->
     let released = Lock_manager.release_all st.locks ~jid:job.Job.jid in
@@ -1063,6 +1092,15 @@ let summarise st =
     per_task;
     audit = Audit.report st.audit;
     trace = st.trace;
+    static =
+      (if Array.length st.statics = 0 then None
+       else
+         Some
+           (Array.fold_left
+              (fun acc s ->
+                Rtlf_core.Static_mode.add_stats acc
+                  (Rtlf_core.Static_mode.stats s))
+              Rtlf_core.Static_mode.zero_stats st.statics));
   }
 
 let run cfg =
@@ -1086,6 +1124,26 @@ let run cfg =
     | Cores.Global -> 1
     | Cores.Partitioned -> cfg.cores
   in
+  let statics =
+    match cfg.mode with
+    | Dynamic -> [||]
+    | Static ->
+      (* One shared plan: profiles and learned pattern templates are
+         reused across instances (all mutation happens inside decide
+         calls, which the virtual clock serializes). *)
+      let plan =
+        Rtlf_core.Specialize.plan ~tasks:cfg.tasks
+          ~remaining:(remaining_cost cfg.sync)
+      in
+      let algo =
+        match cfg.sched with
+        | Edf -> Rtlf_core.Static_mode.Edf
+        | Edf_pip | Rua -> Rtlf_core.Static_mode.Rua_lf
+      in
+      Array.init n_schedulers (fun _ ->
+          Rtlf_core.Static_mode.create ~plan
+            ~fallback:(make_scheduler cfg locks) ~algo ())
+  in
   let st =
     {
       cfg;
@@ -1093,7 +1151,10 @@ let run cfg =
       objects;
       locks;
       schedulers =
-        Array.init n_schedulers (fun _ -> make_scheduler cfg locks);
+        (if Array.length statics = 0 then
+           Array.init n_schedulers (fun _ -> make_scheduler cfg locks)
+         else Array.map Rtlf_core.Static_mode.scheduler statics);
+      statics;
       remaining = remaining_cost cfg.sync;
       trace = Trace.create ?capacity:cfg.trace_capacity ~enabled:cfg.trace ();
       now = 0;

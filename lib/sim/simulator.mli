@@ -36,6 +36,19 @@ type queue_impl =
           with 10⁵+ live jobs. Bit-identical results either way — both
           queues obey the same (time, insertion-order) pop contract. *)
 
+type sched_mode =
+  | Dynamic  (** the deciders interpret the task set on every invocation *)
+  | Static
+      (** serve decides from a {!Rtlf_core.Specialize} plan via
+          {!Rtlf_core.Static_mode}, falling back to the dynamic decider
+          on anomalies (new arrival shape, deadline miss, abort, chain
+          change). Decisions and [ops] charges are bit-identical to
+          [Dynamic] — pinned by the static differential suite — so every
+          figure-level metric matches; only wall-clock decide cost
+          changes. Requires a lock-oblivious decider: [Edf], or [Rua]
+          under lock-free/spin/ideal sync ({!run} raises
+          [Invalid_argument] otherwise). *)
+
 type config = {
   tasks : Rtlf_model.Task.t list;  (** unique ids [0 .. n−1] expected *)
   sync : Sync.t;
@@ -59,6 +72,7 @@ type config = {
       (** abstract ops charged per cross-core migration, folded into
           the dispatcher's [sched_per_op] cost (global dispatch only —
           partitioned jobs never migrate) *)
+  mode : sched_mode;
 }
 
 val config :
@@ -77,13 +91,15 @@ val config :
   ?cores:int ->
   ?dispatch:Cores.policy ->
   ?migrate_ops:int ->
+  ?mode:sched_mode ->
   unit ->
   config
 (** [config ~tasks ~sync ~horizon ()] fills in defaults: RUA
     scheduling, object count inferred from the tasks' accesses, seed 1,
     [sched_base = 200] ns, [sched_per_op = 25] ns, realistic conflict
     detection, no trace (and, when tracing, an unbounded trace), binary
-    heap event queue, one core, global dispatch, [migrate_ops = 8]. *)
+    heap event queue, one core, global dispatch, [migrate_ops = 8],
+    dynamic scheduling mode. *)
 
 type task_result = {
   task_id : int;
@@ -143,6 +159,10 @@ type result = {
       (** Theorem-2 budget audit: armed for lock-free + RUA runs,
           every resolved job checked against its task's retry budget *)
   trace : Trace.t;
+  static : Rtlf_core.Static_mode.stats option;
+      (** static-mode serving statistics (fast hits, pattern hits,
+          delegations, anomalies), summed over scheduler instances;
+          [None] for dynamic runs *)
 }
 
 val run : config -> result

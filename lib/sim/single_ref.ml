@@ -663,6 +663,8 @@ let summarise st : Simulator.result =
     per_task;
     audit = Audit.report st.audit;
     trace = st.trace;
+    (* The retained engine predates (and never grew) static mode. *)
+    static = None;
   }
 
 let validate (cfg : Simulator.config) =
